@@ -1,0 +1,56 @@
+// Extension ablation (the paper's future work, Section VII): combining loop
+// unrolling with SAFARA. Unrolling the sequential sweep multiplies the reuse
+// visible to scalar replacement, but each unrolled copy also holds more live
+// scalars — the same register/occupancy tension as everywhere else.
+#include "bench_common.hpp"
+
+namespace safara::bench {
+namespace {
+
+void run() {
+  const workloads::Workload* w = workloads::find_workload("355.seismic");
+
+  struct Row {
+    const char* name;
+    driver::CompilerOptions opts;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"small+dim", driver::CompilerOptions::openuh_small_dim()});
+  rows.push_back({"small+dim+SAFARA", driver::CompilerOptions::openuh_safara_clauses()});
+  for (int factor : {2, 4}) {
+    driver::CompilerOptions o = driver::CompilerOptions::openuh_safara_clauses();
+    o.enable_unroll = true;
+    o.unroll.factor = factor;
+    static std::string names[2];
+    std::string& label = names[factor == 2 ? 0 : 1];
+    label = "  + unroll x" + std::to_string(factor);
+    rows.push_back({label.c_str(), o});
+  }
+
+  TablePrinter table({"config", "cycles", "speedup", "regs", "occupancy", "loads"}, 16);
+  table.print_header("Unroll ablation on 355.seismic (baseline: small+dim)");
+  std::uint64_t base_cycles = 0;
+  for (const Row& row : rows) {
+    workloads::RunResult r = workloads::simulate(*w, row.opts);
+    if (base_cycles == 0) base_cycles = r.cycles;
+    double speedup = double(base_cycles) / double(r.cycles);
+    table.print_row({row.name, std::to_string(r.cycles), fmt(speedup),
+                     std::to_string(r.max_regs), fmt(r.min_occupancy, 2),
+                     std::to_string(r.global_loads)});
+    register_counters(std::string("ablation_unroll/") + row.name,
+                      {{"cycles", double(r.cycles)},
+                       {"speedup", speedup},
+                       {"regs", double(r.max_regs)},
+                       {"loads", double(r.global_loads)}});
+  }
+}
+
+}  // namespace
+}  // namespace safara::bench
+
+int main(int argc, char** argv) {
+  safara::bench::run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

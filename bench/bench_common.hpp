@@ -1,0 +1,92 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure of the paper: it prints the
+// same rows/series the paper reports (from simulated-GPU metrics), then
+// registers google-benchmark entries so the standard tooling can consume the
+// numbers as counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/harness.hpp"
+
+namespace safara::bench {
+
+struct NamedConfig {
+  std::string name;
+  driver::CompilerOptions options;
+};
+
+inline std::vector<NamedConfig> paper_configs() {
+  return {
+      {"base", driver::CompilerOptions::openuh_base()},
+      {"small", driver::CompilerOptions::openuh_small()},
+      {"small+dim", driver::CompilerOptions::openuh_small_dim()},
+      {"SAFARA", driver::CompilerOptions::openuh_safara()},
+      {"small+dim+SAFARA", driver::CompilerOptions::openuh_safara_clauses()},
+      {"PGI-like", driver::CompilerOptions::pgi_like()},
+  };
+}
+
+/// Fixed-width table printer (matches the style of the paper's tables).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header(const std::string& title) const {
+    std::printf("\n=== %s ===\n", title.c_str());
+    for (const std::string& h : headers_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size() * static_cast<std::size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const std::string& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// Runs one workload under every listed config, caching results by name.
+inline std::map<std::string, workloads::RunResult> run_configs(
+    const workloads::Workload& w, const std::vector<NamedConfig>& configs) {
+  std::map<std::string, workloads::RunResult> out;
+  for (const NamedConfig& c : configs) {
+    out.emplace(c.name, workloads::simulate(w, c.options));
+  }
+  return out;
+}
+
+/// Registers a google-benchmark entry that reports a precomputed metric set
+/// as counters (the heavy simulation ran once, up front).
+inline void register_counters(const std::string& name,
+                              std::map<std::string, double> counters) {
+  benchmark::RegisterBenchmark(name.c_str(), [counters](benchmark::State& state) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(counters.size());
+    }
+    for (const auto& [key, value] : counters) {
+      state.counters[key] = value;
+    }
+  })->Iterations(1);
+}
+
+}  // namespace safara::bench

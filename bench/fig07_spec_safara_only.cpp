@@ -1,0 +1,42 @@
+// Figure 7: SPEC ACCEL speedups with SAFARA **alone** (no dim/small).
+//
+// The paper's point: aggressive scalar replacement without the clauses gives
+// small wins on most benchmarks but can *slow down* register-hungry
+// applications (355.seismic) by crushing occupancy.
+#include "bench_common.hpp"
+
+namespace safara::bench {
+namespace {
+
+void run() {
+  TablePrinter table({"Benchmark", "base cyc", "SAFARA cyc", "speedup", "regs b->s",
+                      "occ b->s"},
+                     14);
+  table.print_header("Figure 7: SPEC speedup with SAFARA only (vs OpenUH base)");
+  for (const workloads::Workload* w : workloads::spec_suite()) {
+    workloads::RunResult base =
+        workloads::simulate(*w, driver::CompilerOptions::openuh_base());
+    workloads::RunResult saf =
+        workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
+    double speedup = double(base.cycles) / double(saf.cycles);
+    table.print_row({w->name, std::to_string(base.cycles), std::to_string(saf.cycles),
+                     fmt(speedup),
+                     std::to_string(base.max_regs) + "->" + std::to_string(saf.max_regs),
+                     fmt(base.min_occupancy, 2) + "->" + fmt(saf.min_occupancy, 2)});
+    register_counters("fig07/" + w->name, {{"speedup", speedup},
+                                           {"base_cycles", double(base.cycles)},
+                                           {"safara_cycles", double(saf.cycles)},
+                                           {"base_regs", double(base.max_regs)},
+                                           {"safara_regs", double(saf.max_regs)}});
+  }
+}
+
+}  // namespace
+}  // namespace safara::bench
+
+int main(int argc, char** argv) {
+  safara::bench::run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 9: SPEC ACCEL speedups with the proposed clauses, applied
+// cumulatively: small, then small+dim, then small+dim+SAFARA (all vs the
+// OpenUH base compiler). The paper's headline: with the clauses first,
+// SAFARA no longer slows anything down (355.seismic recovers) and the
+// overall speedup reaches ~2x.
+#include "bench_common.hpp"
+
+namespace safara::bench {
+namespace {
+
+void run() {
+  TablePrinter table({"Benchmark", "small", "small+dim", "s+d+SAFARA", "regs base",
+                      "regs s+d+S"},
+                     14);
+  table.print_header("Figure 9: SPEC speedups: small / small+dim / small+dim+SAFARA");
+  for (const workloads::Workload* w : workloads::spec_suite()) {
+    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
+    auto small = workloads::simulate(*w, driver::CompilerOptions::openuh_small());
+    auto dim = workloads::simulate(*w, driver::CompilerOptions::openuh_small_dim());
+    auto all = workloads::simulate(*w, driver::CompilerOptions::openuh_safara_clauses());
+    double s1 = double(base.cycles) / double(small.cycles);
+    double s2 = double(base.cycles) / double(dim.cycles);
+    double s3 = double(base.cycles) / double(all.cycles);
+    table.print_row({w->name, fmt(s1), fmt(s2), fmt(s3), std::to_string(base.max_regs),
+                     std::to_string(all.max_regs)});
+    register_counters("fig09/" + w->name,
+                      {{"small", s1}, {"small_dim", s2}, {"small_dim_safara", s3}});
+  }
+}
+
+}  // namespace
+}  // namespace safara::bench
+
+int main(int argc, char** argv) {
+  safara::bench::run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

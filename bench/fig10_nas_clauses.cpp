@@ -1,0 +1,39 @@
+// Figure 10: NAS (NPB-ACC) speedups for small / SAFARA / SAFARA+small vs the
+// OpenUH base. The NAS codes have no allocatable arrays, so `dim` is not
+// useful; the paper found only BT profiting from `small` among LU/SP/BT.
+#include "bench_common.hpp"
+
+namespace safara::bench {
+namespace {
+
+void run() {
+  TablePrinter table({"Benchmark", "small", "SAFARA", "SAFARA+small", "regs base"},
+                     14);
+  table.print_header("Figure 10: NAS speedups: small / SAFARA / SAFARA+small");
+  for (const workloads::Workload* w : workloads::nas_suite()) {
+    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
+    auto small = workloads::simulate(*w, driver::CompilerOptions::openuh_small());
+    auto saf = workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
+
+    driver::CompilerOptions saf_small = driver::CompilerOptions::openuh_safara();
+    saf_small.honor_small = true;
+    auto both = workloads::simulate(*w, saf_small);
+
+    double s1 = double(base.cycles) / double(small.cycles);
+    double s2 = double(base.cycles) / double(saf.cycles);
+    double s3 = double(base.cycles) / double(both.cycles);
+    table.print_row({w->name, fmt(s1), fmt(s2), fmt(s3), std::to_string(base.max_regs)});
+    register_counters("fig10/" + w->name,
+                      {{"small", s1}, {"safara", s2}, {"safara_small", s3}});
+  }
+}
+
+}  // namespace
+}  // namespace safara::bench
+
+int main(int argc, char** argv) {
+  safara::bench::run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

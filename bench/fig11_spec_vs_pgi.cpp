@@ -1,0 +1,41 @@
+// Figure 11: SPEC normalized execution time, OpenUH (base / SAFARA /
+// SAFARA+clauses) vs the PGI-like persona.
+// Norm(c) = time(c) / max(time(OpenUH base), time(PGI)); lower is better.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace safara::bench {
+namespace {
+
+void run() {
+  TablePrinter table({"Benchmark", "OpenUH", "OpenUH+SAF", "OpenUH+S+cls", "PGI"}, 14);
+  table.print_header(
+      "Figure 11: SPEC normalized time (lower is better), OpenUH vs PGI-like");
+  for (const workloads::Workload* w : workloads::spec_suite()) {
+    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
+    auto saf = workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
+    auto cls = workloads::simulate(*w, driver::CompilerOptions::openuh_safara_clauses());
+    auto pgi = workloads::simulate(*w, driver::CompilerOptions::pgi_like());
+    double denom = double(std::max(base.cycles, pgi.cycles));
+    double n_base = double(base.cycles) / denom;
+    double n_saf = double(saf.cycles) / denom;
+    double n_cls = double(cls.cycles) / denom;
+    double n_pgi = double(pgi.cycles) / denom;
+    table.print_row({w->name, fmt(n_base), fmt(n_saf), fmt(n_cls), fmt(n_pgi)});
+    register_counters("fig11/" + w->name, {{"openuh_base", n_base},
+                                           {"openuh_safara", n_saf},
+                                           {"openuh_safara_clauses", n_cls},
+                                           {"pgi", n_pgi}});
+  }
+}
+
+}  // namespace
+}  // namespace safara::bench
+
+int main(int argc, char** argv) {
+  safara::bench::run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

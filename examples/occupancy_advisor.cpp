@@ -1,0 +1,79 @@
+// occupancy_advisor: given a kernel, report how its register footprint
+// interacts with occupancy on the modeled device and what a launch-bounds
+// style register cap would do — the tradeoff space the paper's clauses
+// navigate (Section IV, citing Volkov's low-occupancy argument).
+//
+// Usage: occupancy_advisor (uses a built-in register-hungry kernel)
+#include <cstdio>
+
+#include "driver/compiler.hpp"
+#include "vgpu/occupancy.hpp"
+
+using namespace safara;
+
+static const char* kSource = R"(
+void hungry(int nx, int ny, int nz, float dt,
+            const float a[?][?][?], const float b[?][?][?], const float c[?][?][?],
+            const float d[?][?][?], float out[?][?][?]) {
+  #pragma acc parallel loop gang(ny/4) vector(4) dim((0:nz, 0:ny, 0:nx)(a, b, c, d, out)) small(a, b, c, d, out)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang((nx+63)/64) vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz - 1; k++) {
+        out[k][j][i] = out[k][j][i]
+                     + dt * (a[k][j][i] * b[k-1][j][i] - c[k][j][i] * d[k+1][j][i]
+                           + a[k-1][j][i] * d[k][j][i] + b[k][j][i] * c[k-1][j][i]);
+      }
+    }
+  }
+}
+)";
+
+int main() {
+  const vgpu::DeviceSpec spec = vgpu::DeviceSpec::k20xm();
+  const int threads_per_block = 256;  // vector(4) x vector(64)
+
+  std::printf("device: %d SMs, %lld regs/SM, %d warps/SM max, warp %d\n\n",
+              spec.num_sms, static_cast<long long>(spec.registers_per_sm),
+              spec.max_warps_per_sm, spec.warp_size);
+
+  struct Row {
+    const char* name;
+    driver::CompilerOptions opts;
+  } rows[] = {
+      {"base (64-bit dope)", driver::CompilerOptions::openuh_base()},
+      {"small clause", driver::CompilerOptions::openuh_small()},
+      {"small + dim", driver::CompilerOptions::openuh_small_dim()},
+  };
+
+  std::printf("%-22s %-8s %-10s %-12s %-10s %-8s\n", "config", "regs", "spill B",
+              "blocks/SM", "warps/SM", "occ");
+  for (const Row& row : rows) {
+    driver::Compiler compiler(row.opts);
+    auto prog = compiler.compile(kSource);
+    const auto& alloc = prog.kernels[0].alloc;
+    vgpu::Occupancy occ = vgpu::compute_occupancy(spec, alloc.regs_used, threads_per_block);
+    std::printf("%-22s %-8d %-10d %-12d %-10d %.2f (%s-limited)\n", row.name,
+                alloc.regs_used, alloc.spill_bytes, occ.blocks_per_sm, occ.warps_per_sm,
+                occ.ratio, vgpu::to_string(occ.limiter));
+  }
+
+  std::printf("\nforcing register caps on the base configuration "
+              "(__launch_bounds__-style):\n");
+  std::printf("%-10s %-8s %-10s %-10s %-8s\n", "cap", "regs", "spill B", "warps/SM",
+              "occ");
+  for (int cap : {255, 128, 96, 64, 48, 32}) {
+    driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+    opts.regalloc.max_registers = cap;
+    driver::Compiler compiler(opts);
+    auto prog = compiler.compile(kSource);
+    const auto& alloc = prog.kernels[0].alloc;
+    vgpu::Occupancy occ = vgpu::compute_occupancy(spec, alloc.regs_used, threads_per_block);
+    std::printf("%-10d %-8d %-10d %-10d %.2f\n", cap, alloc.regs_used, alloc.spill_bytes,
+                occ.warps_per_sm, occ.ratio);
+  }
+  std::printf("\nadvice: prefer freeing registers with dim/small over capping —\n"
+              "a cap buys occupancy with local-memory spill traffic instead.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// seismic_tuning: walks the paper's Section V workflow on the 355.seismic
+// workload — compare the compiler configurations kernel by kernel, then
+// end to end, and show the SAFARA feedback trace.
+//
+// Run: ./build/examples/seismic_tuning
+#include <cstdio>
+
+#include "workloads/harness.hpp"
+
+using namespace safara;
+
+int main() {
+  const workloads::Workload* w = workloads::find_workload("355.seismic");
+  if (!w) {
+    std::fprintf(stderr, "355.seismic not registered\n");
+    return 1;
+  }
+  std::printf("workload: %s — %s\n\n", w->name.c_str(), w->description.c_str());
+
+  struct Config {
+    const char* name;
+    driver::CompilerOptions options;
+  } configs[] = {
+      {"OpenUH base", driver::CompilerOptions::openuh_base()},
+      {"+small", driver::CompilerOptions::openuh_small()},
+      {"+small +dim", driver::CompilerOptions::openuh_small_dim()},
+      {"+SAFARA only", driver::CompilerOptions::openuh_safara()},
+      {"+small +dim +SAFARA", driver::CompilerOptions::openuh_safara_clauses()},
+  };
+
+  // Per-kernel register table (the paper's Table I).
+  std::printf("%-12s", "kernel");
+  for (const Config& c : configs) std::printf("%-22s", c.name);
+  std::printf("\n");
+  std::vector<driver::CompiledProgram> programs;
+  for (const Config& c : configs) {
+    driver::Compiler compiler(c.options);
+    programs.push_back(compiler.compile(w->source, w->function));
+  }
+  for (std::size_t k = 0; k < programs[0].kernels.size(); ++k) {
+    std::printf("HOT%-9zu", k + 1);
+    for (const driver::CompiledProgram& p : programs) {
+      std::printf("%-22d", p.kernels[k].alloc.regs_used);
+    }
+    std::printf("\n");
+  }
+
+  // End-to-end timing on the simulator.
+  std::printf("\n%-22s %-14s %-10s %-12s %-10s\n", "config", "cycles", "speedup",
+              "occupancy", "regs");
+  std::uint64_t base_cycles = 0;
+  for (const Config& c : configs) {
+    workloads::RunResult r = workloads::simulate(*w, c.options);
+    if (base_cycles == 0) base_cycles = r.cycles;
+    std::printf("%-22s %-14llu %-10.2f %-12.2f %-10d\n", c.name,
+                static_cast<unsigned long long>(r.cycles),
+                double(base_cycles) / double(r.cycles), r.min_occupancy, r.max_regs);
+  }
+
+  // The feedback trace of the full configuration.
+  const driver::CompiledProgram& full = programs[4];
+  std::printf("\nSAFARA feedback trace (small+dim first):\n");
+  for (const auto& region : full.safara.regions) {
+    if (region.groups_replaced == 0) continue;
+    std::printf(" region %d:\n", region.region_index);
+    for (const auto& line : region.log) std::printf("   %s\n", line.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Array-reference analysis over an offload region (SAFARA step 1):
+// classifies every reference by memory space (global read/write vs read-only)
+// and by coalescing, following the index-analysis approach of Jang et al.
+// that the paper builds on.
+#pragma once
+
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "ast/stmt.hpp"
+#include "sema/sema.hpp"
+
+namespace safara::analysis {
+
+enum class MemSpace {
+  kGlobalRW,  // read/write global data (L2 path)
+  kGlobalRO,  // read-only for the kernel's lifetime (read-only data cache)
+};
+
+enum class CoalesceClass {
+  kCoalesced,    // consecutive lanes touch consecutive addresses
+  kUniform,      // address invariant in the vector dimension (broadcast)
+  kUncoalesced,  // lanes scatter across memory segments
+};
+
+const char* to_string(MemSpace s);
+const char* to_string(CoalesceClass c);
+
+struct AccessInfo {
+  ast::ArrayRef* ref = nullptr;
+  const sema::Symbol* array = nullptr;
+  bool is_write = false;
+  /// True if the reference sits under an `if` inside its innermost loop
+  /// (excluded from speculative inter-iteration replacement).
+  bool conditional = false;
+  /// Innermost enclosing loop (scheduled or seq); null if directly under the
+  /// region's top statement list.
+  const ast::ForStmt* innermost_loop = nullptr;
+  std::vector<AffineExpr> subscripts;
+  MemSpace space = MemSpace::kGlobalRW;
+  CoalesceClass coalescing = CoalesceClass::kUncoalesced;
+};
+
+struct RegionAccesses {
+  std::vector<AccessInfo> accesses;
+  /// Induction variable of the innermost scheduled loop (the x / vector
+  /// dimension); null for fully sequential regions.
+  const sema::Symbol* vector_iv = nullptr;
+};
+
+/// Walks the region and produces one AccessInfo per textual array reference.
+RegionAccesses analyze_accesses(const sema::OffloadRegion& region);
+
+/// Classifies one reference against the vector induction variable.
+CoalesceClass classify_coalescing(const std::vector<AffineExpr>& subscripts,
+                                  const sema::Symbol* vector_iv);
+
+}  // namespace safara::analysis

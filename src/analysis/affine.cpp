@@ -1,0 +1,104 @@
+#include "analysis/affine.hpp"
+
+namespace safara::analysis {
+
+using ast::Expr;
+using ast::ExprKind;
+
+namespace {
+
+AffineExpr add_scaled(const AffineExpr& a, const AffineExpr& b, std::int64_t scale) {
+  if (!a.affine || !b.affine) return AffineExpr::make_non_affine();
+  AffineExpr r = a;
+  r.constant += scale * b.constant;
+  for (const auto& [sym, c] : b.coeffs) {
+    std::int64_t& slot = r.coeffs[sym];
+    slot += scale * c;
+    if (slot == 0) r.coeffs.erase(sym);
+  }
+  return r;
+}
+
+}  // namespace
+
+AffineExpr to_affine(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: {
+      AffineExpr r;
+      r.affine = true;
+      r.constant = e.as<ast::IntLit>().value;
+      return r;
+    }
+    case ExprKind::kVarRef: {
+      const sema::Symbol* sym = e.as<ast::VarRef>().symbol;
+      if (!sym || sym->is_array()) return AffineExpr::make_non_affine();
+      AffineExpr r;
+      r.affine = true;
+      r.coeffs[sym] = 1;
+      return r;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = e.as<ast::Unary>();
+      if (u.op != ast::UnaryOp::kNeg) return AffineExpr::make_non_affine();
+      AffineExpr zero;
+      zero.affine = true;
+      return add_scaled(zero, to_affine(*u.operand), -1);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = e.as<ast::Binary>();
+      AffineExpr lhs = to_affine(*b.lhs);
+      AffineExpr rhs = to_affine(*b.rhs);
+      switch (b.op) {
+        case ast::BinaryOp::kAdd:
+          return add_scaled(lhs, rhs, 1);
+        case ast::BinaryOp::kSub:
+          return add_scaled(lhs, rhs, -1);
+        case ast::BinaryOp::kMul:
+          if (lhs.is_constant()) return add_scaled(AffineExpr{true, {}, 0}, rhs, lhs.constant);
+          if (rhs.is_constant()) return add_scaled(AffineExpr{true, {}, 0}, lhs, rhs.constant);
+          return AffineExpr::make_non_affine();
+        case ast::BinaryOp::kDiv:
+          // Exact division by a constant that divides all terms stays affine.
+          if (rhs.is_constant() && rhs.constant != 0 && lhs.affine) {
+            std::int64_t d = rhs.constant;
+            bool divisible = lhs.constant % d == 0;
+            for (const auto& [sym, c] : lhs.coeffs) {
+              (void)sym;
+              if (c % d != 0) divisible = false;
+            }
+            if (divisible) {
+              AffineExpr r = lhs;
+              r.constant /= d;
+              for (auto& [sym, c] : r.coeffs) {
+                (void)sym;
+                c /= d;
+              }
+              return r;
+            }
+          }
+          return AffineExpr::make_non_affine();
+        default:
+          return AffineExpr::make_non_affine();
+      }
+    }
+    case ExprKind::kCast:
+      // Integer widening preserves affine structure at our value ranges.
+      return to_affine(*e.as<ast::Cast>().operand);
+    default:
+      return AffineExpr::make_non_affine();
+  }
+}
+
+std::optional<AffineExpr> affine_difference(const AffineExpr& a, const AffineExpr& b) {
+  if (!a.affine || !b.affine) return std::nullopt;
+  AffineExpr r = a;
+  r.constant -= b.constant;
+  for (const auto& [sym, c] : b.coeffs) {
+    std::int64_t& slot = r.coeffs[sym];
+    slot -= c;
+    if (slot == 0) r.coeffs.erase(sym);
+  }
+  return r;
+}
+
+}  // namespace safara::analysis

@@ -1,0 +1,43 @@
+// Affine analysis of subscript expressions: every subscript is reduced (when
+// possible) to  sum_i coeff_i * sym_i + constant. This powers the coalescing
+// classifier, the reuse/dependence grouping, and the distance computation of
+// inter-iteration scalar replacement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ast/expr.hpp"
+#include "sema/symbol.hpp"
+
+namespace safara::analysis {
+
+struct AffineExpr {
+  bool affine = false;
+  std::map<const sema::Symbol*, std::int64_t> coeffs;  // zero coeffs omitted
+  std::int64_t constant = 0;
+
+  /// Coefficient of `sym` (0 if absent).
+  std::int64_t coeff(const sema::Symbol* sym) const {
+    auto it = coeffs.find(sym);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+  bool is_constant() const { return affine && coeffs.empty(); }
+  /// True if the expressions differ only in their constant terms.
+  static bool same_shape(const AffineExpr& a, const AffineExpr& b) {
+    return a.affine && b.affine && a.coeffs == b.coeffs;
+  }
+
+  static AffineExpr make_non_affine() { return AffineExpr{}; }
+};
+
+/// Extracts the affine form of `e`. Scalar variables (params, locals,
+/// induction variables) are the symbols; array references, calls, division
+/// and other non-linear constructs make the result non-affine.
+AffineExpr to_affine(const ast::Expr& e);
+
+/// `a - b` when both are affine.
+std::optional<AffineExpr> affine_difference(const AffineExpr& a, const AffineExpr& b);
+
+}  // namespace safara::analysis

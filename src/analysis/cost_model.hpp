@@ -1,0 +1,49 @@
+// SAFARA's memory-latency cost model (Section III-B.3): the priority of
+// replacing a reuse group is  L x C  — the latency class of its memory
+// access times its reference count. Latencies come from the device model,
+// which in turn follows the Wong-et-al microbenchmark numbers the paper
+// cites.
+#pragma once
+
+#include "analysis/reuse.hpp"
+#include "vgpu/device.hpp"
+
+namespace safara::analysis {
+
+class CostModel {
+ public:
+  explicit CostModel(const vgpu::LatencyModel& lat, int warp_size = 32)
+      : lat_(lat), warp_size_(warp_size) {}
+
+  /// Estimated warp latency of one access of the given class.
+  double access_latency(MemSpace space, CoalesceClass coalescing) const {
+    const int scatter_tx = warp_size_ - 1;  // fully scattered warp
+    double base = space == MemSpace::kGlobalRO
+                      ? static_cast<double>(lat_.ro_cache_hit)
+                      : static_cast<double>(lat_.global_base);
+    switch (coalescing) {
+      case CoalesceClass::kCoalesced:
+      case CoalesceClass::kUniform:
+        return base;
+      case CoalesceClass::kUncoalesced:
+        return base + static_cast<double>(scatter_tx) * lat_.global_per_extra_tx;
+    }
+    return base;
+  }
+
+  /// The paper's cost L x C used to rank candidate groups.
+  double group_priority(const ReuseGroup& g) const {
+    return access_latency(g.space, g.coalescing) * g.reference_count();
+  }
+
+  /// Count-only priority (the Carr-Kennedy metric; used by the ablation).
+  double count_priority(const ReuseGroup& g) const {
+    return static_cast<double>(g.reference_count());
+  }
+
+ private:
+  vgpu::LatencyModel lat_;
+  int warp_size_;
+};
+
+}  // namespace safara::analysis

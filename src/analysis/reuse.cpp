@@ -1,0 +1,220 @@
+#include "analysis/reuse.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace safara::analysis {
+
+using sema::Symbol;
+
+const char* to_string(ReuseKind k) {
+  switch (k) {
+    case ReuseKind::kIntra: return "intra-iteration";
+    case ReuseKind::kCarried: return "inter-iteration";
+    case ReuseKind::kInvariant: return "loop-invariant";
+  }
+  return "?";
+}
+
+namespace {
+
+bool subscripts_symbols_ok(const AccessInfo& a) {
+  for (const AffineExpr& s : a.subscripts) {
+    if (!s.affine) return false;
+    for (const auto& [sym, c] : s.coeffs) {
+      (void)c;
+      if (sym->kind == sema::SymbolKind::kLocal) return false;
+    }
+  }
+  return true;
+}
+
+/// Iteration offset of `a` relative to `b` along `iv`: the integer t with
+/// subscripts(a at k) == subscripts(b at k+t), or nullopt.
+std::optional<std::int64_t> iteration_offset(const AccessInfo& a, const AccessInfo& b,
+                                             const Symbol* iv) {
+  if (a.subscripts.size() != b.subscripts.size()) return std::nullopt;
+  std::optional<std::int64_t> t;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const AffineExpr& sa = a.subscripts[d];
+    const AffineExpr& sb = b.subscripts[d];
+    if (!AffineExpr::same_shape(sa, sb)) return std::nullopt;
+    std::int64_t diff = sa.constant - sb.constant;
+    std::int64_t c = sa.coeff(iv);
+    if (c == 0) {
+      if (diff != 0) return std::nullopt;
+    } else {
+      if (diff % c != 0) return std::nullopt;
+      std::int64_t cand = diff / c;
+      if (t && *t != cand) return std::nullopt;
+      t = cand;
+    }
+  }
+  return t.value_or(0);
+}
+
+bool uses_iv(const AccessInfo& a, const Symbol* iv) {
+  for (const AffineExpr& s : a.subscripts) {
+    if (s.coeff(iv) != 0) return true;
+  }
+  return false;
+}
+
+bool identical_subscripts(const AccessInfo& a, const AccessInfo& b) {
+  if (a.subscripts.size() != b.subscripts.size()) return false;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    if (!AffineExpr::same_shape(a.subscripts[d], b.subscripts[d]) ||
+        a.subscripts[d].constant != b.subscripts[d].constant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ReuseGroup> find_reuse_groups(const sema::OffloadRegion& region,
+                                          const RegionAccesses& accesses,
+                                          const ReuseOptions& opts) {
+  std::vector<ReuseGroup> groups;
+
+  std::unordered_set<const ast::ForStmt*> scheduled(region.scheduled_loops.begin(),
+                                                    region.scheduled_loops.end());
+
+  // Partition candidate reads by (array, innermost loop). The loop part of
+  // the key is a deterministic traversal ordinal — accesses arrive in AST
+  // order — never a pointer value and never a source location (transforms
+  // like unrolling clone loops that share locations), so group discovery is
+  // both deterministic and loop-exact.
+  std::map<const ast::ForStmt*, int> loop_ordinal;
+  for (const AccessInfo& a : accesses.accesses) {
+    if (a.innermost_loop && !loop_ordinal.count(a.innermost_loop)) {
+      int next = static_cast<int>(loop_ordinal.size()) + 1;
+      loop_ordinal.emplace(a.innermost_loop, next);
+    }
+  }
+  using BucketKey = std::pair<std::string, int>;
+  std::map<BucketKey, std::pair<const ast::ForStmt*, std::vector<const AccessInfo*>>>
+      buckets;
+  for (const AccessInfo& a : accesses.accesses) {
+    if (a.is_write) continue;
+    if (a.space != MemSpace::kGlobalRO) continue;  // v1: read-only arrays only
+    if (a.conditional) continue;
+    if (!subscripts_symbols_ok(a)) continue;
+    BucketKey key{a.array->name, a.innermost_loop ? loop_ordinal.at(a.innermost_loop) : 0};
+    auto& bucket = buckets[key];
+    bucket.first = a.innermost_loop;
+    bucket.second.push_back(&a);
+  }
+
+  for (auto& [key, bucket] : buckets) {
+    const ast::ForStmt* loop = bucket.first;
+    std::vector<const AccessInfo*>& refs = bucket.second;
+    const Symbol* array_sym = refs.front()->array;
+    bool loop_is_parallel = loop && scheduled.count(loop) != 0;
+    // Cross-iteration groups insert statements before the carrier loop, so
+    // the carrier cannot be the region's top loop (that would be host code).
+    bool allow_cross_iteration = loop != nullptr && loop != region.loop &&
+                                 (!loop_is_parallel || !opts.intra_only_on_parallel);
+    const Symbol* iv = loop ? loop->iv_symbol : nullptr;
+
+    std::vector<bool> used(refs.size(), false);
+
+    if (allow_cross_iteration) {
+      // Carried groups: members related by integer iteration offsets.
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (used[i] || !uses_iv(*refs[i], iv)) continue;
+        std::vector<std::size_t> member_idx{i};
+        std::vector<std::int64_t> member_off{0};
+        for (std::size_t j = i + 1; j < refs.size(); ++j) {
+          if (used[j]) continue;
+          auto t = iteration_offset(*refs[j], *refs[i], iv);
+          // Offsets come back in induction-variable units; reuse distance is
+          // measured in iterations, so the offset must be a multiple of the
+          // loop step.
+          if (!t || *t % loop->step != 0) continue;
+          std::int64_t iters = *t / loop->step;
+          if (std::llabs(iters) <= opts.max_distance) {
+            member_idx.push_back(j);
+            member_off.push_back(iters);
+          }
+        }
+        std::int64_t min_off = *std::min_element(member_off.begin(), member_off.end());
+        std::int64_t max_off = *std::max_element(member_off.begin(), member_off.end());
+        if (member_idx.size() < 2 || min_off == max_off) continue;  // no reuse span
+        ReuseGroup g;
+        g.kind = ReuseKind::kCarried;
+        g.array = array_sym;
+        g.carrier = const_cast<ast::ForStmt*>(loop);
+        g.distance = max_off - min_off;
+        for (std::size_t m = 0; m < member_idx.size(); ++m) {
+          used[member_idx[m]] = true;
+          g.members.push_back(refs[member_idx[m]]->ref);
+          g.offsets.push_back(member_off[m] - min_off);
+        }
+        g.space = refs[i]->space;
+        g.coalescing = refs[i]->coalescing;
+        groups.push_back(std::move(g));
+      }
+
+      // Invariant groups: subscripts never mention the loop's iv.
+      std::vector<std::size_t> inv;
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (!used[i] && !uses_iv(*refs[i], iv)) inv.push_back(i);
+      }
+      // Sub-partition by identical subscripts.
+      std::vector<bool> inv_used(inv.size(), false);
+      for (std::size_t i = 0; i < inv.size(); ++i) {
+        if (inv_used[i]) continue;
+        ReuseGroup g;
+        g.kind = ReuseKind::kInvariant;
+        g.array = array_sym;
+        g.carrier = const_cast<ast::ForStmt*>(loop);
+        g.members.push_back(refs[inv[i]]->ref);
+        g.offsets.push_back(0);
+        inv_used[i] = true;
+        for (std::size_t j = i + 1; j < inv.size(); ++j) {
+          if (!inv_used[j] && identical_subscripts(*refs[inv[i]], *refs[inv[j]])) {
+            g.members.push_back(refs[inv[j]]->ref);
+            g.offsets.push_back(0);
+            inv_used[j] = true;
+          }
+        }
+        g.space = refs[inv[i]]->space;
+        g.coalescing = refs[inv[i]]->coalescing;
+        for (std::size_t j = 0; j < refs.size(); ++j) {
+          if (identical_subscripts(*refs[inv[i]], *refs[j])) used[j] = true;
+        }
+        groups.push_back(std::move(g));
+      }
+    }
+
+    // Intra-iteration groups among whatever remains (including parallel loops).
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (used[i]) continue;
+      ReuseGroup g;
+      g.kind = ReuseKind::kIntra;
+      g.array = array_sym;
+      g.carrier = const_cast<ast::ForStmt*>(loop);
+      g.members.push_back(refs[i]->ref);
+      g.offsets.push_back(0);
+      used[i] = true;
+      for (std::size_t j = i + 1; j < refs.size(); ++j) {
+        if (!used[j] && identical_subscripts(*refs[i], *refs[j])) {
+          g.members.push_back(refs[j]->ref);
+          g.offsets.push_back(0);
+          used[j] = true;
+        }
+      }
+      if (g.members.size() < 2) continue;  // a lone read gains nothing
+      g.space = refs[i]->space;
+      g.coalescing = refs[i]->coalescing;
+      groups.push_back(std::move(g));
+    }
+  }
+
+  return groups;
+}
+
+}  // namespace safara::analysis

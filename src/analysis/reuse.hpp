@@ -1,0 +1,69 @@
+// Data-reuse analysis (the dependence-based phase of scalar replacement):
+// finds groups of array references that read the same data within one
+// iteration (intra), across iterations of a sequential loop at a constant
+// distance (carried), or identically in every iteration (loop-invariant).
+//
+// Safety rules (v1, documented in DESIGN.md):
+//  * only arrays that are read-only over the whole region participate;
+//  * members must execute unconditionally within their innermost loop;
+//  * subscripts may only involve induction variables and parameters (locals
+//    could change value between the hoisted load and the original site).
+#pragma once
+
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/affine.hpp"
+
+namespace safara::analysis {
+
+enum class ReuseKind {
+  kIntra,      // identical references within one iteration
+  kCarried,    // distance-d reuse along the innermost loop
+  kInvariant,  // subscripts do not involve the innermost loop's iv
+};
+
+const char* to_string(ReuseKind k);
+
+struct ReuseGroup {
+  ReuseKind kind = ReuseKind::kIntra;
+  const sema::Symbol* array = nullptr;
+  /// The loop the reuse is relative to (members' innermost loop); null only
+  /// when members sit directly under the region's top statement list.
+  ast::ForStmt* carrier = nullptr;
+  /// Member references; for kCarried, offsets[i] gives each member's
+  /// iteration offset relative to the smallest member (0 .. distance).
+  std::vector<ast::ArrayRef*> members;
+  std::vector<std::int64_t> offsets;
+  std::int64_t distance = 0;  // max offset; 0 for intra/invariant
+  MemSpace space = MemSpace::kGlobalRO;
+  CoalesceClass coalescing = CoalesceClass::kUncoalesced;
+
+  /// Scalars (and thus registers) the replacement introduces.
+  int scalars_needed() const { return static_cast<int>(distance) + 1; }
+  int registers_needed() const {
+    return scalars_needed() * ast::registers_of(array->type);
+  }
+  /// Global loads removed per iteration of the carrier.
+  int saved_loads_per_iteration() const {
+    return kind == ReuseKind::kInvariant ? static_cast<int>(members.size())
+                                         : static_cast<int>(members.size()) - 1;
+  }
+  /// Reference count, the paper's `C` in cost = L x C.
+  int reference_count() const { return static_cast<int>(members.size()); }
+};
+
+struct ReuseOptions {
+  /// Maximum carried-reuse distance considered profitable.
+  std::int64_t max_distance = 4;
+  /// SAFARA's fix for the Carr-Kennedy limitation: never form carried or
+  /// invariant groups on a parallelized loop (it would serialize it). Set to
+  /// false to reproduce the original Carr-Kennedy behaviour.
+  bool intra_only_on_parallel = true;
+};
+
+std::vector<ReuseGroup> find_reuse_groups(const sema::OffloadRegion& region,
+                                          const RegionAccesses& accesses,
+                                          const ReuseOptions& opts);
+
+}  // namespace safara::analysis

@@ -1,0 +1,85 @@
+// OpenACC directive and clause representation, including the paper's proposed
+// `dim` and `small` extension clauses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/expr.hpp"
+
+namespace safara::ast {
+
+enum class DirectiveKind : std::uint8_t {
+  kParallelLoop,  // #pragma acc parallel loop ...
+  kKernelsLoop,   // #pragma acc kernels loop ...
+  kLoop,          // #pragma acc loop ... (inside an offload region)
+};
+
+enum class ReductionOp : std::uint8_t { kSum, kProd, kMax, kMin };
+
+struct ReductionClause {
+  ReductionOp op;
+  std::string var;
+};
+
+/// One group of the `dim` clause: arrays asserted to share a dope vector,
+/// with optional explicit (lower-bound : length) per dimension.
+///
+///   dim((0:NX, 0:NY, 0:NZ)(vz_1, vz_2, vz_3))
+///   dim((a, b, c))            // shapes taken from one member's dope
+struct DimGroup {
+  struct Bound {
+    ExprPtr lb;   // may be null (defaults to 0)
+    ExprPtr len;  // never null when bounds are given
+  };
+  std::vector<Bound> bounds;        // empty if no explicit shape given
+  std::vector<std::string> arrays;  // >= 2 member arrays
+  SourceLoc loc;
+};
+
+struct AccDirective {
+  DirectiveKind kind = DirectiveKind::kLoop;
+  SourceLoc loc;
+
+  // Loop scheduling clauses.
+  bool seq = false;
+  bool independent = false;
+  bool has_gang = false;
+  ExprPtr gang_size;  // gang(expr), optional
+  bool has_vector = false;
+  ExprPtr vector_size;  // vector(expr), optional
+  bool has_worker = false;
+  int collapse = 1;
+
+  std::vector<std::string> privates;
+  std::vector<ReductionClause> reductions;
+
+  // Data clauses (validated; data movement is managed by the host runtime).
+  std::vector<std::string> copy;
+  std::vector<std::string> copyin;
+  std::vector<std::string> copyout;
+
+  // Proposed extensions (Section IV of the paper).
+  std::vector<DimGroup> dim_groups;
+  std::vector<std::string> small_arrays;
+
+  /// True if this directive opens an offload (compute) region.
+  bool is_offload() const {
+    return kind == DirectiveKind::kParallelLoop ||
+           kind == DirectiveKind::kKernelsLoop;
+  }
+  /// True if this loop is mapped to hardware parallelism.
+  bool is_parallel_sched() const { return !seq && (has_gang || has_vector || has_worker); }
+
+  std::unique_ptr<AccDirective> clone() const;
+};
+
+using AccDirectivePtr = std::unique_ptr<AccDirective>;
+
+const char* to_string(DirectiveKind k);
+const char* to_string(ReductionOp op);
+
+}  // namespace safara::ast

@@ -1,0 +1,170 @@
+// Expression nodes of the ACC-C AST.
+//
+// Nodes carry a kind tag for dispatch (switch + as<T>()), a source location,
+// and a scalar type filled in by sema. All nodes are deep-cloneable so
+// optimization passes can copy offload regions before rewriting them.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/type.hpp"
+#include "support/source_location.hpp"
+
+namespace safara::sema {
+struct Symbol;  // defined in sema/symbol.hpp
+}
+
+namespace safara::ast {
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,
+  kArrayRef,
+  kUnary,
+  kBinary,
+  kCall,
+  kCast,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+
+  virtual ExprPtr clone() const = 0;
+
+  template <typename T>
+  T& as() {
+    assert(kind == T::kKind);
+    return static_cast<T&>(*this);
+  }
+  template <typename T>
+  const T& as() const {
+    assert(kind == T::kKind);
+    return static_cast<const T&>(*this);
+  }
+
+  const ExprKind kind;
+  SourceLoc loc;
+  ScalarType type = ScalarType::kVoid;  // set by sema
+};
+
+struct IntLit final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kIntLit;
+  IntLit(std::int64_t v, SourceLoc l) : Expr(kKind, l), value(v) {
+    type = ScalarType::kI32;
+  }
+  ExprPtr clone() const override;
+
+  std::int64_t value;
+};
+
+struct FloatLit final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kFloatLit;
+  FloatLit(double v, bool dbl, SourceLoc l) : Expr(kKind, l), value(v) {
+    type = dbl ? ScalarType::kF64 : ScalarType::kF32;
+  }
+  ExprPtr clone() const override;
+
+  double value;
+};
+
+struct VarRef final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kVarRef;
+  VarRef(std::string n, SourceLoc l) : Expr(kKind, l), name(std::move(n)) {}
+  ExprPtr clone() const override;
+
+  std::string name;
+  sema::Symbol* symbol = nullptr;  // set by sema
+};
+
+struct ArrayRef final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kArrayRef;
+  ArrayRef(std::string n, std::vector<ExprPtr> idx, SourceLoc l)
+      : Expr(kKind, l), name(std::move(n)), indices(std::move(idx)) {}
+  ExprPtr clone() const override;
+
+  std::string name;
+  std::vector<ExprPtr> indices;
+  sema::Symbol* symbol = nullptr;  // set by sema
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot };
+
+struct Unary final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kUnary;
+  Unary(UnaryOp o, ExprPtr e, SourceLoc l)
+      : Expr(kKind, l), op(o), operand(std::move(e)) {}
+  ExprPtr clone() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* to_string(BinaryOp op);
+bool is_comparison(BinaryOp op);
+bool is_logical(BinaryOp op);
+
+struct Binary final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kBinary;
+  Binary(BinaryOp o, ExprPtr l_, ExprPtr r, SourceLoc loc_)
+      : Expr(kKind, loc_), op(o), lhs(std::move(l_)), rhs(std::move(r)) {}
+  ExprPtr clone() const override;
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// Calls are restricted to a fixed intrinsic set (sqrt, fabs, exp, log, sin,
+/// cos, pow, min, max, rsqrt); sema validates names and arities.
+struct Call final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kCall;
+  Call(std::string callee_, std::vector<ExprPtr> args_, SourceLoc l)
+      : Expr(kKind, l), callee(std::move(callee_)), args(std::move(args_)) {}
+  ExprPtr clone() const override;
+
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+/// Implicit numeric conversion inserted by sema; `type` is the target.
+struct Cast final : Expr {
+  static constexpr ExprKind kKind = ExprKind::kCast;
+  Cast(ScalarType to, ExprPtr e, SourceLoc l)
+      : Expr(kKind, l), operand(std::move(e)) {
+    type = to;
+  }
+  ExprPtr clone() const override;
+
+  ExprPtr operand;
+};
+
+/// Deep structural equality (ignores locations; compares resolved symbols by
+/// name so it works before and after sema).
+bool equal(const Expr& a, const Expr& b);
+
+}  // namespace safara::ast

@@ -1,0 +1,282 @@
+#include "ast/printer.hpp"
+
+#include <sstream>
+
+namespace safara::ast {
+
+namespace {
+
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return 1;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: return 3;
+    case BinaryOp::kLt:
+    case BinaryOp::kGt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGe: return 4;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub: return 5;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kRem: return 6;
+  }
+  return 0;
+}
+
+void print_expr(std::ostream& os, const Expr& e, int parent_prec);
+
+void print_binary(std::ostream& os, const Binary& b) {
+  int prec = precedence(b.op);
+  print_expr(os, *b.lhs, prec);
+  os << ' ' << to_string(b.op) << ' ';
+  print_expr(os, *b.rhs, prec + 1);
+}
+
+void print_expr(std::ostream& os, const Expr& e, int parent_prec) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      os << e.as<IntLit>().value;
+      break;
+    case ExprKind::kFloatLit: {
+      std::ostringstream tmp;
+      tmp << e.as<FloatLit>().value;
+      std::string s = tmp.str();
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      os << s;
+      if (e.type == ScalarType::kF32) os << 'f';
+      break;
+    }
+    case ExprKind::kVarRef:
+      os << e.as<VarRef>().name;
+      break;
+    case ExprKind::kArrayRef: {
+      const auto& ar = e.as<ArrayRef>();
+      os << ar.name;
+      for (const ExprPtr& idx : ar.indices) {
+        os << '[';
+        print_expr(os, *idx, 0);
+        os << ']';
+      }
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = e.as<Unary>();
+      os << (u.op == UnaryOp::kNeg ? '-' : '!');
+      os << '(';
+      print_expr(os, *u.operand, 0);
+      os << ')';
+      break;
+    }
+    case ExprKind::kBinary: {
+      int prec = precedence(e.as<Binary>().op);
+      bool need_parens = prec < parent_prec;
+      if (need_parens) os << '(';
+      print_binary(os, e.as<Binary>());
+      if (need_parens) os << ')';
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto& c = e.as<Call>();
+      os << c.callee << '(';
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i != 0) os << ", ";
+        print_expr(os, *c.args[i], 0);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kCast:
+      os << '(' << to_string(e.type) << ')';
+      print_expr(os, *e.as<Cast>().operand, 7);
+      break;
+  }
+}
+
+std::string indent_str(int indent) { return std::string(indent * 2, ' '); }
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent);
+
+void print_block_body(std::ostream& os, const BlockStmt& b, int indent) {
+  os << "{\n";
+  for (const StmtPtr& s : b.stmts) print_stmt(os, *s, indent + 1);
+  os << indent_str(indent) << "}\n";
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent) {
+  os << indent_str(indent);
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      print_block_body(os, s.as<BlockStmt>(), indent);
+      break;
+    case StmtKind::kDecl: {
+      const auto& d = s.as<DeclStmt>();
+      os << to_string(d.decl_type) << ' ' << d.name;
+      if (d.init) {
+        os << " = ";
+        print_expr(os, *d.init, 0);
+      }
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = s.as<AssignStmt>();
+      print_expr(os, *a.lhs, 0);
+      os << ' ' << to_string(a.op) << ' ';
+      print_expr(os, *a.rhs, 0);
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& f = s.as<ForStmt>();
+      if (f.directive) {
+        os << to_source(*f.directive) << '\n' << indent_str(indent);
+      }
+      os << "for (";
+      if (f.declares_iv) os << to_string(f.iv_type) << ' ';
+      os << f.iv_name << " = ";
+      print_expr(os, *f.init, 0);
+      os << "; " << f.iv_name << ' ' << to_string(f.cmp) << ' ';
+      print_expr(os, *f.bound, 0);
+      os << "; " << f.iv_name;
+      if (f.step == 1) {
+        os << "++";
+      } else if (f.step == -1) {
+        os << "--";
+      } else if (f.step > 0) {
+        os << " += " << f.step;
+      } else {
+        os << " -= " << -f.step;
+      }
+      os << ") ";
+      print_block_body(os, *f.body, indent);
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& i = s.as<IfStmt>();
+      os << "if (";
+      print_expr(os, *i.cond, 0);
+      os << ") ";
+      print_block_body(os, *i.then_block, indent);
+      if (i.else_block) {
+        os << indent_str(indent) << "else ";
+        print_block_body(os, *i.else_block, indent);
+      }
+      break;
+    }
+    case StmtKind::kReturn:
+      os << "return;\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  std::ostringstream os;
+  print_expr(os, e, 0);
+  return os.str();
+}
+
+std::string to_source(const Stmt& s, int indent) {
+  std::ostringstream os;
+  print_stmt(os, s, indent);
+  return os.str();
+}
+
+std::string to_source(const AccDirective& d) {
+  std::ostringstream os;
+  os << "#pragma acc " << to_string(d.kind);
+  if (d.seq) os << " seq";
+  if (d.independent) os << " independent";
+  if (d.has_gang) {
+    os << " gang";
+    if (d.gang_size) os << '(' << to_source(*d.gang_size) << ')';
+  }
+  if (d.has_worker) os << " worker";
+  if (d.has_vector) {
+    os << " vector";
+    if (d.vector_size) os << '(' << to_source(*d.vector_size) << ')';
+  }
+  if (d.collapse > 1) os << " collapse(" << d.collapse << ')';
+  auto name_list = [&os](const char* clause, const std::vector<std::string>& xs) {
+    if (xs.empty()) return;
+    os << ' ' << clause << '(';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << xs[i];
+    }
+    os << ')';
+  };
+  name_list("private", d.privates);
+  for (const ReductionClause& r : d.reductions) {
+    os << " reduction(" << to_string(r.op) << ':' << r.var << ')';
+  }
+  name_list("copy", d.copy);
+  name_list("copyin", d.copyin);
+  name_list("copyout", d.copyout);
+  for (const DimGroup& g : d.dim_groups) {
+    os << " dim(";
+    if (!g.bounds.empty()) {
+      os << '(';
+      for (std::size_t i = 0; i < g.bounds.size(); ++i) {
+        if (i != 0) os << ", ";
+        if (g.bounds[i].lb) os << to_source(*g.bounds[i].lb) << ':';
+        os << to_source(*g.bounds[i].len);
+      }
+      os << ')';
+    }
+    os << '(';
+    for (std::size_t i = 0; i < g.arrays.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << g.arrays[i];
+    }
+    os << "))";
+  }
+  name_list("small", d.small_arrays);
+  return os.str();
+}
+
+std::string to_source(const Function& f) {
+  std::ostringstream os;
+  os << to_string(f.ret) << ' ' << f.name << '(';
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    const Param& p = f.params[i];
+    if (i != 0) os << ", ";
+    if (p.is_const) os << "const ";
+    os << to_string(p.elem) << ' ';
+    if (p.decl_kind == ArrayDeclKind::kPointer) {
+      os << '*' << p.name;
+    } else {
+      os << p.name;
+      for (const ExprPtr& e : p.extents) {
+        os << '[';
+        if (e) {
+          os << to_source(*e);
+        } else {
+          os << '?';
+        }
+        os << ']';
+      }
+    }
+  }
+  os << ") ";
+  std::ostringstream body;
+  for (const StmtPtr& s : f.body->stmts) body << to_source(*s, 1);
+  os << "{\n" << body.str() << "}\n";
+  return os.str();
+}
+
+std::string to_source(const Program& p) {
+  std::string out;
+  for (const FunctionPtr& f : p.functions) {
+    out += to_source(*f);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace safara::ast

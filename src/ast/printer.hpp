@@ -1,0 +1,17 @@
+// Renders AST back to ACC-C source text (used by tests, debugging, and the
+// compiler-explorer example to show pass-by-pass rewrites).
+#pragma once
+
+#include <string>
+
+#include "ast/decl.hpp"
+
+namespace safara::ast {
+
+std::string to_source(const Expr& e);
+std::string to_source(const Stmt& s, int indent = 0);
+std::string to_source(const AccDirective& d);
+std::string to_source(const Function& f);
+std::string to_source(const Program& p);
+
+}  // namespace safara::ast

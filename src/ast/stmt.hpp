@@ -1,0 +1,128 @@
+// Statement nodes of the ACC-C AST.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/directive.hpp"
+#include "ast/expr.hpp"
+
+namespace safara::ast {
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kDecl,
+  kAssign,
+  kFor,
+  kIf,
+  kReturn,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  virtual StmtPtr clone() const = 0;
+
+  template <typename T>
+  T& as() {
+    assert(kind == T::kKind);
+    return static_cast<T&>(*this);
+  }
+  template <typename T>
+  const T& as() const {
+    assert(kind == T::kKind);
+    return static_cast<const T&>(*this);
+  }
+
+  const StmtKind kind;
+  SourceLoc loc;
+};
+
+struct BlockStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kBlock;
+  explicit BlockStmt(SourceLoc l) : Stmt(kKind, l) {}
+  StmtPtr clone() const override;
+
+  std::vector<StmtPtr> stmts;
+};
+
+/// Local scalar declaration: `float t = expr;` (init optional).
+struct DeclStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kDecl;
+  DeclStmt(ScalarType t, std::string n, ExprPtr i, SourceLoc l)
+      : Stmt(kKind, l), decl_type(t), name(std::move(n)), init(std::move(i)) {}
+  StmtPtr clone() const override;
+
+  ScalarType decl_type;
+  std::string name;
+  ExprPtr init;  // may be null
+  sema::Symbol* symbol = nullptr;
+};
+
+enum class AssignOp : std::uint8_t { kAssign, kAddAssign, kSubAssign, kMulAssign, kDivAssign };
+
+/// `lhs op= rhs;` where lhs is a VarRef or ArrayRef.
+struct AssignStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kAssign;
+  AssignStmt(ExprPtr l_, AssignOp o, ExprPtr r, SourceLoc loc_)
+      : Stmt(kKind, loc_), lhs(std::move(l_)), op(o), rhs(std::move(r)) {}
+  StmtPtr clone() const override;
+
+  ExprPtr lhs;
+  AssignOp op;
+  ExprPtr rhs;
+};
+
+enum class CmpOp : std::uint8_t { kLt, kLe, kGt, kGe };
+
+/// Canonical counted loop: `for (iv = init; iv cmp bound; iv += step)`.
+/// `declares_iv` is true for `for (int i = ...)`. `step` is a compile-time
+/// integer constant (positive or negative), as required for the affine
+/// analyses; the parser enforces this.
+struct ForStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kFor;
+  explicit ForStmt(SourceLoc l) : Stmt(kKind, l) {}
+  StmtPtr clone() const override;
+
+  std::string iv_name;
+  bool declares_iv = false;
+  ScalarType iv_type = ScalarType::kI32;
+  ExprPtr init;
+  CmpOp cmp = CmpOp::kLt;
+  ExprPtr bound;
+  std::int64_t step = 1;
+  std::unique_ptr<BlockStmt> body;
+  AccDirectivePtr directive;  // may be null (plain sequential loop)
+  sema::Symbol* iv_symbol = nullptr;
+};
+
+struct IfStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kIf;
+  IfStmt(ExprPtr c, std::unique_ptr<BlockStmt> t, std::unique_ptr<BlockStmt> e,
+         SourceLoc l)
+      : Stmt(kKind, l),
+        cond(std::move(c)),
+        then_block(std::move(t)),
+        else_block(std::move(e)) {}
+  StmtPtr clone() const override;
+
+  ExprPtr cond;
+  std::unique_ptr<BlockStmt> then_block;
+  std::unique_ptr<BlockStmt> else_block;  // may be null
+};
+
+struct ReturnStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::kReturn;
+  explicit ReturnStmt(SourceLoc l) : Stmt(kKind, l) {}
+  StmtPtr clone() const override;
+};
+
+const char* to_string(CmpOp op);
+const char* to_string(AssignOp op);
+
+}  // namespace safara::ast

@@ -1,0 +1,35 @@
+// Scalar types of the ACC-C language.
+#pragma once
+
+#include <cstdint>
+
+namespace safara::ast {
+
+enum class ScalarType : std::uint8_t { kVoid, kI32, kI64, kF32, kF64 };
+
+constexpr bool is_integer(ScalarType t) {
+  return t == ScalarType::kI32 || t == ScalarType::kI64;
+}
+constexpr bool is_float(ScalarType t) {
+  return t == ScalarType::kF32 || t == ScalarType::kF64;
+}
+/// Size in bytes of a scalar value (0 for void).
+constexpr int size_of(ScalarType t) {
+  switch (t) {
+    case ScalarType::kVoid: return 0;
+    case ScalarType::kI32:
+    case ScalarType::kF32: return 4;
+    case ScalarType::kI64:
+    case ScalarType::kF64: return 8;
+  }
+  return 0;
+}
+/// Number of 32-bit GPU registers a value of this type occupies.
+constexpr int registers_of(ScalarType t) { return size_of(t) / 4; }
+
+const char* to_string(ScalarType t);
+
+/// Usual arithmetic conversions: the common type of a binary operation.
+ScalarType common_type(ScalarType a, ScalarType b);
+
+}  // namespace safara::ast

@@ -1,0 +1,182 @@
+#include "driver/compiler.hpp"
+
+#include "parse/parser.hpp"
+#include "sema/sema.hpp"
+
+namespace safara::driver {
+
+CompilerOptions CompilerOptions::openuh_base() { return CompilerOptions{}; }
+
+CompilerOptions CompilerOptions::openuh_small() {
+  CompilerOptions o;
+  o.honor_small = true;
+  return o;
+}
+
+CompilerOptions CompilerOptions::openuh_small_dim() {
+  CompilerOptions o;
+  o.honor_small = true;
+  o.honor_dim = true;
+  return o;
+}
+
+CompilerOptions CompilerOptions::openuh_safara() {
+  CompilerOptions o;
+  o.enable_safara = true;
+  return o;
+}
+
+CompilerOptions CompilerOptions::openuh_safara_clauses() {
+  CompilerOptions o;
+  o.enable_safara = true;
+  o.honor_small = true;
+  o.honor_dim = true;
+  return o;
+}
+
+CompilerOptions CompilerOptions::pgi_like() {
+  CompilerOptions o;
+  o.persona = Persona::kPgiLike;
+  return o;
+}
+
+CompilerOptions CompilerOptions::openuh_safara_clauses_verified() {
+  CompilerOptions o = openuh_safara_clauses();
+  o.verify_clauses = true;
+  return o;
+}
+
+codegen::CodegenOptions Compiler::codegen_options() const {
+  codegen::CodegenOptions cg;
+  cg.honor_dim = opts_.honor_dim;
+  cg.honor_small = opts_.honor_small;
+  cg.licm = true;
+  cg.cse_loads_within_stmt = opts_.persona == Persona::kPgiLike;
+  return cg;
+}
+
+CompiledProgram Compiler::compile(std::string_view source, const std::string& fn_name) {
+  DiagnosticEngine diags;
+  ast::Program program = parse::parse_source(source, diags);
+  if (!diags.ok()) {
+    throw CompileError("parse failed:\n" + diags.render());
+  }
+  const ast::Function* fn = nullptr;
+  if (fn_name.empty()) {
+    if (program.functions.size() != 1) {
+      throw CompileError("compile: source has " +
+                         std::to_string(program.functions.size()) +
+                         " functions; specify one by name");
+    }
+    fn = program.functions.front().get();
+  } else {
+    fn = program.find(fn_name);
+    if (!fn) throw CompileError("compile: no function named '" + fn_name + "'");
+  }
+  return compile(*fn);
+}
+
+CompiledProgram Compiler::compile(const ast::Function& fn) {
+  CompiledProgram out;
+  out.function_name = fn.name;
+  out.transformed = fn.clone();
+  ast::Function& work = *out.transformed;
+
+  DiagnosticEngine diags;
+  sema::Sema sema(diags);
+  auto info = sema.analyze(work);
+  if (!diags.ok()) {
+    throw CompileError("sema failed for '" + fn.name + "':\n" + diags.render());
+  }
+
+  if (opts_.enable_unroll) {
+    out.unroll = opt::run_unroll(work, opts_.unroll, diags);
+    if (!diags.ok()) {
+      throw CompileError("unroll pass failed:\n" + diags.render());
+    }
+  }
+
+  if (opts_.enable_carr_kennedy) {
+    out.carr_kennedy = opt::run_carr_kennedy(work, opts_.carr_kennedy, diags);
+    if (!diags.ok()) {
+      throw CompileError("Carr-Kennedy pass failed:\n" + diags.render());
+    }
+  }
+
+  if (opts_.enable_safara) {
+    opt::SafaraOptions sopts = opts_.safara;
+    sopts.latency = opts_.device.lat;
+    sopts.max_registers = std::min(sopts.max_registers, opts_.device.max_registers_per_thread);
+    const codegen::CodegenOptions cg = codegen_options();
+    auto feedback = [&](ast::Function& f, int region_index) -> int {
+      DiagnosticEngine fb_diags;
+      sema::Sema fb_sema(fb_diags);
+      auto fb_info = fb_sema.analyze(f);
+      if (!fb_diags.ok() ||
+          region_index >= static_cast<int>(fb_info->regions.size())) {
+        throw CompileError("SAFARA feedback compile failed:\n" + fb_diags.render());
+      }
+      codegen::CodegenResult res = codegen::generate_kernel(
+          *fb_info, fb_info->regions[static_cast<std::size_t>(region_index)],
+          region_index, cg, fb_diags);
+      if (!fb_diags.ok()) {
+        throw CompileError("SAFARA feedback codegen failed:\n" + fb_diags.render());
+      }
+      regalloc::AllocationResult alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+      return alloc.regs_used;
+    };
+    out.safara = opt::run_safara(work, feedback, sopts, diags);
+    if (!diags.ok()) {
+      throw CompileError("SAFARA pass failed:\n" + diags.render());
+    }
+  }
+
+  // Final analysis and code generation.
+  auto final_info = sema.analyze(work);
+  if (!diags.ok()) {
+    throw CompileError("post-optimization sema failed:\n" + diags.render());
+  }
+  const codegen::CodegenOptions cg = codegen_options();
+  for (std::size_t r = 0; r < final_info->regions.size(); ++r) {
+    codegen::CodegenResult res = codegen::generate_kernel(
+        *final_info, final_info->regions[r], static_cast<int>(r), cg, diags);
+    if (!diags.ok()) {
+      throw CompileError("codegen failed:\n" + diags.render());
+    }
+    CompiledKernel ck;
+    ck.name = res.kernel.name;
+    ck.plan = std::move(res.plan);
+    ck.alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+    ck.kernel = std::move(res.kernel);
+
+    // Record the clause assertions for launch-time verification.
+    const ast::AccDirective* dir = final_info->regions[r].loop->directive.get();
+    if (dir) {
+      for (const ast::DimGroup& g : dir->dim_groups) {
+        ClauseChecks::DimGroup check;
+        check.arrays = g.arrays;
+        for (const ast::DimGroup::Bound& b : g.bounds) {
+          check.lb.push_back(b.lb ? b.lb->clone() : nullptr);
+          check.len.push_back(b.len->clone());
+        }
+        ck.checks.dim_groups.push_back(std::move(check));
+      }
+      ck.checks.small_arrays = dir->small_arrays;
+    }
+    out.kernels.push_back(std::move(ck));
+  }
+
+  // Two-version scheme (Section IV): compile a clause-ignoring twin so the
+  // runtime can fall back when an assertion turns out to be false.
+  if (opts_.verify_clauses && (opts_.honor_dim || opts_.honor_small)) {
+    CompilerOptions fb_opts = opts_;
+    fb_opts.honor_dim = false;
+    fb_opts.honor_small = false;
+    fb_opts.verify_clauses = false;
+    Compiler fb_compiler(fb_opts);
+    out.fallback = std::make_unique<CompiledProgram>(fb_compiler.compile(fn));
+  }
+  return out;
+}
+
+}  // namespace safara::driver

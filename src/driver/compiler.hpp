@@ -1,0 +1,119 @@
+// The compiler driver: ties the whole pipeline together
+//   parse -> sema -> [Carr-Kennedy | SAFARA] -> codegen -> ptxas-sim
+// under a selectable configuration ("persona"), mirroring the compilers the
+// paper evaluates:
+//   * OpenUH base            — no SR, clauses ignored
+//   * OpenUH + SAFARA        — feedback-driven scalar replacement
+//   * OpenUH + SAFARA+clauses— SAFARA with dim/small honored
+//   * PGI-like               — an independent baseline persona: no SAFARA,
+//                              no clause extensions, but generic
+//                              statement-level redundant-load elimination
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/decl.hpp"
+#include "codegen/codegen.hpp"
+#include "opt/carr_kennedy.hpp"
+#include "opt/safara.hpp"
+#include "opt/unroll.hpp"
+#include "regalloc/regalloc.hpp"
+#include "vgpu/device.hpp"
+
+namespace safara::driver {
+
+enum class Persona : std::uint8_t { kOpenUH, kPgiLike };
+
+struct CompilerOptions {
+  Persona persona = Persona::kOpenUH;
+  bool enable_safara = false;
+  bool enable_carr_kennedy = false;  // classical-SR ablation
+  bool honor_dim = false;
+  bool honor_small = false;
+  /// Unroll inner seq loops before scalar replacement (the paper's stated
+  /// future-work combination).
+  bool enable_unroll = false;
+  /// Also compile a clause-ignoring fallback version of every kernel and
+  /// record the runtime checks that select between them (the two-version
+  /// scheme sketched at the end of Section IV).
+  bool verify_clauses = false;
+  opt::SafaraOptions safara;
+  opt::CarrKennedyOptions carr_kennedy;
+  opt::UnrollOptions unroll;
+  regalloc::AllocatorOptions regalloc;
+  vgpu::DeviceSpec device = vgpu::DeviceSpec::k20xm();
+
+  // The configurations used throughout the evaluation.
+  static CompilerOptions openuh_base();
+  static CompilerOptions openuh_small();                 // small only
+  static CompilerOptions openuh_small_dim();             // small + dim
+  static CompilerOptions openuh_safara();                // SAFARA only (Fig. 7)
+  static CompilerOptions openuh_safara_clauses();        // small + dim + SAFARA
+  static CompilerOptions pgi_like();
+  /// small+dim+SAFARA with runtime clause verification and a fallback kernel.
+  static CompilerOptions openuh_safara_clauses_verified();
+};
+
+/// Runtime-verifiable assertions a kernel's clauses made about its arrays.
+struct ClauseChecks {
+  struct DimGroup {
+    std::vector<std::string> arrays;
+    /// Explicit per-dimension (lb, len) expressions from the clause, if any
+    /// (evaluated against the scalar arguments at launch time).
+    std::vector<ast::ExprPtr> lb;   // entries may be null (lb defaults to 0)
+    std::vector<ast::ExprPtr> len;  // empty if the clause gave no bounds
+  };
+  std::vector<DimGroup> dim_groups;
+  std::vector<std::string> small_arrays;
+
+  bool any() const { return !dim_groups.empty() || !small_arrays.empty(); }
+};
+
+struct CompiledKernel {
+  std::string name;
+  vir::Kernel kernel;
+  codegen::LaunchPlan plan;
+  regalloc::AllocationResult alloc;
+  /// What the clauses asserted (for launch-time verification).
+  ClauseChecks checks;
+
+  /// The `ptxas -v` style feedback line for this kernel.
+  std::string ptxas_info() const { return alloc.ptxas_info(name); }
+};
+
+struct CompiledProgram {
+  std::string function_name;
+  /// The post-optimization AST (inspectable; printable via ast::to_source).
+  ast::FunctionPtr transformed;
+  std::vector<CompiledKernel> kernels;
+  opt::SafaraReport safara;
+  opt::CarrKennedyReport carr_kennedy;
+  opt::UnrollReport unroll;
+  /// Clause-ignoring twin of this program (present when the compiler was
+  /// asked to verify clauses); kernels pair up by index.
+  std::unique_ptr<CompiledProgram> fallback;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompilerOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Compiles function `fn_name` of `source` (the sole function if empty).
+  /// Throws CompileError with rendered diagnostics on any front-end error.
+  CompiledProgram compile(std::string_view source, const std::string& fn_name = "");
+
+  /// Compiles an already-parsed function (cloned internally; the input is
+  /// not mutated).
+  CompiledProgram compile(const ast::Function& fn);
+
+  const CompilerOptions& options() const { return opts_; }
+
+ private:
+  codegen::CodegenOptions codegen_options() const;
+
+  CompilerOptions opts_;
+};
+
+}  // namespace safara::driver

@@ -1,0 +1,478 @@
+#include "driver/reference.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sema/sema.hpp"
+
+namespace safara::driver {
+
+using ast::BinaryOp;
+using ast::Expr;
+using ast::ExprKind;
+using ast::ScalarType;
+using ast::Stmt;
+using ast::StmtKind;
+using sema::Symbol;
+
+HostArray HostArray::make(ScalarType elem, std::vector<rt::Dim> dims) {
+  HostArray a;
+  a.elem = elem;
+  a.dims = std::move(dims);
+  a.data.assign(static_cast<std::size_t>(a.element_count()) *
+                    static_cast<std::size_t>(ast::size_of(elem)),
+                0);
+  return a;
+}
+
+std::int64_t HostArray::element_count() const {
+  std::int64_t n = 1;
+  for (const rt::Dim& d : dims) n *= d.len;
+  return n;
+}
+
+std::int64_t HostArray::linear_index(const std::vector<std::int64_t>& idx) const {
+  if (idx.size() != dims.size()) {
+    throw std::runtime_error("reference: subscript rank mismatch");
+  }
+  std::int64_t li = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    std::int64_t rel = idx[d] - dims[d].lb;
+    if (rel < 0 || rel >= dims[d].len) {
+      throw std::runtime_error("reference: subscript " + std::to_string(idx[d]) +
+                               " out of bounds in dimension " + std::to_string(d));
+    }
+    li = li * dims[d].len + rel;
+  }
+  return li;
+}
+
+double HostArray::get(std::int64_t li) const {
+  switch (elem) {
+    case ScalarType::kF32: {
+      float f;
+      std::memcpy(&f, data.data() + li * 4, 4);
+      return f;
+    }
+    case ScalarType::kF64: {
+      double d;
+      std::memcpy(&d, data.data() + li * 8, 8);
+      return d;
+    }
+    default:
+      return static_cast<double>(get_int(li));
+  }
+}
+
+void HostArray::set(std::int64_t li, double v) {
+  switch (elem) {
+    case ScalarType::kF32: {
+      float f = static_cast<float>(v);
+      std::memcpy(data.data() + li * 4, &f, 4);
+      break;
+    }
+    case ScalarType::kF64:
+      std::memcpy(data.data() + li * 8, &v, 8);
+      break;
+    default:
+      set_int(li, static_cast<std::int64_t>(v));
+      break;
+  }
+}
+
+std::int64_t HostArray::get_int(std::int64_t li) const {
+  switch (elem) {
+    case ScalarType::kI32: {
+      std::int32_t v;
+      std::memcpy(&v, data.data() + li * 4, 4);
+      return v;
+    }
+    case ScalarType::kI64: {
+      std::int64_t v;
+      std::memcpy(&v, data.data() + li * 8, 8);
+      return v;
+    }
+    default:
+      return static_cast<std::int64_t>(get(li));
+  }
+}
+
+void HostArray::set_int(std::int64_t li, std::int64_t v) {
+  switch (elem) {
+    case ScalarType::kI32: {
+      std::int32_t x = static_cast<std::int32_t>(v);
+      std::memcpy(data.data() + li * 4, &x, 4);
+      break;
+    }
+    case ScalarType::kI64:
+      std::memcpy(data.data() + li * 8, &v, 8);
+      break;
+    default:
+      set(li, static_cast<double>(v));
+      break;
+  }
+}
+
+namespace {
+
+/// A typed scalar value during interpretation.
+struct Value {
+  ScalarType t = ScalarType::kI32;
+  std::int64_t i = 0;
+  double d = 0.0;
+
+  static Value of_int(std::int64_t v, ScalarType t) { return {t, v, 0.0}; }
+  static Value of_float(double v, ScalarType t) { return {t, 0, v}; }
+  double as_double() const { return ast::is_float(t) ? d : static_cast<double>(i); }
+  std::int64_t as_int() const { return ast::is_float(t) ? static_cast<std::int64_t>(d) : i; }
+  bool truthy() const { return ast::is_float(t) ? d != 0.0 : i != 0; }
+};
+
+Value convert(const Value& v, ScalarType to) {
+  switch (to) {
+    case ScalarType::kI32:
+      return Value::of_int(static_cast<std::int32_t>(v.as_int()), to);
+    case ScalarType::kI64:
+      return Value::of_int(v.as_int(), to);
+    case ScalarType::kF32:
+      return Value::of_float(static_cast<float>(v.as_double()), to);
+    case ScalarType::kF64:
+      return Value::of_float(v.as_double(), to);
+    case ScalarType::kVoid:
+      return v;
+  }
+  return v;
+}
+
+class Interpreter {
+ public:
+  Interpreter(const ast::Function& fn, RefArgMap& args) : args_(args) {
+    work_ = fn.clone();
+    DiagnosticEngine diags;
+    sema::Sema sema(diags);
+    info_ = sema.analyze(*work_);
+    if (!diags.ok()) {
+      throw std::runtime_error("reference: sema failed:\n" + diags.render());
+    }
+  }
+
+  void run() {
+    for (const ast::Param& p : work_->params) {
+      if (p.is_array()) {
+        auto it = args_.find(p.name);
+        if (it == args_.end() || !std::holds_alternative<HostArray*>(it->second)) {
+          throw std::runtime_error("reference: missing array argument '" + p.name + "'");
+        }
+        arrays_[info_->find_symbol(p.name)] = std::get<HostArray*>(it->second);
+      } else {
+        auto it = args_.find(p.name);
+        if (it == args_.end() || !std::holds_alternative<rt::ScalarValue>(it->second)) {
+          throw std::runtime_error("reference: missing scalar argument '" + p.name + "'");
+        }
+        const rt::ScalarValue& sv = std::get<rt::ScalarValue>(it->second);
+        Value v = ast::is_float(sv.type) ? Value::of_float(sv.f, sv.type)
+                                         : Value::of_int(sv.i, sv.type);
+        env_[info_->find_symbol(p.name)] = convert(v, p.elem);
+      }
+    }
+    exec_block(*work_->body);
+  }
+
+ private:
+  HostArray& array_of(const Symbol* sym) {
+    auto it = arrays_.find(sym);
+    if (it == arrays_.end()) {
+      throw std::runtime_error("reference: unbound array '" + sym->name + "'");
+    }
+    return *it->second;
+  }
+
+  std::int64_t element_index(const ast::ArrayRef& ref) {
+    std::vector<std::int64_t> idx;
+    idx.reserve(ref.indices.size());
+    for (const ast::ExprPtr& e : ref.indices) idx.push_back(eval(*e).as_int());
+    return array_of(ref.symbol).linear_index(idx);
+  }
+
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return Value::of_int(e.as<ast::IntLit>().value, e.type);
+      case ExprKind::kFloatLit: {
+        double v = e.as<ast::FloatLit>().value;
+        if (e.type == ScalarType::kF32) v = static_cast<float>(v);
+        return Value::of_float(v, e.type);
+      }
+      case ExprKind::kVarRef: {
+        auto it = env_.find(e.as<ast::VarRef>().symbol);
+        if (it == env_.end()) {
+          throw std::runtime_error("reference: unbound variable '" +
+                                   e.as<ast::VarRef>().name + "'");
+        }
+        return it->second;
+      }
+      case ExprKind::kArrayRef: {
+        const auto& ref = e.as<ast::ArrayRef>();
+        HostArray& arr = array_of(ref.symbol);
+        std::int64_t li = element_index(ref);
+        if (ast::is_float(arr.elem)) return Value::of_float(arr.get(li), arr.elem);
+        return Value::of_int(arr.get_int(li), arr.elem);
+      }
+      case ExprKind::kUnary: {
+        const auto& u = e.as<ast::Unary>();
+        Value v = eval(*u.operand);
+        if (u.op == ast::UnaryOp::kNot) return Value::of_int(v.truthy() ? 0 : 1, e.type);
+        Value c = convert(v, e.type);
+        if (ast::is_float(e.type)) {
+          double r = -c.as_double();
+          if (e.type == ScalarType::kF32) r = static_cast<float>(r);
+          return Value::of_float(r, e.type);
+        }
+        return convert(Value::of_int(-c.as_int(), e.type), e.type);
+      }
+      case ExprKind::kBinary:
+        return eval_binary(e.as<ast::Binary>());
+      case ExprKind::kCall:
+        return eval_call(e.as<ast::Call>());
+      case ExprKind::kCast:
+        return convert(eval(*e.as<ast::Cast>().operand), e.type);
+    }
+    throw std::runtime_error("reference: unhandled expression");
+  }
+
+  Value eval_binary(const ast::Binary& b) {
+    if (ast::is_logical(b.op)) {
+      bool l = eval(*b.lhs).truthy();
+      // ACC-C has no short-circuit side effects; evaluate both like codegen.
+      bool r = eval(*b.rhs).truthy();
+      bool res = b.op == BinaryOp::kAnd ? (l && r) : (l || r);
+      return Value::of_int(res ? 1 : 0, ScalarType::kI32);
+    }
+    ScalarType ct = ast::is_comparison(b.op)
+                        ? ast::common_type(b.lhs->type, b.rhs->type)
+                        : b.type;
+    Value l = convert(eval(*b.lhs), ct);
+    Value r = convert(eval(*b.rhs), ct);
+    if (ast::is_comparison(b.op)) {
+      bool res;
+      if (ast::is_float(ct)) {
+        double a = l.as_double(), c = r.as_double();
+        switch (b.op) {
+          case BinaryOp::kEq: res = a == c; break;
+          case BinaryOp::kNe: res = a != c; break;
+          case BinaryOp::kLt: res = a < c; break;
+          case BinaryOp::kGt: res = a > c; break;
+          case BinaryOp::kLe: res = a <= c; break;
+          default: res = a >= c; break;
+        }
+      } else {
+        std::int64_t a = l.as_int(), c = r.as_int();
+        switch (b.op) {
+          case BinaryOp::kEq: res = a == c; break;
+          case BinaryOp::kNe: res = a != c; break;
+          case BinaryOp::kLt: res = a < c; break;
+          case BinaryOp::kGt: res = a > c; break;
+          case BinaryOp::kLe: res = a <= c; break;
+          default: res = a >= c; break;
+        }
+      }
+      return Value::of_int(res ? 1 : 0, ScalarType::kI32);
+    }
+    if (ast::is_float(ct)) {
+      double a = l.as_double(), c = r.as_double();
+      double res;
+      switch (b.op) {
+        case BinaryOp::kAdd: res = ct == ScalarType::kF32 ? double(float(a) + float(c)) : a + c; break;
+        case BinaryOp::kSub: res = ct == ScalarType::kF32 ? double(float(a) - float(c)) : a - c; break;
+        case BinaryOp::kMul: res = ct == ScalarType::kF32 ? double(float(a) * float(c)) : a * c; break;
+        case BinaryOp::kDiv: res = ct == ScalarType::kF32 ? double(float(a) / float(c)) : a / c; break;
+        default: res = 0; break;
+      }
+      return Value::of_float(res, ct);
+    }
+    std::int64_t a = l.as_int(), c = r.as_int();
+    std::int64_t res = 0;
+    switch (b.op) {
+      case BinaryOp::kAdd: res = a + c; break;
+      case BinaryOp::kSub: res = a - c; break;
+      case BinaryOp::kMul: res = a * c; break;
+      case BinaryOp::kDiv: res = c == 0 ? 0 : a / c; break;
+      case BinaryOp::kRem: res = c == 0 ? 0 : a % c; break;
+      default: break;
+    }
+    return convert(Value::of_int(res, ct), ct);
+  }
+
+  Value eval_call(const ast::Call& c) {
+    ScalarType t = c.type;
+    Value a = convert(eval(*c.args[0]), t);
+    Value b = c.args.size() > 1 ? convert(eval(*c.args[1]), t) : Value{};
+    if (c.callee == "min" || c.callee == "max" || c.callee == "abs") {
+      if (ast::is_float(t)) {
+        double r = c.callee == "min"   ? std::fmin(a.as_double(), b.as_double())
+                   : c.callee == "max" ? std::fmax(a.as_double(), b.as_double())
+                                       : std::fabs(a.as_double());
+        if (t == ScalarType::kF32) r = static_cast<float>(r);
+        return Value::of_float(r, t);
+      }
+      std::int64_t r = c.callee == "min"   ? std::min(a.as_int(), b.as_int())
+                       : c.callee == "max" ? std::max(a.as_int(), b.as_int())
+                                           : std::llabs(a.as_int());
+      return convert(Value::of_int(r, t), t);
+    }
+    // Transcendentals: evaluated in double then rounded to the result type —
+    // exactly what the simulator's SFU model does.
+    double x = a.as_double();
+    double y = b.as_double();
+    double r;
+    if (c.callee == "sqrt") r = std::sqrt(x);
+    else if (c.callee == "rsqrt") r = 1.0 / std::sqrt(x);
+    else if (c.callee == "fabs") r = std::fabs(x);
+    else if (c.callee == "exp") r = std::exp(x);
+    else if (c.callee == "log") r = std::log(x);
+    else if (c.callee == "sin") r = std::sin(x);
+    else if (c.callee == "cos") r = std::cos(x);
+    else if (c.callee == "pow") r = std::pow(x, y);
+    else if (c.callee == "floor") r = std::floor(x);
+    else if (c.callee == "ceil") r = std::ceil(x);
+    else throw std::runtime_error("reference: unknown intrinsic " + c.callee);
+    if (t == ScalarType::kF32) r = static_cast<float>(r);
+    return ast::is_float(t) ? Value::of_float(r, t)
+                            : Value::of_int(static_cast<std::int64_t>(r), t);
+  }
+
+  void exec_block(const ast::BlockStmt& b) {
+    for (const ast::StmtPtr& s : b.stmts) exec(*s);
+  }
+
+  void exec(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        exec_block(s.as<ast::BlockStmt>());
+        break;
+      case StmtKind::kDecl: {
+        const auto& d = s.as<ast::DeclStmt>();
+        Value v = d.init ? convert(eval(*d.init), d.decl_type)
+                         : convert(Value::of_int(0, d.decl_type), d.decl_type);
+        env_[d.symbol] = v;
+        break;
+      }
+      case StmtKind::kAssign:
+        exec_assign(s.as<ast::AssignStmt>());
+        break;
+      case StmtKind::kFor: {
+        const auto& f = s.as<ast::ForStmt>();
+        Value init = convert(eval(*f.init), f.iv_symbol->type);
+        env_[f.iv_symbol] = init;
+        auto test = [&]() -> bool {
+          std::int64_t iv = env_[f.iv_symbol].as_int();
+          std::int64_t bound = eval(*f.bound).as_int();
+          switch (f.cmp) {
+            case ast::CmpOp::kLt: return iv < bound;
+            case ast::CmpOp::kLe: return iv <= bound;
+            case ast::CmpOp::kGt: return iv > bound;
+            case ast::CmpOp::kGe: return iv >= bound;
+          }
+          return false;
+        };
+        while (test()) {
+          exec_block(*f.body);
+          Value& iv = env_[f.iv_symbol];
+          iv = convert(Value::of_int(iv.as_int() + f.step, iv.t), iv.t);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = s.as<ast::IfStmt>();
+        if (eval(*i.cond).truthy()) {
+          exec_block(*i.then_block);
+        } else if (i.else_block) {
+          exec_block(*i.else_block);
+        }
+        break;
+      }
+      case StmtKind::kReturn:
+        // Functions are offload containers; return simply ends execution of
+        // the remaining statements (rare; treated as no-op at top level).
+        break;
+    }
+  }
+
+  void exec_assign(const ast::AssignStmt& a) {
+    using ast::AssignOp;
+    if (a.lhs->kind == ExprKind::kVarRef) {
+      const Symbol* sym = a.lhs->as<ast::VarRef>().symbol;
+      Value rhs = convert(eval(*a.rhs), sym->type);
+      if (a.op == AssignOp::kAssign) {
+        env_[sym] = rhs;
+        return;
+      }
+      Value cur = env_[sym];
+      env_[sym] = apply_compound(cur, rhs, a.op, sym->type);
+      return;
+    }
+    const auto& ref = a.lhs->as<ast::ArrayRef>();
+    HostArray& arr = array_of(ref.symbol);
+    std::int64_t li = element_index(ref);
+    Value rhs = convert(eval(*a.rhs), arr.elem);
+    if (a.op == AssignOp::kAssign) {
+      if (ast::is_float(arr.elem)) {
+        arr.set(li, rhs.as_double());
+      } else {
+        arr.set_int(li, rhs.as_int());
+      }
+      return;
+    }
+    Value cur = ast::is_float(arr.elem) ? Value::of_float(arr.get(li), arr.elem)
+                                        : Value::of_int(arr.get_int(li), arr.elem);
+    Value res = apply_compound(cur, rhs, a.op, arr.elem);
+    if (ast::is_float(arr.elem)) {
+      arr.set(li, res.as_double());
+    } else {
+      arr.set_int(li, res.as_int());
+    }
+  }
+
+  Value apply_compound(const Value& cur, const Value& rhs, ast::AssignOp op,
+                       ScalarType t) {
+    if (ast::is_float(t)) {
+      double a = cur.as_double(), b = rhs.as_double();
+      double r;
+      switch (op) {
+        case ast::AssignOp::kAddAssign: r = t == ScalarType::kF32 ? double(float(a) + float(b)) : a + b; break;
+        case ast::AssignOp::kSubAssign: r = t == ScalarType::kF32 ? double(float(a) - float(b)) : a - b; break;
+        case ast::AssignOp::kMulAssign: r = t == ScalarType::kF32 ? double(float(a) * float(b)) : a * b; break;
+        case ast::AssignOp::kDivAssign: r = t == ScalarType::kF32 ? double(float(a) / float(b)) : a / b; break;
+        default: r = b; break;
+      }
+      return Value::of_float(r, t);
+    }
+    std::int64_t a = cur.as_int(), b = rhs.as_int();
+    std::int64_t r;
+    switch (op) {
+      case ast::AssignOp::kAddAssign: r = a + b; break;
+      case ast::AssignOp::kSubAssign: r = a - b; break;
+      case ast::AssignOp::kMulAssign: r = a * b; break;
+      case ast::AssignOp::kDivAssign: r = b == 0 ? 0 : a / b; break;
+      default: r = b; break;
+    }
+    return convert(Value::of_int(r, t), t);
+  }
+
+  RefArgMap& args_;
+  ast::FunctionPtr work_;
+  std::unique_ptr<sema::FunctionInfo> info_;
+  std::unordered_map<const Symbol*, Value> env_;
+  std::unordered_map<const Symbol*, HostArray*> arrays_;
+};
+
+}  // namespace
+
+void run_reference(const ast::Function& fn, RefArgMap& args) {
+  Interpreter interp(fn, args);
+  interp.run();
+}
+
+}  // namespace safara::driver

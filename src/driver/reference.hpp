@@ -1,0 +1,50 @@
+// Sequential CPU reference interpreter for ACC-C functions.
+//
+// Used to validate every compiled kernel: the GPU simulator and this
+// interpreter must produce matching results for all compiler configurations
+// (optimizations must never change observable behaviour). Arithmetic follows
+// the same rules as the simulator (float ops round to f32, integer division
+// by zero yields 0), so float results match bit-for-bit except across
+// reduction orderings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ast/decl.hpp"
+#include "rt/args.hpp"
+#include "rt/buffer.hpp"
+
+namespace safara::driver {
+
+/// A host-side array with the same dope-vector shape as rt::Buffer.
+struct HostArray {
+  ast::ScalarType elem = ast::ScalarType::kF32;
+  std::vector<rt::Dim> dims;
+  std::vector<std::uint8_t> data;
+
+  static HostArray make(ast::ScalarType elem, std::vector<rt::Dim> dims);
+
+  std::int64_t element_count() const;
+  /// Row-major linearization with per-dimension lower bounds; throws on
+  /// out-of-bounds subscripts.
+  std::int64_t linear_index(const std::vector<std::int64_t>& idx) const;
+
+  double get(std::int64_t li) const;
+  void set(std::int64_t li, double v);
+  std::int64_t get_int(std::int64_t li) const;
+  void set_int(std::int64_t li, std::int64_t v);
+};
+
+using RefArgValue = std::variant<rt::ScalarValue, HostArray*>;
+using RefArgMap = std::map<std::string, RefArgValue>;
+
+/// Executes `fn` sequentially (directives are ignored; the compound
+/// array-update reductions are naturally race-free in serial order).
+/// Throws std::runtime_error on unbound arguments or out-of-bounds accesses.
+void run_reference(const ast::Function& fn, RefArgMap& args);
+
+}  // namespace safara::driver

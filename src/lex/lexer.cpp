@@ -1,0 +1,323 @@
+#include "lex/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace safara::lex {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokKind> kTable = {
+      {"void", TokKind::kKwVoid},     {"int", TokKind::kKwInt},
+      {"long", TokKind::kKwLong},     {"float", TokKind::kKwFloat},
+      {"double", TokKind::kKwDouble}, {"for", TokKind::kKwFor},
+      {"if", TokKind::kKwIf},         {"else", TokKind::kKwElse},
+      {"return", TokKind::kKwReturn}, {"const", TokKind::kKwConst},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer literal";
+    case TokKind::kFloatLit: return "float literal";
+    case TokKind::kKwVoid: return "void";
+    case TokKind::kKwInt: return "int";
+    case TokKind::kKwLong: return "long";
+    case TokKind::kKwFloat: return "float";
+    case TokKind::kKwDouble: return "double";
+    case TokKind::kKwFor: return "for";
+    case TokKind::kKwIf: return "if";
+    case TokKind::kKwElse: return "else";
+    case TokKind::kKwReturn: return "return";
+    case TokKind::kKwConst: return "const";
+    case TokKind::kLParen: return "(";
+    case TokKind::kRParen: return ")";
+    case TokKind::kLBrace: return "{";
+    case TokKind::kRBrace: return "}";
+    case TokKind::kLBracket: return "[";
+    case TokKind::kRBracket: return "]";
+    case TokKind::kSemi: return ";";
+    case TokKind::kComma: return ",";
+    case TokKind::kColon: return ":";
+    case TokKind::kQuestion: return "?";
+    case TokKind::kPlus: return "+";
+    case TokKind::kMinus: return "-";
+    case TokKind::kStar: return "*";
+    case TokKind::kSlash: return "/";
+    case TokKind::kPercent: return "%";
+    case TokKind::kAssign: return "=";
+    case TokKind::kPlusAssign: return "+=";
+    case TokKind::kMinusAssign: return "-=";
+    case TokKind::kStarAssign: return "*=";
+    case TokKind::kSlashAssign: return "/=";
+    case TokKind::kPlusPlus: return "++";
+    case TokKind::kMinusMinus: return "--";
+    case TokKind::kEq: return "==";
+    case TokKind::kNe: return "!=";
+    case TokKind::kLt: return "<";
+    case TokKind::kGt: return ">";
+    case TokKind::kLe: return "<=";
+    case TokKind::kGe: return ">=";
+    case TokKind::kAmpAmp: return "&&";
+    case TokKind::kPipePipe: return "||";
+    case TokKind::kBang: return "!";
+    case TokKind::kPragma: return "#pragma";
+    case TokKind::kPragmaEnd: return "<end of pragma>";
+  }
+  return "<unknown>";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : src_(source), diags_(diags) {}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token tok = next();
+    bool is_eof = tok.is(TokKind::kEof);
+    tokens.push_back(std::move(tok));
+    if (is_eof) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (at_end() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokKind kind, std::string text) {
+  Token tok;
+  tok.kind = kind;
+  tok.text = std::move(text);
+  tok.loc = loc();
+  return tok;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    char c = peek();
+    if (c == '\n' && in_pragma_line_) return;  // significant in pragma mode
+    if (c == '\\' && peek(1) == '\n' && in_pragma_line_) {
+      // Line continuation inside a pragma.
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      SourceLoc start = loc();
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lex_number() {
+  SourceLoc start = loc();
+  std::string text;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char sign = peek(1);
+    std::size_t digits_at = (sign == '+' || sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(digits_at)))) {
+      is_float = true;
+      text += advance();  // e
+      if (sign == '+' || sign == '-') text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    }
+  }
+  Token tok;
+  tok.loc = start;
+  tok.text = text;
+  if (is_float) {
+    tok.kind = TokKind::kFloatLit;
+    tok.float_value = std::strtod(text.c_str(), nullptr);
+    tok.is_double = true;
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      tok.is_double = false;
+    }
+  } else {
+    tok.kind = TokKind::kIntLit;
+    tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    if (peek() == 'L' || peek() == 'l') advance();  // accepted, type is i64 anyway
+    if (peek() == 'f' || peek() == 'F') {
+      // `1f` style float literal.
+      advance();
+      tok.kind = TokKind::kFloatLit;
+      tok.float_value = static_cast<double>(tok.int_value);
+      tok.is_double = false;
+    }
+  }
+  return tok;
+}
+
+Token Lexer::lex_ident_or_keyword() {
+  SourceLoc start = loc();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  Token tok;
+  tok.loc = start;
+  auto it = keyword_table().find(text);
+  tok.kind = it != keyword_table().end() ? it->second : TokKind::kIdent;
+  tok.text = std::move(text);
+  return tok;
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  SourceLoc start = loc();
+  if (at_end()) {
+    if (in_pragma_line_) {
+      in_pragma_line_ = false;
+      Token tok = make(TokKind::kPragmaEnd, "");
+      tok.loc = start;
+      return tok;
+    }
+    Token tok = make(TokKind::kEof, "");
+    tok.loc = start;
+    return tok;
+  }
+
+  char c = peek();
+
+  if (c == '\n' && in_pragma_line_) {
+    advance();
+    in_pragma_line_ = false;
+    Token tok;
+    tok.kind = TokKind::kPragmaEnd;
+    tok.loc = start;
+    return tok;
+  }
+
+  if (c == '#') {
+    advance();
+    // Expect the literal word "pragma".
+    std::string word;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) word += advance();
+    if (word != "pragma") {
+      diags_.error(start, "expected 'pragma' after '#'");
+      return next();
+    }
+    in_pragma_line_ = true;
+    Token tok;
+    tok.kind = TokKind::kPragma;
+    tok.text = "#pragma";
+    tok.loc = start;
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_ident_or_keyword();
+  }
+
+  advance();
+  auto simple = [&](TokKind k, const char* text) {
+    Token tok;
+    tok.kind = k;
+    tok.text = text;
+    tok.loc = start;
+    return tok;
+  };
+
+  switch (c) {
+    case '(': return simple(TokKind::kLParen, "(");
+    case ')': return simple(TokKind::kRParen, ")");
+    case '{': return simple(TokKind::kLBrace, "{");
+    case '}': return simple(TokKind::kRBrace, "}");
+    case '[': return simple(TokKind::kLBracket, "[");
+    case ']': return simple(TokKind::kRBracket, "]");
+    case ';': return simple(TokKind::kSemi, ";");
+    case ',': return simple(TokKind::kComma, ",");
+    case ':': return simple(TokKind::kColon, ":");
+    case '?': return simple(TokKind::kQuestion, "?");
+    case '%': return simple(TokKind::kPercent, "%");
+    case '+':
+      if (match('=')) return simple(TokKind::kPlusAssign, "+=");
+      if (match('+')) return simple(TokKind::kPlusPlus, "++");
+      return simple(TokKind::kPlus, "+");
+    case '-':
+      if (match('=')) return simple(TokKind::kMinusAssign, "-=");
+      if (match('-')) return simple(TokKind::kMinusMinus, "--");
+      return simple(TokKind::kMinus, "-");
+    case '*':
+      if (match('=')) return simple(TokKind::kStarAssign, "*=");
+      return simple(TokKind::kStar, "*");
+    case '/':
+      if (match('=')) return simple(TokKind::kSlashAssign, "/=");
+      return simple(TokKind::kSlash, "/");
+    case '=':
+      if (match('=')) return simple(TokKind::kEq, "==");
+      return simple(TokKind::kAssign, "=");
+    case '!':
+      if (match('=')) return simple(TokKind::kNe, "!=");
+      return simple(TokKind::kBang, "!");
+    case '<':
+      if (match('=')) return simple(TokKind::kLe, "<=");
+      return simple(TokKind::kLt, "<");
+    case '>':
+      if (match('=')) return simple(TokKind::kGe, ">=");
+      return simple(TokKind::kGt, ">");
+    case '&':
+      if (match('&')) return simple(TokKind::kAmpAmp, "&&");
+      break;
+    case '|':
+      if (match('|')) return simple(TokKind::kPipePipe, "||");
+      break;
+    default:
+      break;
+  }
+  diags_.error(start, std::string("unexpected character '") + c + "'");
+  return next();
+}
+
+}  // namespace safara::lex

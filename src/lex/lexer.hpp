@@ -1,0 +1,46 @@
+// Lexer for the ACC-C kernel language.
+//
+// ACC-C is a C subset with `#pragma acc` directive lines. The lexer runs in
+// two modes: in normal mode newlines are whitespace; after a `#pragma` token
+// it switches to pragma-line mode, where the terminating newline produces a
+// kPragmaEnd token so the parser can delimit the directive.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lex/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::lex {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole input. The result always ends with a kEof token.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  Token make(TokKind kind, std::string text);
+  Token lex_number();
+  Token lex_ident_or_keyword();
+  void skip_whitespace_and_comments();
+
+  char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  bool at_end() const { return pos_ >= src_.size(); }
+  SourceLoc loc() const { return {line_, col_}; }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  bool in_pragma_line_ = false;
+};
+
+}  // namespace safara::lex

@@ -1,0 +1,78 @@
+// Token definitions for the ACC-C kernel language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace safara::lex {
+
+enum class TokKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // Keywords.
+  kKwVoid,
+  kKwInt,
+  kKwLong,
+  kKwFloat,
+  kKwDouble,
+  kKwFor,
+  kKwIf,
+  kKwElse,
+  kKwReturn,
+  kKwConst,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kColon,
+  kQuestion,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAmpAmp,
+  kPipePipe,
+  kBang,
+  // `#pragma` introduces pragma-line mode; kPragmaEnd marks the newline that
+  // terminates it.
+  kPragma,
+  kPragmaEnd,
+};
+
+const char* to_string(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  SourceLoc loc;
+  std::int64_t int_value = 0;   // valid for kIntLit
+  double float_value = 0.0;     // valid for kFloatLit
+  bool is_double = false;       // kFloatLit: true unless 'f' suffix
+
+  bool is(TokKind k) const { return kind == k; }
+};
+
+}  // namespace safara::lex

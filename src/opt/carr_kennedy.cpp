@@ -1,0 +1,83 @@
+#include "opt/carr_kennedy.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "opt/scalar_replacement.hpp"
+#include "sema/sema.hpp"
+
+namespace safara::opt {
+
+using analysis::ReuseGroup;
+using analysis::ReuseKind;
+
+CarrKennedyReport run_carr_kennedy(ast::Function& fn, const CarrKennedyOptions& opts,
+                                   DiagnosticEngine& diags) {
+  CarrKennedyReport report;
+  SrNameGen names;
+
+  sema::Sema sema(diags);
+  auto info = sema.analyze(fn);
+  if (!diags.ok()) return report;
+
+  for (const sema::OffloadRegion& region : info->regions) {
+    std::unordered_set<const ast::ForStmt*> scheduled(region.scheduled_loops.begin(),
+                                                      region.scheduled_loops.end());
+
+    analysis::RegionAccesses accesses = analysis::analyze_accesses(region);
+    analysis::ReuseOptions reuse_opts;
+    reuse_opts.max_distance = opts.max_distance;
+    reuse_opts.intra_only_on_parallel = false;  // the classical behaviour
+    std::vector<ReuseGroup> groups =
+        analysis::find_reuse_groups(region, accesses, reuse_opts);
+
+    groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                [&](const ReuseGroup& g) {
+                                  if (g.saved_loads_per_iteration() < 1) return true;
+                                  // Hoisting invariants out of a parallel loop
+                                  // is not part of the classical algorithm.
+                                  if (g.kind == ReuseKind::kInvariant && g.carrier &&
+                                      scheduled.count(g.carrier) != 0) {
+                                    return true;
+                                  }
+                                  return false;
+                                }),
+                 groups.end());
+
+    // Moderation model: rank by reference count, take what fits the budget.
+    std::sort(groups.begin(), groups.end(), [](const ReuseGroup& a, const ReuseGroup& b) {
+      return a.reference_count() > b.reference_count();
+    });
+
+    int budget = opts.register_budget;
+    std::unordered_set<ast::ForStmt*> to_sequentialize;
+    for (const ReuseGroup& g : groups) {
+      if (g.registers_needed() > budget) continue;
+      int scalars = apply_scalar_replacement(*region.loop, g, names, diags);
+      if (scalars == 0) continue;
+      budget -= g.registers_needed();
+      report.scalars_introduced += scalars;
+      ++report.groups_replaced;
+      if (g.kind == ReuseKind::kCarried && g.carrier && scheduled.count(g.carrier) != 0) {
+        to_sequentialize.insert(g.carrier);
+      }
+    }
+
+    // Rotating scalars carry values across iterations: those loops can no
+    // longer run in parallel.
+    for (ast::ForStmt* loop : to_sequentialize) {
+      if (loop->directive) {
+        loop->directive->seq = true;
+        loop->directive->has_gang = false;
+        loop->directive->has_vector = false;
+        loop->directive->has_worker = false;
+        loop->directive->gang_size.reset();
+        loop->directive->vector_size.reset();
+      }
+      ++report.loops_sequentialized;
+    }
+  }
+  return report;
+}
+
+}  // namespace safara::opt

@@ -1,0 +1,32 @@
+// The classical Carr-Kennedy scalar-replacement baseline (Section III-A).
+//
+// Unlike SAFARA it (1) happily performs inter-iteration replacement across a
+// parallelized loop — creating loop-carried scalar dependences that force
+// the loop to run sequentially (the paper's Fig. 3 -> Fig. 4 hazard) — and
+// (2) ranks candidates by reference count alone under a fixed register
+// budget, with no backend feedback and no memory-latency awareness.
+#pragma once
+
+#include "analysis/reuse.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::opt {
+
+struct CarrKennedyOptions {
+  /// Registers the moderation model is willing to spend on scalars.
+  int register_budget = 32;
+  std::int64_t max_distance = 4;
+};
+
+struct CarrKennedyReport {
+  int groups_replaced = 0;
+  int scalars_introduced = 0;
+  /// Parallel loops that had to be serialized because the replacement
+  /// introduced loop-carried scalar dependences.
+  int loops_sequentialized = 0;
+};
+
+CarrKennedyReport run_carr_kennedy(ast::Function& fn, const CarrKennedyOptions& opts,
+                                   DiagnosticEngine& diags);
+
+}  // namespace safara::opt

@@ -1,0 +1,116 @@
+#include "opt/safara.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "opt/scalar_replacement.hpp"
+#include "sema/sema.hpp"
+
+namespace safara::opt {
+
+using analysis::CostModel;
+using analysis::ReuseGroup;
+
+SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
+                        const SafaraOptions& opts, DiagnosticEngine& diags) {
+  SafaraReport report;
+  CostModel cost(opts.latency);
+  SrNameGen names;
+
+  // The region count is fixed by the source; discover it once.
+  std::size_t num_regions;
+  {
+    sema::Sema sema(diags);
+    auto info = sema.analyze(fn);
+    num_regions = info->regions.size();
+  }
+
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    SafaraRegionReport rr;
+    rr.region_index = static_cast<int>(r);
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+      if (!diags.ok()) break;
+      // The backend feedback first: it runs its own sema over `fn`, which
+      // rebinds the AST's symbol pointers to a transient symbol table...
+      const int regs = feedback(fn, static_cast<int>(r));
+      // ...so re-analyze immediately afterwards to bind the AST to symbols
+      // that stay alive (owned by `info`) for the rest of this iteration.
+      sema::Sema sema(diags);
+      auto info = sema.analyze(fn);
+      if (!diags.ok() || r >= info->regions.size()) break;
+      const sema::OffloadRegion& region = info->regions[r];
+      rr.final_registers = regs;
+      const int avail = opts.max_registers - regs;
+      {
+        std::ostringstream os;
+        os << "iteration " << iter << ": ptxas reports " << regs
+           << " registers, budget " << opts.max_registers << ", available " << avail;
+        rr.log.push_back(os.str());
+      }
+      ++rr.iterations;
+      if (avail <= 0) {
+        rr.log.push_back("register file saturated; stopping");
+        break;
+      }
+
+      analysis::RegionAccesses accesses = analysis::analyze_accesses(region);
+      std::vector<ReuseGroup> groups =
+          analysis::find_reuse_groups(region, accesses, opts.reuse);
+      // Drop groups that save nothing.
+      groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                  [](const ReuseGroup& g) {
+                                    return g.saved_loads_per_iteration() < 1;
+                                  }),
+                   groups.end());
+      if (groups.empty()) {
+        rr.log.push_back("no replaceable reuse remains; stopping");
+        break;
+      }
+
+      std::sort(groups.begin(), groups.end(),
+                [&](const ReuseGroup& a, const ReuseGroup& b) {
+                  double pa = opts.use_cost_model ? cost.group_priority(a)
+                                                  : cost.count_priority(a);
+                  double pb = opts.use_cost_model ? cost.group_priority(b)
+                                                  : cost.count_priority(b);
+                  if (pa != pb) return pa > pb;
+                  // Deterministic tie-break: array name, then distance.
+                  if (a.array->name != b.array->name) {
+                    return a.array->name < b.array->name;
+                  }
+                  return a.distance < b.distance;
+                });
+
+      int budget = avail;
+      std::vector<const ReuseGroup*> picked;
+      for (const ReuseGroup& g : groups) {
+        if (g.registers_needed() <= budget) {
+          picked.push_back(&g);
+          budget -= g.registers_needed();
+        }
+      }
+      if (picked.empty()) {
+        rr.log.push_back("remaining candidates exceed the register budget; stopping");
+        break;
+      }
+
+      for (const ReuseGroup* g : picked) {
+        std::ostringstream os;
+        os << "replacing " << analysis::to_string(g->kind) << " group on '"
+           << g->array->name << "' (" << g->reference_count() << " refs, "
+           << analysis::to_string(g->space) << ", "
+           << analysis::to_string(g->coalescing) << ", cost "
+           << cost.group_priority(*g) << ", " << g->registers_needed() << " regs)";
+        rr.log.push_back(os.str());
+        int scalars = apply_scalar_replacement(*region.loop, *g, names, diags);
+        rr.scalars_introduced += scalars;
+        if (scalars > 0) ++rr.groups_replaced;
+      }
+    }
+    report.regions.push_back(std::move(rr));
+  }
+  return report;
+}
+
+}  // namespace safara::opt

@@ -1,0 +1,60 @@
+// SAFARA: StAtic Feedback-bAsed Register allocation Assistant (Section III).
+//
+// The pass iterates: (1) compile the current region and ask the backend
+// assembler (ptxas-sim) for the hardware register count; (2) compute the
+// remaining register budget; (3) rank the reuse groups by the latency cost
+// model L x C; (4) replace the most profitable groups that fit the budget;
+// repeat until registers are saturated or no candidates remain.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/reuse.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::opt {
+
+struct SafaraOptions {
+  /// Per-thread hardware register limit the feedback budget is measured
+  /// against (255 on Kepler; lower to model launch-bounds pressure).
+  int max_registers = 255;
+  int max_iterations = 8;
+  analysis::ReuseOptions reuse;  // intra_only_on_parallel defaults to true
+  /// Rank candidates by L x C (true) or by reference count alone (false,
+  /// the Carr-Kennedy metric; used by the cost-model ablation).
+  bool use_cost_model = true;
+  vgpu::LatencyModel latency;
+};
+
+struct SafaraRegionReport {
+  int region_index = 0;
+  int iterations = 0;
+  int groups_replaced = 0;
+  int scalars_introduced = 0;
+  int final_registers = 0;
+  std::vector<std::string> log;  // human-readable feedback trace
+};
+
+struct SafaraReport {
+  std::vector<SafaraRegionReport> regions;
+
+  int total_groups() const {
+    int n = 0;
+    for (const SafaraRegionReport& r : regions) n += r.groups_replaced;
+    return n;
+  }
+};
+
+/// Backend feedback: compiles region `region_index` of `fn` as it currently
+/// stands and returns the ptxas-sim hardware register count.
+using RegisterFeedback = std::function<int(ast::Function& fn, int region_index)>;
+
+/// Runs SAFARA over every offload region of `fn`, mutating the AST in place.
+/// The function must be re-analyzed (sema) by the caller before codegen.
+SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
+                        const SafaraOptions& opts, DiagnosticEngine& diags);
+
+}  // namespace safara::opt

@@ -1,0 +1,173 @@
+#include "opt/scalar_replacement.hpp"
+
+#include "opt/ast_mutate.hpp"
+
+namespace safara::opt {
+
+using analysis::ReuseGroup;
+using analysis::ReuseKind;
+using ast::BinaryOp;
+using ast::BlockStmt;
+using ast::DeclStmt;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::ForStmt;
+using ast::IntLit;
+using ast::ScalarType;
+using ast::StmtPtr;
+using ast::VarRef;
+
+namespace {
+
+ExprPtr make_var(const std::string& name) {
+  return std::make_unique<VarRef>(name, SourceLoc{});
+}
+
+/// iv + delta (or just iv when delta == 0).
+ExprPtr iv_plus(const std::string& iv_name, std::int64_t delta) {
+  ExprPtr iv = make_var(iv_name);
+  if (delta == 0) return iv;
+  return std::make_unique<ast::Binary>(delta > 0 ? BinaryOp::kAdd : BinaryOp::kSub,
+                                       std::move(iv),
+                                       std::make_unique<IntLit>(std::llabs(delta), SourceLoc{}),
+                                       SourceLoc{});
+}
+
+/// expr + delta.
+ExprPtr expr_plus(ExprPtr e, std::int64_t delta) {
+  if (delta == 0) return e;
+  return std::make_unique<ast::Binary>(delta > 0 ? BinaryOp::kAdd : BinaryOp::kSub,
+                                       std::move(e),
+                                       std::make_unique<IntLit>(std::llabs(delta), SourceLoc{}),
+                                       SourceLoc{});
+}
+
+int apply_intra(ForStmt& region_root, const ReuseGroup& g, SrNameGen& names,
+                DiagnosticEngine& diags) {
+  BlockStmt* body = g.carrier ? g.carrier->body.get() : region_root.body.get();
+  std::string name = names.next(g.array->name);
+  ScalarType t = g.array->type;
+
+  auto decl = std::make_unique<DeclStmt>(t, name, g.members.front()->clone(),
+                                         g.members.front()->loc);
+  body->stmts.insert(body->stmts.begin(), std::move(decl));
+
+  for (ast::ArrayRef* member : g.members) {
+    if (!replace_expr(region_root, member, make_var(name))) {
+      diags.error(member->loc, "scalar replacement: member reference not found");
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int apply_invariant(ForStmt& region_root, const ReuseGroup& g, SrNameGen& names,
+                    DiagnosticEngine& diags) {
+  BlockPosition pos = find_parent_block(region_root, g.carrier);
+  if (!pos.block) {
+    diags.error(g.carrier->loc, "scalar replacement: carrier loop has no parent block");
+    return 0;
+  }
+  std::string name = names.next(g.array->name);
+  auto decl = std::make_unique<DeclStmt>(g.array->type, name, g.members.front()->clone(),
+                                         g.members.front()->loc);
+  pos.block->stmts.insert(pos.block->stmts.begin() + static_cast<std::ptrdiff_t>(pos.index),
+                          std::move(decl));
+  for (ast::ArrayRef* member : g.members) {
+    if (!replace_expr(region_root, member, make_var(name))) {
+      diags.error(member->loc, "scalar replacement: member reference not found");
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int apply_carried(ForStmt& region_root, const ReuseGroup& g, SrNameGen& names,
+                  DiagnosticEngine& diags) {
+  ForStmt* loop = g.carrier;
+  BlockPosition pos = find_parent_block(region_root, loop);
+  if (!pos.block) {
+    diags.error(loop->loc, "scalar replacement: carrier loop has no parent block");
+    return 0;
+  }
+  const std::int64_t D = g.distance;
+  const std::int64_t step = loop->step;
+  // Normalized offset of the group's base member (members[0]): its own
+  // offsets[] entry. base@k corresponds to normalized offset base_off.
+  const std::int64_t base_off = g.offsets.front();
+  const Expr& base_ref = *g.members.front();
+  const sema::Symbol* iv = loop->iv_symbol;
+  const ScalarType t = g.array->type;
+
+  std::vector<std::string> scalar_names;
+  for (std::int64_t j = 0; j <= D; ++j) scalar_names.push_back(names.next(g.array->name));
+
+  // Preheader: scalars 0 .. D-1 loaded at the first iteration's positions;
+  // scalar D declared uninitialized (assigned by the leading load).
+  std::size_t insert_at = pos.index;
+  for (std::int64_t j = 0; j < D; ++j) {
+    // s_j = base_ref with iv -> init + (j - base_off) * step
+    ExprPtr shifted_iv = expr_plus(loop->init->clone(), (j - base_off) * step);
+    ExprPtr init_expr;
+    {
+      ExprPtr ref_clone = clone_substituting(base_ref, iv, *shifted_iv);
+      init_expr = std::move(ref_clone);
+    }
+    auto decl = std::make_unique<DeclStmt>(t, scalar_names[static_cast<std::size_t>(j)],
+                                           std::move(init_expr), loop->loc);
+    pos.block->stmts.insert(pos.block->stmts.begin() + static_cast<std::ptrdiff_t>(insert_at++),
+                            std::move(decl));
+  }
+  {
+    auto decl = std::make_unique<DeclStmt>(t, scalar_names[static_cast<std::size_t>(D)],
+                                           nullptr, loop->loc);
+    pos.block->stmts.insert(pos.block->stmts.begin() + static_cast<std::ptrdiff_t>(insert_at++),
+                            std::move(decl));
+  }
+
+  // Leading load at the top of every iteration: s_D = ref at offset D.
+  {
+    ExprPtr shifted_iv = iv_plus(loop->iv_name, (D - base_off) * step);
+    ExprPtr lead = clone_substituting(base_ref, iv, *shifted_iv);
+    auto assign = std::make_unique<ast::AssignStmt>(
+        make_var(scalar_names[static_cast<std::size_t>(D)]), ast::AssignOp::kAssign,
+        std::move(lead), loop->loc);
+    loop->body->stmts.insert(loop->body->stmts.begin(), std::move(assign));
+  }
+
+  // Replace members.
+  for (std::size_t m = 0; m < g.members.size(); ++m) {
+    const std::string& nm = scalar_names[static_cast<std::size_t>(g.offsets[m])];
+    if (!replace_expr(region_root, g.members[m], make_var(nm))) {
+      diags.error(g.members[m]->loc, "scalar replacement: member reference not found");
+      return 0;
+    }
+  }
+
+  // Rotation at the bottom of the body: s_j = s_{j+1}.
+  for (std::int64_t j = 0; j < D; ++j) {
+    auto rot = std::make_unique<ast::AssignStmt>(
+        make_var(scalar_names[static_cast<std::size_t>(j)]), ast::AssignOp::kAssign,
+        make_var(scalar_names[static_cast<std::size_t>(j + 1)]), loop->loc);
+    loop->body->stmts.push_back(std::move(rot));
+  }
+
+  return static_cast<int>(D) + 1;
+}
+
+}  // namespace
+
+int apply_scalar_replacement(ForStmt& region_root, const ReuseGroup& group,
+                             SrNameGen& names, DiagnosticEngine& diags) {
+  switch (group.kind) {
+    case ReuseKind::kIntra:
+      return apply_intra(region_root, group, names, diags);
+    case ReuseKind::kInvariant:
+      return apply_invariant(region_root, group, names, diags);
+    case ReuseKind::kCarried:
+      return apply_carried(region_root, group, names, diags);
+  }
+  return 0;
+}
+
+}  // namespace safara::opt

@@ -1,0 +1,34 @@
+// The scalar-replacement transformation itself: given a reuse group, rewrite
+// the AST so the reused data lives in scalars (destined for registers).
+//
+//  * intra-iteration: one scalar, loaded at the top of the iteration;
+//  * loop-invariant:  one scalar, loaded in front of the carrier loop;
+//  * inter-iteration (distance D): D+1 rotating scalars — D loads in front of
+//    the loop, one leading load per iteration, and a rotation at the bottom
+//    (the classical Carr-Kennedy shape, Fig. 4 / Fig. 6 of the paper).
+#pragma once
+
+#include <string>
+
+#include "analysis/reuse.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::opt {
+
+/// Generates unique names for introduced scalars (__sr0, __sr1, ...).
+class SrNameGen {
+ public:
+  std::string next(const std::string& array_name) {
+    return "__sr" + std::to_string(counter_++) + "_" + array_name;
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+/// Applies one group. `region_root` is the offload region's top loop.
+/// Returns the number of scalars introduced (0 on failure).
+int apply_scalar_replacement(ast::ForStmt& region_root, const analysis::ReuseGroup& group,
+                             SrNameGen& names, DiagnosticEngine& diags);
+
+}  // namespace safara::opt

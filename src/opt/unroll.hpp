@@ -1,0 +1,39 @@
+// Loop unrolling for sequential loops inside offload regions — the classical
+// optimization the paper's conclusion names as future work to combine with
+// SAFARA. Unrolling a seq loop by U:
+//
+//   for (k = lb; k < ub; k += s) body(k)
+// becomes
+//   for (k = lb; k < ub - (U-1)*s; k += U*s) { body(k); body(k+s); ... }
+//   for (      ; k < ub; k += s)             body(k)          // remainder
+//
+// (the remainder loop reuses the same induction variable, continuing from
+// where the main loop stopped). Unrolling multiplies the intra-iteration
+// reuse visible to SAFARA: a distance-1 pair becomes 2U-2 extra matches per
+// unrolled body, at the price of more live scalars — the same register
+// tension the rest of the paper is about.
+#pragma once
+
+#include "ast/decl.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::opt {
+
+struct UnrollOptions {
+  int factor = 4;
+  /// Only unroll innermost loops whose body has at most this many statements
+  /// (code-size guard).
+  int max_body_statements = 12;
+};
+
+struct UnrollReport {
+  int loops_unrolled = 0;
+};
+
+/// Unrolls every eligible innermost `seq` loop in every offload region of
+/// `fn` (eligible: canonical step, body free of nested loops). The function
+/// must be re-analyzed (sema) afterwards.
+UnrollReport run_unroll(ast::Function& fn, const UnrollOptions& opts,
+                        DiagnosticEngine& diags);
+
+}  // namespace safara::opt

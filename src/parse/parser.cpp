@@ -1,0 +1,677 @@
+#include "parse/parser.hpp"
+
+#include <utility>
+
+#include "lex/lexer.hpp"
+
+namespace safara::parse {
+
+using ast::AccDirective;
+using ast::AccDirectivePtr;
+using ast::ExprPtr;
+using ast::ScalarType;
+using ast::StmtPtr;
+using lex::TokKind;
+using lex::Token;
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty()) tokens_.push_back(Token{});  // guarantee an EOF token
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokKind k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+const Token* Parser::expect(TokKind k, const char* context) {
+  if (check(k)) return &advance();
+  diags_.error(peek().loc, std::string("expected '") + lex::to_string(k) +
+                               "' " + context + ", found '" +
+                               lex::to_string(peek().kind) + "'");
+  return nullptr;
+}
+
+bool Parser::is_type_token(TokKind k) const {
+  switch (k) {
+    case TokKind::kKwVoid:
+    case TokKind::kKwInt:
+    case TokKind::kKwLong:
+    case TokKind::kKwFloat:
+    case TokKind::kKwDouble: return true;
+    default: return false;
+  }
+}
+
+ScalarType Parser::parse_type() {
+  switch (peek().kind) {
+    case TokKind::kKwVoid: advance(); return ScalarType::kVoid;
+    case TokKind::kKwInt: advance(); return ScalarType::kI32;
+    case TokKind::kKwLong: advance(); return ScalarType::kI64;
+    case TokKind::kKwFloat: advance(); return ScalarType::kF32;
+    case TokKind::kKwDouble: advance(); return ScalarType::kF64;
+    default:
+      diags_.error(peek().loc, "expected a type");
+      advance();
+      return ScalarType::kVoid;
+  }
+}
+
+void Parser::synchronize() {
+  while (!at_end() && !check(TokKind::kSemi) && !check(TokKind::kRBrace)) {
+    advance();
+  }
+  match(TokKind::kSemi);
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+ast::Program Parser::parse_program() {
+  ast::Program program;
+  while (!at_end()) {
+    if (auto f = parse_function()) {
+      program.functions.push_back(std::move(f));
+    } else {
+      synchronize();
+    }
+  }
+  return program;
+}
+
+ast::FunctionPtr Parser::parse_function() {
+  auto f = std::make_unique<ast::Function>();
+  f->loc = peek().loc;
+  f->ret = parse_type();
+  const Token* name = expect(TokKind::kIdent, "for function name");
+  if (!name) return nullptr;
+  f->name = name->text;
+  if (!expect(TokKind::kLParen, "after function name")) return nullptr;
+  if (!check(TokKind::kRParen)) {
+    do {
+      f->params.push_back(parse_param());
+    } while (match(TokKind::kComma));
+  }
+  if (!expect(TokKind::kRParen, "after parameter list")) return nullptr;
+  f->body = parse_block();
+  if (!f->body) return nullptr;
+  return f;
+}
+
+ast::Param Parser::parse_param() {
+  ast::Param p;
+  p.loc = peek().loc;
+  p.is_const = match(TokKind::kKwConst);
+  p.elem = parse_type();
+  if (match(TokKind::kStar)) {
+    p.decl_kind = ast::ArrayDeclKind::kPointer;
+    const Token* name = expect(TokKind::kIdent, "for pointer parameter name");
+    if (name) p.name = name->text;
+    return p;
+  }
+  const Token* name = expect(TokKind::kIdent, "for parameter name");
+  if (name) p.name = name->text;
+  if (!check(TokKind::kLBracket)) {
+    p.decl_kind = ast::ArrayDeclKind::kScalar;
+    return p;
+  }
+  // Array parameter. The extent forms must agree across dimensions:
+  // all '?' (allocatable), all integer constants (static), or general integer
+  // expressions (VLA). Mixed const/expr counts as VLA.
+  bool any_unknown = false;
+  bool all_const = true;
+  while (match(TokKind::kLBracket)) {
+    if (match(TokKind::kQuestion)) {
+      any_unknown = true;
+      p.extents.push_back(nullptr);
+    } else {
+      ExprPtr e = parse_expr();
+      if (e && e->kind != ast::ExprKind::kIntLit) all_const = false;
+      p.extents.push_back(std::move(e));
+    }
+    expect(TokKind::kRBracket, "after array extent");
+  }
+  if (any_unknown) {
+    p.decl_kind = ast::ArrayDeclKind::kAllocatable;
+    for (const ExprPtr& e : p.extents) {
+      if (e) {
+        diags_.error(p.loc,
+                     "array '" + p.name +
+                         "' mixes '?' and explicit extents; allocatable arrays "
+                         "must use '?' for every dimension");
+        break;
+      }
+    }
+  } else if (all_const) {
+    p.decl_kind = ast::ArrayDeclKind::kStatic;
+  } else {
+    p.decl_kind = ast::ArrayDeclKind::kVla;
+  }
+  return p;
+}
+
+std::unique_ptr<ast::BlockStmt> Parser::parse_block() {
+  const Token* open = expect(TokKind::kLBrace, "to open block");
+  if (!open) return nullptr;
+  auto block = std::make_unique<ast::BlockStmt>(open->loc);
+  while (!check(TokKind::kRBrace) && !at_end()) {
+    if (StmtPtr s = parse_stmt()) {
+      block->stmts.push_back(std::move(s));
+    } else {
+      synchronize();
+    }
+  }
+  expect(TokKind::kRBrace, "to close block");
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_stmt() {
+  if (check(TokKind::kPragma)) {
+    AccDirectivePtr dir = parse_directive();
+    if (!dir) return nullptr;
+    if (!check(TokKind::kKwFor)) {
+      diags_.error(peek().loc, "an 'acc' loop directive must be followed by a for loop");
+      return nullptr;
+    }
+    return parse_for(std::move(dir));
+  }
+  if (check(TokKind::kKwFor)) return parse_for(nullptr);
+  if (check(TokKind::kKwIf)) return parse_if();
+  if (check(TokKind::kKwReturn)) {
+    SourceLoc loc = advance().loc;
+    expect(TokKind::kSemi, "after return");
+    return std::make_unique<ast::ReturnStmt>(loc);
+  }
+  if (check(TokKind::kLBrace)) return parse_block();
+  if (is_type_token(peek().kind)) return parse_decl_stmt();
+  return parse_assign_stmt();
+}
+
+StmtPtr Parser::parse_decl_stmt() {
+  SourceLoc loc = peek().loc;
+  ScalarType type = parse_type();
+  const Token* name = expect(TokKind::kIdent, "for variable name");
+  if (!name) return nullptr;
+  ExprPtr init;
+  if (match(TokKind::kAssign)) init = parse_expr();
+  expect(TokKind::kSemi, "after declaration");
+  return std::make_unique<ast::DeclStmt>(type, name->text, std::move(init), loc);
+}
+
+StmtPtr Parser::parse_assign_stmt() {
+  SourceLoc loc = peek().loc;
+  ExprPtr lhs = parse_primary();
+  if (!lhs) return nullptr;
+  if (lhs->kind != ast::ExprKind::kVarRef && lhs->kind != ast::ExprKind::kArrayRef) {
+    diags_.error(loc, "assignment target must be a variable or array element");
+    return nullptr;
+  }
+  ast::AssignOp op;
+  switch (peek().kind) {
+    case TokKind::kAssign: op = ast::AssignOp::kAssign; break;
+    case TokKind::kPlusAssign: op = ast::AssignOp::kAddAssign; break;
+    case TokKind::kMinusAssign: op = ast::AssignOp::kSubAssign; break;
+    case TokKind::kStarAssign: op = ast::AssignOp::kMulAssign; break;
+    case TokKind::kSlashAssign: op = ast::AssignOp::kDivAssign; break;
+    default:
+      diags_.error(peek().loc, "expected assignment operator");
+      return nullptr;
+  }
+  advance();
+  ExprPtr rhs = parse_expr();
+  if (!rhs) return nullptr;
+  expect(TokKind::kSemi, "after assignment");
+  return std::make_unique<ast::AssignStmt>(std::move(lhs), op, std::move(rhs), loc);
+}
+
+StmtPtr Parser::parse_for(AccDirectivePtr directive) {
+  auto f = std::make_unique<ast::ForStmt>(peek().loc);
+  f->directive = std::move(directive);
+  advance();  // 'for'
+  if (!expect(TokKind::kLParen, "after 'for'")) return nullptr;
+
+  if (is_type_token(peek().kind)) {
+    f->declares_iv = true;
+    f->iv_type = parse_type();
+    if (!ast::is_integer(f->iv_type)) {
+      diags_.error(f->loc, "loop induction variable must be an integer");
+    }
+  }
+  const Token* iv = expect(TokKind::kIdent, "for loop induction variable");
+  if (!iv) return nullptr;
+  f->iv_name = iv->text;
+  if (!expect(TokKind::kAssign, "in loop initialization")) return nullptr;
+  f->init = parse_expr();
+  if (!expect(TokKind::kSemi, "after loop initialization")) return nullptr;
+
+  const Token* cond_iv = expect(TokKind::kIdent, "in loop condition");
+  if (!cond_iv) return nullptr;
+  if (cond_iv->text != f->iv_name) {
+    diags_.error(cond_iv->loc, "loop condition must test the induction variable '" +
+                                   f->iv_name + "'");
+  }
+  switch (peek().kind) {
+    case TokKind::kLt: f->cmp = ast::CmpOp::kLt; break;
+    case TokKind::kLe: f->cmp = ast::CmpOp::kLe; break;
+    case TokKind::kGt: f->cmp = ast::CmpOp::kGt; break;
+    case TokKind::kGe: f->cmp = ast::CmpOp::kGe; break;
+    default:
+      diags_.error(peek().loc, "expected <, <=, > or >= in loop condition");
+      return nullptr;
+  }
+  advance();
+  f->bound = parse_expr();
+  if (!expect(TokKind::kSemi, "after loop condition")) return nullptr;
+
+  // Step: iv++ | iv-- | iv += C | iv -= C | iv = iv + C | iv = iv - C
+  const Token* step_iv = expect(TokKind::kIdent, "in loop step");
+  if (!step_iv) return nullptr;
+  if (step_iv->text != f->iv_name) {
+    diags_.error(step_iv->loc, "loop step must update the induction variable");
+  }
+  if (match(TokKind::kPlusPlus)) {
+    f->step = 1;
+  } else if (match(TokKind::kMinusMinus)) {
+    f->step = -1;
+  } else if (check(TokKind::kPlusAssign) || check(TokKind::kMinusAssign)) {
+    bool neg = peek().kind == TokKind::kMinusAssign;
+    advance();
+    if (const Token* c = expect(TokKind::kIntLit, "for loop step amount")) {
+      f->step = neg ? -c->int_value : c->int_value;
+    }
+  } else if (match(TokKind::kAssign)) {
+    const Token* v = expect(TokKind::kIdent, "in loop step");
+    if (v && v->text != f->iv_name) {
+      diags_.error(v->loc, "loop step must be of the form iv = iv +/- constant");
+    }
+    bool neg = check(TokKind::kMinus);
+    if (!check(TokKind::kPlus) && !check(TokKind::kMinus)) {
+      diags_.error(peek().loc, "loop step must be of the form iv = iv +/- constant");
+      return nullptr;
+    }
+    advance();
+    if (const Token* c = expect(TokKind::kIntLit, "for loop step amount")) {
+      f->step = neg ? -c->int_value : c->int_value;
+    }
+  } else {
+    diags_.error(peek().loc, "unsupported loop step form");
+    return nullptr;
+  }
+  if (f->step == 0) diags_.error(f->loc, "loop step must be nonzero");
+  if (!expect(TokKind::kRParen, "after loop header")) return nullptr;
+  f->body = parse_block();
+  if (!f->body) return nullptr;
+  return f;
+}
+
+StmtPtr Parser::parse_if() {
+  SourceLoc loc = advance().loc;  // 'if'
+  if (!expect(TokKind::kLParen, "after 'if'")) return nullptr;
+  ExprPtr cond = parse_expr();
+  if (!expect(TokKind::kRParen, "after if condition")) return nullptr;
+  auto then_block = parse_block();
+  if (!then_block) return nullptr;
+  std::unique_ptr<ast::BlockStmt> else_block;
+  if (match(TokKind::kKwElse)) {
+    if (check(TokKind::kKwIf)) {
+      // `else if` — wrap the nested if in a synthetic block.
+      else_block = std::make_unique<ast::BlockStmt>(peek().loc);
+      if (StmtPtr nested = parse_if()) else_block->stmts.push_back(std::move(nested));
+    } else {
+      else_block = parse_block();
+      if (!else_block) return nullptr;
+    }
+  }
+  return std::make_unique<ast::IfStmt>(std::move(cond), std::move(then_block),
+                                       std::move(else_block), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+AccDirectivePtr Parser::parse_directive() {
+  SourceLoc loc = advance().loc;  // '#pragma'
+  auto dir = std::make_unique<AccDirective>();
+  dir->loc = loc;
+
+  const Token* acc = expect(TokKind::kIdent, "after '#pragma'");
+  if (!acc || acc->text != "acc") {
+    diags_.error(loc, "only '#pragma acc' directives are supported");
+    while (!check(TokKind::kPragmaEnd) && !at_end()) advance();
+    match(TokKind::kPragmaEnd);
+    return nullptr;
+  }
+
+  const Token* head = expect(TokKind::kIdent, "for directive name");
+  if (!head) return nullptr;
+  if (head->text == "parallel" || head->text == "kernels") {
+    dir->kind = head->text == "parallel" ? ast::DirectiveKind::kParallelLoop
+                                         : ast::DirectiveKind::kKernelsLoop;
+    // Optional 'loop'.
+    if (check(TokKind::kIdent) && peek().text == "loop") advance();
+  } else if (head->text == "loop") {
+    dir->kind = ast::DirectiveKind::kLoop;
+  } else {
+    diags_.error(head->loc, "unsupported acc directive '" + head->text + "'");
+    while (!check(TokKind::kPragmaEnd) && !at_end()) advance();
+    match(TokKind::kPragmaEnd);
+    return nullptr;
+  }
+
+  parse_clauses(*dir);
+  expect(TokKind::kPragmaEnd, "at end of directive");
+  return dir;
+}
+
+std::vector<std::string> Parser::parse_name_list() {
+  std::vector<std::string> names;
+  expect(TokKind::kLParen, "to open name list");
+  do {
+    if (const Token* n = expect(TokKind::kIdent, "in name list")) {
+      names.push_back(n->text);
+    }
+  } while (match(TokKind::kComma));
+  expect(TokKind::kRParen, "to close name list");
+  return names;
+}
+
+void Parser::parse_dim_clause(AccDirective& dir) {
+  // dim( group {, group} ) where
+  //   group := '(' bounds ')' '(' names ')'   — explicit shape
+  //          | '(' names ')'                  — shape taken from dope vectors
+  //   bounds := [expr ':'] expr {',' [expr ':'] expr}
+  expect(TokKind::kLParen, "after 'dim'");
+  do {
+    ast::DimGroup group;
+    group.loc = peek().loc;
+    expect(TokKind::kLParen, "to open dim group");
+    // Parse the first parenthesized list generically as (lb:len | expr) items.
+    struct Item {
+      ExprPtr lb;
+      ExprPtr main;
+    };
+    std::vector<Item> items;
+    bool saw_colon = false;
+    do {
+      Item item;
+      item.main = parse_expr();
+      if (match(TokKind::kColon)) {
+        saw_colon = true;
+        item.lb = std::move(item.main);
+        item.main = parse_expr();
+      }
+      items.push_back(std::move(item));
+    } while (match(TokKind::kComma));
+    expect(TokKind::kRParen, "to close dim group list");
+
+    if (check(TokKind::kLParen)) {
+      // Two-list form: first list was the bounds.
+      for (Item& item : items) {
+        group.bounds.push_back({std::move(item.lb), std::move(item.main)});
+      }
+      group.arrays = parse_name_list();
+    } else {
+      // One-list form: items must all be plain array names.
+      if (saw_colon) {
+        diags_.error(group.loc, "dim bounds list must be followed by an array list");
+      }
+      for (Item& item : items) {
+        if (item.main && item.main->kind == ast::ExprKind::kVarRef) {
+          group.arrays.push_back(item.main->as<ast::VarRef>().name);
+        } else {
+          diags_.error(group.loc, "expected array name in dim clause");
+        }
+      }
+    }
+    dir.dim_groups.push_back(std::move(group));
+  } while (match(TokKind::kComma));
+  expect(TokKind::kRParen, "to close dim clause");
+}
+
+void Parser::parse_clauses(AccDirective& dir) {
+  while (check(TokKind::kIdent)) {
+    std::string clause = advance().text;
+    if (clause == "gang" || clause == "num_gangs") {
+      dir.has_gang = true;
+      if (match(TokKind::kLParen)) {
+        dir.gang_size = parse_expr();
+        expect(TokKind::kRParen, "after gang size");
+      }
+    } else if (clause == "vector" || clause == "vector_length") {
+      dir.has_vector = true;
+      if (match(TokKind::kLParen)) {
+        dir.vector_size = parse_expr();
+        expect(TokKind::kRParen, "after vector length");
+      }
+    } else if (clause == "worker") {
+      dir.has_worker = true;
+    } else if (clause == "seq") {
+      dir.seq = true;
+    } else if (clause == "independent") {
+      dir.independent = true;
+    } else if (clause == "collapse") {
+      expect(TokKind::kLParen, "after 'collapse'");
+      if (const Token* n = expect(TokKind::kIntLit, "for collapse count")) {
+        dir.collapse = static_cast<int>(n->int_value);
+      }
+      expect(TokKind::kRParen, "after collapse count");
+    } else if (clause == "private") {
+      dir.privates = parse_name_list();
+    } else if (clause == "reduction") {
+      expect(TokKind::kLParen, "after 'reduction'");
+      ast::ReductionOp op = ast::ReductionOp::kSum;
+      if (check(TokKind::kPlus)) {
+        advance();
+      } else if (check(TokKind::kStar)) {
+        advance();
+        op = ast::ReductionOp::kProd;
+      } else if (check(TokKind::kIdent) && peek().text == "max") {
+        advance();
+        op = ast::ReductionOp::kMax;
+      } else if (check(TokKind::kIdent) && peek().text == "min") {
+        advance();
+        op = ast::ReductionOp::kMin;
+      } else {
+        diags_.error(peek().loc, "expected reduction operator (+, *, max, min)");
+      }
+      expect(TokKind::kColon, "after reduction operator");
+      do {
+        if (const Token* v = expect(TokKind::kIdent, "for reduction variable")) {
+          dir.reductions.push_back({op, v->text});
+        }
+      } while (match(TokKind::kComma));
+      expect(TokKind::kRParen, "after reduction clause");
+    } else if (clause == "copy") {
+      dir.copy = parse_name_list();
+    } else if (clause == "copyin") {
+      dir.copyin = parse_name_list();
+    } else if (clause == "copyout") {
+      dir.copyout = parse_name_list();
+    } else if (clause == "dim") {
+      parse_dim_clause(dir);
+    } else if (clause == "small") {
+      dir.small_arrays = parse_name_list();
+    } else {
+      diags_.error(peek().loc, "unknown acc clause '" + clause + "'");
+      // Skip an optional parenthesized argument.
+      if (match(TokKind::kLParen)) {
+        int depth = 1;
+        while (depth > 0 && !check(TokKind::kPragmaEnd) && !at_end()) {
+          if (check(TokKind::kLParen)) ++depth;
+          if (check(TokKind::kRParen)) --depth;
+          advance();
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int binary_precedence(TokKind k) {
+  switch (k) {
+    case TokKind::kPipePipe: return 1;
+    case TokKind::kAmpAmp: return 2;
+    case TokKind::kEq:
+    case TokKind::kNe: return 3;
+    case TokKind::kLt:
+    case TokKind::kGt:
+    case TokKind::kLe:
+    case TokKind::kGe: return 4;
+    case TokKind::kPlus:
+    case TokKind::kMinus: return 5;
+    case TokKind::kStar:
+    case TokKind::kSlash:
+    case TokKind::kPercent: return 6;
+    default: return 0;
+  }
+}
+
+ast::BinaryOp binary_op(TokKind k) {
+  switch (k) {
+    case TokKind::kPipePipe: return ast::BinaryOp::kOr;
+    case TokKind::kAmpAmp: return ast::BinaryOp::kAnd;
+    case TokKind::kEq: return ast::BinaryOp::kEq;
+    case TokKind::kNe: return ast::BinaryOp::kNe;
+    case TokKind::kLt: return ast::BinaryOp::kLt;
+    case TokKind::kGt: return ast::BinaryOp::kGt;
+    case TokKind::kLe: return ast::BinaryOp::kLe;
+    case TokKind::kGe: return ast::BinaryOp::kGe;
+    case TokKind::kPlus: return ast::BinaryOp::kAdd;
+    case TokKind::kMinus: return ast::BinaryOp::kSub;
+    case TokKind::kStar: return ast::BinaryOp::kMul;
+    case TokKind::kSlash: return ast::BinaryOp::kDiv;
+    case TokKind::kPercent: return ast::BinaryOp::kRem;
+    default: return ast::BinaryOp::kAdd;
+  }
+}
+
+}  // namespace
+
+ExprPtr Parser::parse_expression() { return parse_expr(); }
+
+ExprPtr Parser::parse_expr() { return parse_binary(1); }
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  if (!lhs) return nullptr;
+  for (;;) {
+    int prec = binary_precedence(peek().kind);
+    if (prec < min_prec) break;
+    TokKind op_tok = advance().kind;
+    ExprPtr rhs = parse_binary(prec + 1);
+    if (!rhs) return nullptr;
+    SourceLoc loc = lhs->loc;
+    lhs = std::make_unique<ast::Binary>(binary_op(op_tok), std::move(lhs),
+                                        std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(TokKind::kMinus)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    return std::make_unique<ast::Unary>(ast::UnaryOp::kNeg, std::move(operand), loc);
+  }
+  if (check(TokKind::kBang)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    return std::make_unique<ast::Unary>(ast::UnaryOp::kNot, std::move(operand), loc);
+  }
+  return parse_primary();
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokKind::kIntLit: {
+      advance();
+      return std::make_unique<ast::IntLit>(tok.int_value, tok.loc);
+    }
+    case TokKind::kFloatLit: {
+      advance();
+      return std::make_unique<ast::FloatLit>(tok.float_value, tok.is_double, tok.loc);
+    }
+    case TokKind::kLParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(TokKind::kRParen, "after parenthesized expression");
+      return e;
+    }
+    case TokKind::kKwInt:
+    case TokKind::kKwLong:
+    case TokKind::kKwFloat:
+    case TokKind::kKwDouble: {
+      // Explicit cast: `float(x)` style.
+      SourceLoc loc = tok.loc;
+      ScalarType to = parse_type();
+      expect(TokKind::kLParen, "after cast type");
+      ExprPtr e = parse_expr();
+      expect(TokKind::kRParen, "after cast operand");
+      if (!e) return nullptr;
+      return std::make_unique<ast::Cast>(to, std::move(e), loc);
+    }
+    case TokKind::kIdent: {
+      advance();
+      if (check(TokKind::kLParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!check(TokKind::kRParen)) {
+          do {
+            if (ExprPtr a = parse_expr()) args.push_back(std::move(a));
+          } while (match(TokKind::kComma));
+        }
+        expect(TokKind::kRParen, "after call arguments");
+        return std::make_unique<ast::Call>(tok.text, std::move(args), tok.loc);
+      }
+      if (check(TokKind::kLBracket)) {
+        std::vector<ExprPtr> indices;
+        while (match(TokKind::kLBracket)) {
+          if (ExprPtr idx = parse_expr()) indices.push_back(std::move(idx));
+          expect(TokKind::kRBracket, "after array index");
+        }
+        return std::make_unique<ast::ArrayRef>(tok.text, std::move(indices), tok.loc);
+      }
+      return std::make_unique<ast::VarRef>(tok.text, tok.loc);
+    }
+    default:
+      diags_.error(tok.loc, std::string("expected an expression, found '") +
+                                lex::to_string(tok.kind) + "'");
+      advance();
+      return nullptr;
+  }
+}
+
+ast::Program parse_source(std::string_view source, DiagnosticEngine& diags) {
+  lex::Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parse_program();
+}
+
+}  // namespace safara::parse

@@ -1,0 +1,78 @@
+// Recursive-descent parser for ACC-C.
+//
+// Grammar sketch:
+//   program   := function*
+//   function  := type ident '(' params? ')' block
+//   param     := 'const'? type ( '*' ident | ident dims* )
+//   dims      := '[' (expr | '?')? ']'
+//   stmt      := decl | assign | for | if | return | pragma-for
+//   for       := 'for' '(' [type] iv '=' expr ';' iv cmp expr ';' step ')' block
+//   pragma    := '#pragma' 'acc' directive clauses... <end-of-line>
+//
+// Directives: parallel [loop], kernels [loop], loop. Clauses: gang[(e)],
+// vector[(e)], worker, seq, independent, collapse(n), private(list),
+// reduction(op:var), copy/copyin/copyout(list), num_gangs(e),
+// vector_length(e), and the paper's extensions dim(...) and small(list).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ast/decl.hpp"
+#include "lex/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::parse {
+
+class Parser {
+ public:
+  Parser(std::vector<lex::Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses a whole translation unit. Check diags.ok() afterwards.
+  ast::Program parse_program();
+
+  /// Parses a single expression (used by tests).
+  ast::ExprPtr parse_expression();
+
+ private:
+  using TokKind = lex::TokKind;
+
+  const lex::Token& peek(std::size_t ahead = 0) const;
+  const lex::Token& advance();
+  bool check(TokKind k) const { return peek().kind == k; }
+  bool match(TokKind k);
+  const lex::Token* expect(TokKind k, const char* context);
+  bool at_end() const { return peek().is(TokKind::kEof); }
+
+  bool is_type_token(TokKind k) const;
+  ast::ScalarType parse_type();
+
+  ast::FunctionPtr parse_function();
+  ast::Param parse_param();
+  std::unique_ptr<ast::BlockStmt> parse_block();
+  ast::StmtPtr parse_stmt();
+  ast::StmtPtr parse_for(ast::AccDirectivePtr directive);
+  ast::StmtPtr parse_if();
+  ast::StmtPtr parse_decl_stmt();
+  ast::StmtPtr parse_assign_stmt();
+  ast::AccDirectivePtr parse_directive();
+  void parse_clauses(ast::AccDirective& dir);
+  std::vector<std::string> parse_name_list();
+  void parse_dim_clause(ast::AccDirective& dir);
+
+  ast::ExprPtr parse_expr();           // full expression (lowest precedence)
+  ast::ExprPtr parse_binary(int min_prec);
+  ast::ExprPtr parse_unary();
+  ast::ExprPtr parse_primary();
+
+  void synchronize();  // error recovery: skip to ';' or '}'
+
+  std::vector<lex::Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+/// Convenience: lex + parse in one step.
+ast::Program parse_source(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace safara::parse

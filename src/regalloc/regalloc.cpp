@@ -1,0 +1,172 @@
+#include "regalloc/regalloc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "vir/liveness.hpp"
+
+namespace safara::regalloc {
+
+using vir::Instr;
+using vir::Kernel;
+using vir::LiveInterval;
+using vir::VType;
+
+namespace {
+
+/// Bank of 32-bit register units with first-fit allocation; 64-bit values
+/// take an even-aligned pair (matching NVIDIA's register pairing rules).
+class RegisterBank {
+ public:
+  explicit RegisterBank(int capacity) : in_use_(static_cast<std::size_t>(capacity), false) {}
+
+  /// Returns the first unit index, or -1 if the bank cannot satisfy it.
+  int take(int units) {
+    const int n = static_cast<int>(in_use_.size());
+    if (units == 1) {
+      for (int i = 0; i < n; ++i) {
+        if (!in_use_[i]) {
+          in_use_[i] = true;
+          bump(i + 1);
+          return i;
+        }
+      }
+      return -1;
+    }
+    for (int i = 0; i + 1 < n; i += 2) {
+      if (!in_use_[i] && !in_use_[i + 1]) {
+        in_use_[i] = in_use_[i + 1] = true;
+        bump(i + 2);
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  void release(int first, int units) {
+    for (int i = 0; i < units; ++i) in_use_[first + i] = false;
+  }
+
+  int high_water() const { return high_water_; }
+
+ private:
+  void bump(int top) { high_water_ = std::max(high_water_, top); }
+
+  std::vector<bool> in_use_;
+  int high_water_ = 0;
+};
+
+struct Active {
+  LiveInterval interval;
+  int first_unit = 0;
+  int units = 0;
+};
+
+}  // namespace
+
+std::string AllocationResult::ptxas_info(const std::string& kernel_name) const {
+  std::ostringstream os;
+  os << "ptxas info    : Function '" << kernel_name << "': Used " << regs_used
+     << " registers";
+  if (spill_bytes > 0) {
+    os << ", " << spill_bytes << " bytes local spill (" << spill_loads
+       << " loads, " << spill_stores << " stores)";
+  } else {
+    os << ", 0 bytes spill";
+  }
+  return os.str();
+}
+
+AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
+  AllocationResult result;
+  result.spilled.assign(kernel.num_vregs(), false);
+
+  std::vector<LiveInterval> intervals = vir::compute_live_intervals(kernel);
+
+  // Predicates: track peak concurrency only (separate, plentiful file).
+  {
+    std::vector<LiveInterval> preds;
+    for (const LiveInterval& iv : intervals) {
+      if (kernel.vreg_types[iv.vreg] == VType::kPred) preds.push_back(iv);
+    }
+    std::vector<std::int32_t> ends;
+    int peak = 0;
+    for (const LiveInterval& iv : preds) {
+      ends.erase(std::remove_if(ends.begin(), ends.end(),
+                                [&](std::int32_t e) { return e < iv.start; }),
+                 ends.end());
+      ends.push_back(iv.end);
+      peak = std::max(peak, static_cast<int>(ends.size()));
+    }
+    result.pred_regs_used = peak;
+  }
+
+  RegisterBank bank(opts.max_registers);
+  std::vector<Active> active;  // sorted by interval.end ascending
+
+  auto expire = [&](std::int32_t now) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].interval.end >= now) {
+        active[keep++] = active[i];
+      } else {
+        bank.release(active[i].first_unit, active[i].units);
+      }
+    }
+    active.resize(keep);
+  };
+
+  for (const LiveInterval& iv : intervals) {
+    VType type = kernel.vreg_types[iv.vreg];
+    if (type == VType::kPred) continue;
+    int units = vir::registers_of(type);
+    expire(iv.start);
+
+    int unit = bank.take(units);
+    if (unit < 0) {
+      // Spill the active interval with the furthest end if it ends later
+      // than the current one (Poletto-Sarkar heuristic); otherwise spill the
+      // current interval.
+      auto furthest = std::max_element(
+          active.begin(), active.end(), [](const Active& a, const Active& b) {
+            return a.interval.end < b.interval.end;
+          });
+      if (furthest != active.end() && furthest->interval.end > iv.end &&
+          furthest->units >= units) {
+        result.spilled[furthest->interval.vreg] = true;
+        result.spill_bytes += vir::size_of(kernel.vreg_types[furthest->interval.vreg]);
+        bank.release(furthest->first_unit, furthest->units);
+        active.erase(furthest);
+        unit = bank.take(units);
+      }
+      if (unit < 0) {
+        result.spilled[iv.vreg] = true;
+        result.spill_bytes += vir::size_of(type);
+        continue;
+      }
+    }
+    Active a;
+    a.interval = iv;
+    a.first_unit = unit;
+    a.units = units;
+    // Keep `active` sorted by end for the expire scan (not required, but
+    // keeps the furthest-end search cheap for typical sizes).
+    active.push_back(a);
+  }
+
+  result.regs_used = bank.high_water();
+
+  // Static spill traffic: one local store per def, one local load per use of
+  // each spilled vreg.
+  for (const Instr& in : kernel.code) {
+    if (vir::has_dst(in.op) && in.dst != vir::kNoReg && result.spilled[in.dst]) {
+      ++result.spill_stores;
+    }
+    vir::for_each_use(in, [&](std::uint32_t r) {
+      if (result.spilled[r]) ++result.spill_loads;
+    });
+  }
+  return result;
+}
+
+}  // namespace safara::regalloc

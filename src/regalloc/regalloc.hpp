@@ -1,0 +1,50 @@
+// ptxas-sim: the register-allocation stage that plays the role of NVIDIA's
+// closed-source PTX assembler in the paper's feedback loop.
+//
+// The allocator runs linear scan over the kernel's live intervals against a
+// bank of 32-bit hardware registers (64-bit values occupy an aligned pair).
+// Its outputs are the signals SAFARA consumes: the hardware register count
+// and spill traffic, formatted like `ptxas -v` output. The allocation is
+// also consumed by the GPU simulator, which charges local-memory latency to
+// accesses of spilled virtual registers and feeds the register count into
+// the occupancy calculation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vir/vir.hpp"
+
+namespace safara::regalloc {
+
+struct AllocationResult {
+  /// High-water mark of simultaneously live 32-bit registers (the number
+  /// `ptxas -v` reports). Includes both halves of 64-bit values.
+  int regs_used = 0;
+  /// Peak simultaneously live predicate registers (separate file).
+  int pred_regs_used = 0;
+  /// Per-vreg: true if this virtual register was spilled to local memory.
+  std::vector<bool> spilled;
+  /// Total local-memory bytes reserved for spill slots.
+  int spill_bytes = 0;
+  /// Static number of loads/stores the spills introduce.
+  int spill_loads = 0;
+  int spill_stores = 0;
+
+  bool any_spills() const { return spill_bytes > 0; }
+
+  /// "ptxas info    : Used 26 registers, 0 bytes spill stores, ..." — the
+  /// static feedback line SAFARA parses conceptually.
+  std::string ptxas_info(const std::string& kernel_name) const;
+};
+
+struct AllocatorOptions {
+  /// Hardware limit per thread (255 on Kepler). Lowering it models
+  /// __launch_bounds__-style pressure and forces spilling.
+  int max_registers = 255;
+};
+
+AllocationResult allocate(const vir::Kernel& kernel, const AllocatorOptions& opts = {});
+
+}  // namespace safara::regalloc

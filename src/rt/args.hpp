@@ -1,0 +1,39 @@
+// Kernel argument values passed from host code to the runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "ast/type.hpp"
+
+namespace safara::rt {
+
+struct Buffer;  // defined in rt/buffer.hpp
+
+/// A host-side scalar with its ACC-C type.
+struct ScalarValue {
+  ast::ScalarType type = ast::ScalarType::kI32;
+  std::int64_t i = 0;  // valid for integer types
+  double f = 0.0;      // valid for float types
+
+  static ScalarValue of_i32(std::int32_t v) {
+    return {ast::ScalarType::kI32, v, 0.0};
+  }
+  static ScalarValue of_i64(std::int64_t v) {
+    return {ast::ScalarType::kI64, v, 0.0};
+  }
+  static ScalarValue of_f32(float v) { return {ast::ScalarType::kF32, 0, v}; }
+  static ScalarValue of_f64(double v) { return {ast::ScalarType::kF64, 0, v}; }
+
+  double as_double() const { return ast::is_float(type) ? f : static_cast<double>(i); }
+  std::int64_t as_int() const {
+    return ast::is_float(type) ? static_cast<std::int64_t>(f) : i;
+  }
+};
+
+using ArgValue = std::variant<ScalarValue, Buffer*>;
+using ArgMap = std::map<std::string, ArgValue>;
+
+}  // namespace safara::rt

@@ -1,0 +1,34 @@
+// A device array allocation with its shape metadata (the host-side dope
+// vector the compiler-generated kernels read their lb/len parameters from).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ast/type.hpp"
+
+namespace safara::rt {
+
+struct Dim {
+  std::int64_t lb = 0;
+  std::int64_t len = 0;
+};
+
+struct Buffer {
+  std::uint64_t device_addr = 0;
+  ast::ScalarType elem = ast::ScalarType::kF32;
+  std::vector<Dim> dims;
+
+  std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const Dim& d : dims) n *= d.len;
+    return n;
+  }
+  std::size_t byte_size() const {
+    return static_cast<std::size_t>(element_count()) *
+           static_cast<std::size_t>(ast::size_of(elem));
+  }
+};
+
+}  // namespace safara::rt

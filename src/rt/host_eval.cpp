@@ -1,0 +1,77 @@
+#include "rt/host_eval.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safara::rt {
+
+using ast::Expr;
+using ast::ExprKind;
+
+std::int64_t eval_int(const Expr& e, const ArgMap& args) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return e.as<ast::IntLit>().value;
+    case ExprKind::kFloatLit:
+      return static_cast<std::int64_t>(e.as<ast::FloatLit>().value);
+    case ExprKind::kVarRef: {
+      const std::string& name = e.as<ast::VarRef>().name;
+      auto it = args.find(name);
+      if (it == args.end()) {
+        throw std::runtime_error("launch: missing scalar argument '" + name + "'");
+      }
+      const ScalarValue* sv = std::get_if<ScalarValue>(&it->second);
+      if (!sv) {
+        throw std::runtime_error("launch: argument '" + name +
+                                 "' used as a scalar but bound to a buffer");
+      }
+      return sv->as_int();
+    }
+    case ExprKind::kUnary: {
+      const auto& u = e.as<ast::Unary>();
+      std::int64_t v = eval_int(*u.operand, args);
+      return u.op == ast::UnaryOp::kNeg ? -v : (v == 0 ? 1 : 0);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = e.as<ast::Binary>();
+      std::int64_t l = eval_int(*b.lhs, args);
+      std::int64_t r = eval_int(*b.rhs, args);
+      switch (b.op) {
+        case ast::BinaryOp::kAdd: return l + r;
+        case ast::BinaryOp::kSub: return l - r;
+        case ast::BinaryOp::kMul: return l * r;
+        case ast::BinaryOp::kDiv: return r == 0 ? 0 : l / r;
+        case ast::BinaryOp::kRem: return r == 0 ? 0 : l % r;
+        case ast::BinaryOp::kEq: return l == r;
+        case ast::BinaryOp::kNe: return l != r;
+        case ast::BinaryOp::kLt: return l < r;
+        case ast::BinaryOp::kGt: return l > r;
+        case ast::BinaryOp::kLe: return l <= r;
+        case ast::BinaryOp::kGe: return l >= r;
+        case ast::BinaryOp::kAnd: return (l != 0 && r != 0) ? 1 : 0;
+        case ast::BinaryOp::kOr: return (l != 0 || r != 0) ? 1 : 0;
+      }
+      return 0;
+    }
+    case ExprKind::kCall: {
+      const auto& c = e.as<ast::Call>();
+      if (c.callee == "min" && c.args.size() == 2) {
+        return std::min(eval_int(*c.args[0], args), eval_int(*c.args[1], args));
+      }
+      if (c.callee == "max" && c.args.size() == 2) {
+        return std::max(eval_int(*c.args[0], args), eval_int(*c.args[1], args));
+      }
+      if (c.callee == "abs" && c.args.size() == 1) {
+        return std::llabs(eval_int(*c.args[0], args));
+      }
+      throw std::runtime_error("launch: unsupported call '" + c.callee +
+                               "' in a launch expression");
+    }
+    case ExprKind::kCast:
+      return eval_int(*e.as<ast::Cast>().operand, args);
+    default:
+      throw std::runtime_error("launch: unsupported expression in a launch plan");
+  }
+}
+
+}  // namespace safara::rt

@@ -1,0 +1,16 @@
+// Host-side evaluation of launch-plan expressions (loop bounds, gang counts,
+// vector lengths) against the actual kernel arguments.
+#pragma once
+
+#include <cstdint>
+
+#include "ast/expr.hpp"
+#include "rt/args.hpp"
+
+namespace safara::rt {
+
+/// Evaluates an integer expression over the scalar arguments in `args`.
+/// Throws std::runtime_error on unbound names or non-scalar uses.
+std::int64_t eval_int(const ast::Expr& e, const ArgMap& args);
+
+}  // namespace safara::rt

@@ -1,0 +1,44 @@
+// Symbols produced by semantic analysis and consumed by every later stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/decl.hpp"
+
+namespace safara::sema {
+
+enum class SymbolKind : std::uint8_t {
+  kParamScalar,
+  kParamArray,
+  kLocal,      // scalar declared in a block
+  kInduction,  // loop induction variable
+};
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind = SymbolKind::kLocal;
+  ast::ScalarType type = ast::ScalarType::kVoid;  // element type for arrays
+
+  // Array-only fields.
+  ast::ArrayDeclKind decl_kind = ast::ArrayDeclKind::kScalar;
+  int rank = 0;
+  bool is_const = false;  // declared const (never writable)
+  /// Non-owning views of the declared extent expressions (null entries for
+  /// allocatable/pointer dims whose extents live in the runtime dope vector).
+  std::vector<const ast::Expr*> extents;
+
+  // Attributes derived from directives by sema each run (Section IV clauses).
+  /// Arrays asserted to share a dope vector get the same nonnegative id.
+  int dim_group = -1;
+  /// Explicit per-dim (lb, len) from the dim clause, if provided (non-owning).
+  std::vector<const ast::Expr*> dim_lb;
+  std::vector<const ast::Expr*> dim_len;
+  /// `small(...)`: offsets for this array fit in 32 bits.
+  bool small = false;
+
+  bool is_array() const { return kind == SymbolKind::kParamArray; }
+};
+
+}  // namespace safara::sema

@@ -1,0 +1,41 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace safara {
+
+std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "?:?";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.col);
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kNote, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    const char* sev = d.severity == Severity::kError     ? "error"
+                      : d.severity == Severity::kWarning ? "warning"
+                                                         : "note";
+    os << to_string(d.loc) << ": " << sev << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace safara

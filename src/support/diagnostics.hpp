@@ -1,0 +1,51 @@
+// Diagnostic engine: collects errors/warnings with source locations.
+//
+// All front-end stages report through a DiagnosticEngine instead of throwing;
+// callers check error_count() after each stage. A CompileError exception is
+// reserved for internal invariant violations (compiler bugs), not user error.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace safara {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Thrown only for internal compiler invariant violations.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  std::size_t error_count() const { return error_count_; }
+  bool ok() const { return error_count_ == 0; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics rendered one per line, "line:col: severity: message".
+  std::string render() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace safara

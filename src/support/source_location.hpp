@@ -1,0 +1,30 @@
+// Source locations and ranges used throughout the front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safara {
+
+/// A (line, column) position within a single translation unit. Lines and
+/// columns are 1-based; a default-constructed location is "unknown".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  constexpr bool valid() const { return line != 0; }
+  constexpr bool operator==(const SourceLoc&) const = default;
+};
+
+/// Half-open range [begin, end) of source positions.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  constexpr bool valid() const { return begin.valid(); }
+};
+
+/// Renders "line:col" (or "?:?" for an unknown location).
+std::string to_string(SourceLoc loc);
+
+}  // namespace safara

@@ -1,0 +1,54 @@
+// Device model: a Kepler-class GPU (defaults match the paper's K20Xm).
+//
+// Latency constants follow the microbenchmark methodology of Wong et al.
+// (ISPASS'10), which the paper cites as the source of its memory-latency
+// cost model inputs.
+#pragma once
+
+#include <cstdint>
+
+namespace safara::vgpu {
+
+struct LatencyModel {
+  int alu = 10;                // dependent-issue latency of int/fp ALU ops
+  int imul64 = 18;             // 64-bit integer multiply (emulated wider)
+  int int_div = 90;            // integer divide (emulated in software)
+  int sfu = 36;                // special function unit (sqrt, sin, ...)
+  int global_base = 440;       // first 128B transaction of a global load
+  int global_per_extra_tx = 40;  // each additional transaction in the warp
+  int ro_cache_hit = 140;      // read-only data cache hit
+  int ro_cache_miss = 480;     // read-only data cache miss
+  int local_mem = 80;          // register spill traffic (local, L1-cached)
+  int atomic = 400;            // global atomic
+  int store_issue = 4;         // stores are fire-and-forget but cost issue
+  /// Cycles each 128-byte transaction occupies the SM's memory pipeline:
+  /// the bandwidth term. Scattered (32-transaction) warps saturate it, which
+  /// is why eliminating uncoalesced loads pays far more than eliminating
+  /// coalesced ones.
+  int tx_cycles = 2;
+};
+
+struct DeviceSpec {
+  int num_sms = 14;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  std::int64_t registers_per_sm = 65536;  // 256 KB of 32-bit registers
+  int max_registers_per_thread = 255;
+  /// Register allocation granularity: regs/thread rounds up to a multiple.
+  int reg_granularity = 8;
+  int schedulers_per_sm = 4;
+  int ro_cache_bytes = 48 * 1024;
+  int ro_cache_line = 128;
+  int ro_cache_ways = 4;
+  int memory_segment = 128;  // coalescing segment size in bytes
+  double clock_ghz = 0.732;
+  LatencyModel lat;
+
+  /// The paper's evaluation GPU: NVIDIA Tesla K20Xm.
+  static DeviceSpec k20xm() { return DeviceSpec{}; }
+};
+
+}  // namespace safara::vgpu

@@ -1,0 +1,55 @@
+#include "vgpu/occupancy.hpp"
+
+#include <algorithm>
+
+namespace safara::vgpu {
+
+const char* to_string(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::kWarps: return "warps";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kThreads: return "threads";
+  }
+  return "?";
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
+                            int threads_per_block) {
+  Occupancy occ;
+  threads_per_block = std::max(1, threads_per_block);
+  regs_per_thread = std::max(1, regs_per_thread);
+
+  const int warps_per_block = (threads_per_block + spec.warp_size - 1) / spec.warp_size;
+
+  // Round the register footprint to the hardware allocation granularity.
+  const int g = spec.reg_granularity;
+  const int rounded_regs = ((regs_per_thread + g - 1) / g) * g;
+  const std::int64_t regs_per_block =
+      static_cast<std::int64_t>(rounded_regs) * warps_per_block * spec.warp_size;
+
+  const int by_warps = spec.max_warps_per_sm / warps_per_block;
+  const int by_regs = static_cast<int>(spec.registers_per_sm / regs_per_block);
+  const int by_blocks = spec.max_blocks_per_sm;
+  const int by_threads = spec.max_threads_per_sm / threads_per_block;
+
+  int blocks = std::min(std::min(by_warps, by_regs), std::min(by_blocks, by_threads));
+  blocks = std::max(blocks, 0);
+
+  occ.blocks_per_sm = blocks;
+  occ.warps_per_sm = blocks * warps_per_block;
+  occ.ratio = static_cast<double>(occ.warps_per_sm) / spec.max_warps_per_sm;
+  if (blocks == by_regs && by_regs <= by_warps && by_regs <= by_blocks &&
+      by_regs <= by_threads) {
+    occ.limiter = OccupancyLimiter::kRegisters;
+  } else if (blocks == by_warps && by_warps <= by_blocks && by_warps <= by_threads) {
+    occ.limiter = OccupancyLimiter::kWarps;
+  } else if (blocks == by_threads && by_threads <= by_blocks) {
+    occ.limiter = OccupancyLimiter::kThreads;
+  } else {
+    occ.limiter = OccupancyLimiter::kBlocks;
+  }
+  return occ;
+}
+
+}  // namespace safara::vgpu

@@ -1,0 +1,28 @@
+// Occupancy calculation: how many thread blocks fit on one SM given the
+// kernel's register footprint, and which resource limits it. This is the
+// channel through which register pressure costs performance (Section II-B
+// and Section IV of the paper): more registers per thread -> fewer resident
+// warps -> less latency hiding.
+#pragma once
+
+#include "vgpu/device.hpp"
+
+namespace safara::vgpu {
+
+enum class OccupancyLimiter { kWarps, kRegisters, kBlocks, kThreads };
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double ratio = 0.0;  // warps_per_sm / max_warps_per_sm
+  OccupancyLimiter limiter = OccupancyLimiter::kWarps;
+};
+
+const char* to_string(OccupancyLimiter l);
+
+/// `regs_per_thread` is the ptxas-sim register count (before granularity
+/// rounding); `threads_per_block` is the full block size (x*y*z).
+Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
+                            int threads_per_block);
+
+}  // namespace safara::vgpu

@@ -1,0 +1,737 @@
+#include "vgpu/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "vgpu/cache.hpp"
+#include "vir/liveness.hpp"
+
+namespace safara::vgpu {
+
+using vir::Instr;
+using vir::Kernel;
+using vir::Opcode;
+using vir::SpecialReg;
+using vir::VType;
+
+namespace {
+
+// Bit-pattern helpers: every register slot is a uint64.
+float as_f32(std::uint64_t v) {
+  float f;
+  std::uint32_t u = static_cast<std::uint32_t>(v);
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+double as_f64(std::uint64_t v) {
+  double d;
+  std::memcpy(&d, &v, 8);
+  return d;
+}
+std::int32_t as_i32(std::uint64_t v) { return static_cast<std::int32_t>(v); }
+std::int64_t as_i64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+std::uint64_t from_f32(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+std::uint64_t from_f64(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, 8);
+  return u;
+}
+std::uint64_t from_i32(std::int32_t v) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+}
+std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+struct SimtEntry {
+  std::int32_t reconv_pc = 0;
+  std::int32_t other_pc = 0;
+  std::uint32_t other_mask = 0;
+  std::uint32_t merged_mask = 0;
+};
+
+struct Warp {
+  std::int32_t pc = 0;
+  std::uint32_t active = 0;
+  std::int64_t ready_cycle = 0;
+  bool finished = false;
+  int block_index = -1;  // index into the SM's resident-block table
+  int warp_in_block = 0;
+  std::vector<std::uint64_t> regs;      // nvregs * 32
+  std::vector<std::int64_t> reg_ready;  // nvregs
+  std::vector<SimtEntry> stack;
+};
+
+struct ResidentBlock {
+  int coords[3] = {0, 0, 0};
+  int warps_left = 0;
+};
+
+class SmSimulator {
+ public:
+  SmSimulator(const Kernel& kernel, const regalloc::AllocationResult& alloc,
+              const DeviceSpec& spec, DeviceMemory& mem,
+              const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
+              LaunchStats& stats)
+      : k_(kernel),
+        alloc_(alloc),
+        spec_(spec),
+        mem_(mem),
+        params_(params),
+        cfg_(cfg),
+        stats_(stats),
+        ro_cache_(spec.ro_cache_bytes, spec.ro_cache_line, spec.ro_cache_ways) {}
+
+  /// Runs the given linear block indices to completion; returns SM cycles.
+  std::uint64_t run(const std::vector<std::int64_t>& block_ids, int blocks_per_sm) {
+    pending_ = block_ids;
+    next_pending_ = 0;
+    for (int i = 0; i < blocks_per_sm && next_pending_ < pending_.size(); ++i) {
+      admit_block();
+    }
+    cycle_ = 0;
+    std::size_t rr = 0;
+    while (!warps_.empty()) {
+      int issued = 0;
+      const std::size_t n = warps_.size();
+      for (std::size_t scan = 0; scan < n && issued < spec_.schedulers_per_sm; ++scan) {
+        Warp& w = *warps_[(rr + scan) % n];
+        if (w.finished || w.ready_cycle > cycle_) continue;
+        if (step(w)) ++issued;
+      }
+      ++rr;
+      retire_finished();
+      if (warps_.empty()) break;
+      if (issued == 0) {
+        std::int64_t next = std::numeric_limits<std::int64_t>::max();
+        for (auto& wp : warps_) {
+          if (!wp->finished) next = std::min(next, wp->ready_cycle);
+        }
+        cycle_ = std::max(cycle_ + 1, next);
+      } else {
+        ++cycle_;
+      }
+    }
+    return static_cast<std::uint64_t>(cycle_);
+  }
+
+ private:
+  void admit_block() {
+    std::int64_t linear = pending_[next_pending_++];
+    ResidentBlock rb;
+    rb.coords[0] = static_cast<int>(linear % cfg_.grid[0]);
+    rb.coords[1] = static_cast<int>((linear / cfg_.grid[0]) % cfg_.grid[1]);
+    rb.coords[2] = static_cast<int>(linear / (static_cast<std::int64_t>(cfg_.grid[0]) * cfg_.grid[1]));
+    const int threads = cfg_.threads_per_block();
+    const int nwarps = (threads + spec_.warp_size - 1) / spec_.warp_size;
+    rb.warps_left = nwarps;
+    blocks_.push_back(rb);
+    const int block_index = static_cast<int>(blocks_.size() - 1);
+
+    for (int wi = 0; wi < nwarps; ++wi) {
+      auto w = std::make_unique<Warp>();
+      w->block_index = block_index;
+      w->warp_in_block = wi;
+      const int first_thread = wi * spec_.warp_size;
+      const int lanes = std::min(spec_.warp_size, threads - first_thread);
+      w->active = lanes == 32 ? 0xffffffffu : ((1u << lanes) - 1);
+      w->regs.assign(static_cast<std::size_t>(k_.num_vregs()) * 32, 0);
+      w->reg_ready.assign(k_.num_vregs(), 0);
+      w->ready_cycle = cycle_;
+      warps_.push_back(std::move(w));
+    }
+  }
+
+  void retire_finished() {
+    for (std::size_t i = 0; i < warps_.size();) {
+      if (!warps_[i]->finished) {
+        ++i;
+        continue;
+      }
+      int bi = warps_[i]->block_index;
+      warps_.erase(warps_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (--blocks_[static_cast<std::size_t>(bi)].warps_left == 0 &&
+          next_pending_ < pending_.size()) {
+        admit_block();
+      }
+    }
+  }
+
+  std::uint64_t& reg(Warp& w, std::uint32_t r, int lane) {
+    return w.regs[static_cast<std::size_t>(r) * 32 + static_cast<std::size_t>(lane)];
+  }
+
+  /// Books `ntx` transactions on the SM's memory pipeline (the bandwidth
+  /// model); returns the queueing delay the requester sees before its
+  /// transactions even start.
+  std::int64_t mem_occupy(int ntx) {
+    const std::int64_t start = std::max(cycle_, mem_free_);
+    mem_free_ = start + static_cast<std::int64_t>(ntx) * spec_.lat.tx_cycles;
+    return start - cycle_;
+  }
+
+  /// Executes one instruction (or performs a reconvergence action).
+  /// Returns true if an issue slot was consumed.
+  bool step(Warp& w) {
+    // Reconvergence: act before fetching.
+    while (!w.stack.empty() && w.pc == w.stack.back().reconv_pc) {
+      SimtEntry& e = w.stack.back();
+      if (e.other_mask != 0) {
+        w.active = e.other_mask;
+        w.pc = e.other_pc;
+        e.other_mask = 0;
+      } else {
+        w.active = e.merged_mask;
+        w.stack.pop_back();
+      }
+    }
+    if (w.pc >= static_cast<std::int32_t>(k_.code.size())) {
+      w.finished = true;
+      return false;
+    }
+
+    const Instr& in = k_.code[static_cast<std::size_t>(w.pc)];
+
+    // Operand scoreboard.
+    std::int64_t ready = cycle_;
+    vir::for_each_use(in, [&](std::uint32_t r) {
+      ready = std::max(ready, w.reg_ready[r]);
+    });
+    if (ready > cycle_) {
+      w.ready_cycle = ready;
+      return false;
+    }
+
+    // Spill traffic: reads of spilled vregs are local-memory loads.
+    int extra_latency = 0;
+    vir::for_each_use(in, [&](std::uint32_t r) {
+      if (alloc_.spilled[r]) {
+        extra_latency += spec_.lat.local_mem;
+        ++stats_.spill_accesses;
+      }
+    });
+
+    ++stats_.warp_instructions;
+    execute(w, in, extra_latency);
+    return true;
+  }
+
+  void set_result(Warp& w, const Instr& in, int latency) {
+    if (vir::has_dst(in.op) && in.dst != vir::kNoReg) {
+      if (alloc_.spilled[in.dst]) {
+        latency += spec_.lat.local_mem;
+        ++stats_.spill_accesses;
+      }
+      w.reg_ready[in.dst] = cycle_ + latency;
+    }
+    w.ready_cycle = cycle_ + 1;
+    w.pc += 1;
+  }
+
+  // -- functional helpers -----------------------------------------------------
+
+  template <typename Fn>
+  void for_active(Warp& w, Fn&& fn) {
+    for (int lane = 0; lane < 32; ++lane) {
+      if (w.active & (1u << lane)) fn(lane);
+    }
+  }
+
+  std::uint64_t arith(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+    switch (t) {
+      case VType::kI32: {
+        std::int32_t a = as_i32(av), b = as_i32(bv);
+        std::int32_t r = 0;
+        switch (op) {
+          case Opcode::kAdd: r = a + b; break;
+          case Opcode::kSub: r = a - b; break;
+          case Opcode::kMul: r = a * b; break;
+          case Opcode::kDiv: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b); break;
+          case Opcode::kRem: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b); break;
+          case Opcode::kMin: r = std::min(a, b); break;
+          case Opcode::kMax: r = std::max(a, b); break;
+          default: break;
+        }
+        return from_i32(r);
+      }
+      case VType::kI64: {
+        std::int64_t a = as_i64(av), b = as_i64(bv);
+        std::int64_t r = 0;
+        switch (op) {
+          case Opcode::kAdd: r = a + b; break;
+          case Opcode::kSub: r = a - b; break;
+          case Opcode::kMul: r = a * b; break;
+          case Opcode::kDiv: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? a : a / b); break;
+          case Opcode::kRem: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? 0 : a % b); break;
+          case Opcode::kMin: r = std::min(a, b); break;
+          case Opcode::kMax: r = std::max(a, b); break;
+          default: break;
+        }
+        return from_i64(r);
+      }
+      case VType::kF32: {
+        float a = as_f32(av), b = as_f32(bv);
+        float r = 0;
+        switch (op) {
+          case Opcode::kAdd: r = a + b; break;
+          case Opcode::kSub: r = a - b; break;
+          case Opcode::kMul: r = a * b; break;
+          case Opcode::kDiv: r = a / b; break;
+          case Opcode::kMin: r = std::fmin(a, b); break;
+          case Opcode::kMax: r = std::fmax(a, b); break;
+          default: break;
+        }
+        return from_f32(r);
+      }
+      case VType::kF64: {
+        double a = as_f64(av), b = as_f64(bv);
+        double r = 0;
+        switch (op) {
+          case Opcode::kAdd: r = a + b; break;
+          case Opcode::kSub: r = a - b; break;
+          case Opcode::kMul: r = a * b; break;
+          case Opcode::kDiv: r = a / b; break;
+          case Opcode::kMin: r = std::fmin(a, b); break;
+          case Opcode::kMax: r = std::fmax(a, b); break;
+          default: break;
+        }
+        return from_f64(r);
+      }
+      case VType::kPred:
+        break;
+    }
+    return 0;
+  }
+
+  std::uint64_t unary_fn(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+    auto apply = [&](double a, double b) -> double {
+      switch (op) {
+        case Opcode::kNeg: return -a;
+        case Opcode::kAbs: return std::fabs(a);
+        case Opcode::kSqrt: return std::sqrt(a);
+        case Opcode::kRsqrt: return 1.0 / std::sqrt(a);
+        case Opcode::kExp: return std::exp(a);
+        case Opcode::kLog: return std::log(a);
+        case Opcode::kSin: return std::sin(a);
+        case Opcode::kCos: return std::cos(a);
+        case Opcode::kPow: return std::pow(a, b);
+        case Opcode::kFloor: return std::floor(a);
+        case Opcode::kCeil: return std::ceil(a);
+        default: return 0;
+      }
+    };
+    switch (t) {
+      case VType::kI32: {
+        if (op == Opcode::kNeg) return from_i32(-as_i32(av));
+        if (op == Opcode::kAbs) return from_i32(std::abs(as_i32(av)));
+        return from_i32(static_cast<std::int32_t>(apply(as_i32(av), as_i32(bv))));
+      }
+      case VType::kI64: {
+        if (op == Opcode::kNeg) return from_i64(-as_i64(av));
+        if (op == Opcode::kAbs) return from_i64(std::llabs(as_i64(av)));
+        return from_i64(static_cast<std::int64_t>(apply(static_cast<double>(as_i64(av)),
+                                                        static_cast<double>(as_i64(bv)))));
+      }
+      case VType::kF32:
+        return from_f32(static_cast<float>(apply(as_f32(av), as_f32(bv))));
+      case VType::kF64:
+        return from_f64(apply(as_f64(av), as_f64(bv)));
+      case VType::kPred:
+        break;
+    }
+    return 0;
+  }
+
+  bool compare(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+    auto cmp = [&](auto a, auto b) -> bool {
+      switch (op) {
+        case Opcode::kSetLt: return a < b;
+        case Opcode::kSetLe: return a <= b;
+        case Opcode::kSetGt: return a > b;
+        case Opcode::kSetGe: return a >= b;
+        case Opcode::kSetEq: return a == b;
+        case Opcode::kSetNe: return a != b;
+        default: return false;
+      }
+    };
+    switch (t) {
+      case VType::kI32: return cmp(as_i32(av), as_i32(bv));
+      case VType::kI64: return cmp(as_i64(av), as_i64(bv));
+      case VType::kF32: return cmp(as_f32(av), as_f32(bv));
+      case VType::kF64: return cmp(as_f64(av), as_f64(bv));
+      case VType::kPred: return cmp(av & 1, bv & 1);
+    }
+    return false;
+  }
+
+  std::uint64_t convert(VType to, VType from, std::uint64_t v) {
+    double d = 0;
+    std::int64_t i = 0;
+    bool src_float = from == VType::kF32 || from == VType::kF64;
+    if (from == VType::kF32) d = as_f32(v);
+    if (from == VType::kF64) d = as_f64(v);
+    if (from == VType::kI32) i = as_i32(v);
+    if (from == VType::kI64) i = as_i64(v);
+    if (from == VType::kPred) i = static_cast<std::int64_t>(v & 1);
+    switch (to) {
+      case VType::kI32:
+        return from_i32(src_float ? static_cast<std::int32_t>(d)
+                                  : static_cast<std::int32_t>(i));
+      case VType::kI64:
+        return from_i64(src_float ? static_cast<std::int64_t>(d) : i);
+      case VType::kF32:
+        return from_f32(src_float ? static_cast<float>(d) : static_cast<float>(i));
+      case VType::kF64:
+        return from_f64(src_float ? d : static_cast<double>(i));
+      case VType::kPred:
+        return (src_float ? d != 0.0 : i != 0) ? 1 : 0;
+    }
+    return 0;
+  }
+
+  // -- memory -----------------------------------------------------------------
+
+  /// Number of `memory_segment`-byte transactions the active lanes generate.
+  int count_transactions(Warp& w, std::uint32_t addr_reg, int access_bytes) {
+    std::set<std::uint64_t> segments;
+    for_active(w, [&](int lane) {
+      std::uint64_t addr = reg(w, addr_reg, lane);
+      std::uint64_t seg = static_cast<std::uint64_t>(spec_.memory_segment);
+      segments.insert(addr / seg);
+      // An access straddling a segment boundary costs a second transaction.
+      if ((addr % seg) + static_cast<std::uint64_t>(access_bytes) > seg) {
+        segments.insert(addr / seg + 1);
+      }
+    });
+    return static_cast<int>(segments.size());
+  }
+
+  std::uint64_t load_lane(std::uint64_t addr, VType t) {
+    switch (t) {
+      case VType::kI32: return from_i32(mem_.load<std::int32_t>(addr));
+      case VType::kI64: return from_i64(mem_.load<std::int64_t>(addr));
+      case VType::kF32: return from_f32(mem_.load<float>(addr));
+      case VType::kF64: return from_f64(mem_.load<double>(addr));
+      case VType::kPred: return mem_.load<std::uint8_t>(addr) & 1;
+    }
+    return 0;
+  }
+
+  void store_lane(std::uint64_t addr, VType t, std::uint64_t v) {
+    switch (t) {
+      case VType::kI32: mem_.store<std::int32_t>(addr, as_i32(v)); break;
+      case VType::kI64: mem_.store<std::int64_t>(addr, as_i64(v)); break;
+      case VType::kF32: mem_.store<float>(addr, as_f32(v)); break;
+      case VType::kF64: mem_.store<double>(addr, as_f64(v)); break;
+      case VType::kPred: mem_.store<std::uint8_t>(addr, v & 1); break;
+    }
+  }
+
+  // -- execution ----------------------------------------------------------------
+
+  void execute(Warp& w, const Instr& in, int extra_latency) {
+    const LatencyModel& lat = spec_.lat;
+    switch (in.op) {
+      case Opcode::kMovImmI: {
+        std::uint64_t v = in.type == VType::kI32
+                              ? from_i32(static_cast<std::int32_t>(in.imm))
+                              : from_i64(in.imm);
+        for_active(w, [&](int lane) { reg(w, in.dst, lane) = v; });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      }
+      case Opcode::kMovImmF: {
+        std::uint64_t v = in.type == VType::kF32 ? from_f32(static_cast<float>(in.fimm))
+                                                 : from_f64(in.fimm);
+        for_active(w, [&](int lane) { reg(w, in.dst, lane) = v; });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      }
+      case Opcode::kMov:
+        for_active(w, [&](int lane) { reg(w, in.dst, lane) = reg(w, in.a, lane); });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kRem:
+      case Opcode::kMin:
+      case Opcode::kMax: {
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = arith(in.op, in.type, reg(w, in.a, lane), reg(w, in.b, lane));
+        });
+        int l = lat.alu;
+        bool is_int = in.type == VType::kI32 || in.type == VType::kI64;
+        if ((in.op == Opcode::kDiv || in.op == Opcode::kRem) && is_int) l = lat.int_div;
+        if (in.op == Opcode::kMul && in.type == VType::kI64) l = lat.imul64;
+        if (in.op == Opcode::kDiv && !is_int) l = lat.sfu;
+        set_result(w, in, l + extra_latency);
+        return;
+      }
+      case Opcode::kNeg:
+      case Opcode::kAbs:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = unary_fn(in.op, in.type, reg(w, in.a, lane), 0);
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kSqrt:
+      case Opcode::kRsqrt:
+      case Opcode::kExp:
+      case Opcode::kLog:
+      case Opcode::kSin:
+      case Opcode::kCos:
+      case Opcode::kPow:
+      case Opcode::kFloor:
+      case Opcode::kCeil:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = unary_fn(in.op, in.type, reg(w, in.a, lane),
+                                          in.b == vir::kNoReg ? 0 : reg(w, in.b, lane));
+        });
+        set_result(w, in, lat.sfu + extra_latency);
+        return;
+      case Opcode::kSetLt:
+      case Opcode::kSetLe:
+      case Opcode::kSetGt:
+      case Opcode::kSetGe:
+      case Opcode::kSetEq:
+      case Opcode::kSetNe:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) =
+              compare(in.op, in.type, reg(w, in.a, lane), reg(w, in.b, lane)) ? 1 : 0;
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kPredAnd:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = (reg(w, in.a, lane) & reg(w, in.b, lane)) & 1;
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kPredOr:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = (reg(w, in.a, lane) | reg(w, in.b, lane)) & 1;
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kPredNot:
+        for_active(w, [&](int lane) { reg(w, in.dst, lane) = (~reg(w, in.a, lane)) & 1; });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kSelp:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) =
+              (reg(w, in.c, lane) & 1) ? reg(w, in.a, lane) : reg(w, in.b, lane);
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kCvt:
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = convert(in.type, k_.vreg_types[in.a], reg(w, in.a, lane));
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      case Opcode::kLdParam: {
+        std::uint64_t v = params_[static_cast<std::size_t>(in.imm)];
+        for_active(w, [&](int lane) { reg(w, in.dst, lane) = v; });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      }
+      case Opcode::kMovSpecial: {
+        const int code = static_cast<int>(in.imm);
+        const ResidentBlock& rb = blocks_[static_cast<std::size_t>(w.block_index)];
+        for_active(w, [&](int lane) {
+          int t = w.warp_in_block * spec_.warp_size + lane;
+          int tid[3] = {t % cfg_.block[0], (t / cfg_.block[0]) % cfg_.block[1],
+                        t / (cfg_.block[0] * cfg_.block[1])};
+          std::int32_t v = 0;
+          switch (static_cast<SpecialReg>(code)) {
+            case SpecialReg::kTidX: v = tid[0]; break;
+            case SpecialReg::kTidY: v = tid[1]; break;
+            case SpecialReg::kTidZ: v = tid[2]; break;
+            case SpecialReg::kCtaidX: v = rb.coords[0]; break;
+            case SpecialReg::kCtaidY: v = rb.coords[1]; break;
+            case SpecialReg::kCtaidZ: v = rb.coords[2]; break;
+            case SpecialReg::kNtidX: v = cfg_.block[0]; break;
+            case SpecialReg::kNtidY: v = cfg_.block[1]; break;
+            case SpecialReg::kNtidZ: v = cfg_.block[2]; break;
+            case SpecialReg::kNctaidX: v = cfg_.grid[0]; break;
+            case SpecialReg::kNctaidY: v = cfg_.grid[1]; break;
+            case SpecialReg::kNctaidZ: v = cfg_.grid[2]; break;
+          }
+          reg(w, in.dst, lane) = from_i32(v);
+        });
+        set_result(w, in, lat.alu + extra_latency);
+        return;
+      }
+      case Opcode::kLdGlobal: {
+        const int bytes = vir::size_of(in.type);
+        const int ntx = count_transactions(w, in.a, bytes);
+        stats_.mem_transactions += static_cast<std::uint64_t>(ntx);
+        ++stats_.global_loads;
+        int latency;
+        if (in.flags & Instr::kFlagReadOnly) {
+          // Probe the RO cache per line; hits bypass the memory pipeline,
+          // misses queue on it like ordinary global traffic.
+          int miss_lines = 0;
+          std::set<std::uint64_t> lines;
+          for_active(w, [&](int lane) {
+            lines.insert(reg(w, in.a, lane) / static_cast<std::uint64_t>(spec_.ro_cache_line));
+          });
+          for (std::uint64_t line : lines) {
+            if (!ro_cache_.access(line * static_cast<std::uint64_t>(spec_.ro_cache_line))) {
+              ++miss_lines;
+            }
+          }
+          stats_.ro_hits += ro_cache_.hits() - ro_hits_seen_;
+          stats_.ro_misses += ro_cache_.misses() - ro_misses_seen_;
+          ro_hits_seen_ = ro_cache_.hits();
+          ro_misses_seen_ = ro_cache_.misses();
+          std::int64_t wait = 0;
+          if (miss_lines > 0) wait = mem_occupy(miss_lines);
+          latency = static_cast<int>(wait) +
+                    (miss_lines > 0 ? lat.ro_cache_miss : lat.ro_cache_hit) +
+                    miss_lines * lat.tx_cycles;
+        } else {
+          std::int64_t wait = mem_occupy(ntx);
+          latency = static_cast<int>(wait) + lat.global_base + ntx * lat.tx_cycles;
+        }
+        for_active(w, [&](int lane) {
+          reg(w, in.dst, lane) = load_lane(reg(w, in.a, lane), in.type);
+        });
+        set_result(w, in, latency + extra_latency);
+        return;
+      }
+      case Opcode::kStGlobal: {
+        const int bytes = vir::size_of(in.type);
+        const int ntx = count_transactions(w, in.a, bytes);
+        stats_.mem_transactions += static_cast<std::uint64_t>(ntx);
+        ++stats_.global_stores;
+        mem_occupy(ntx);  // stores consume bandwidth but don't stall the warp
+        for_active(w, [&](int lane) {
+          store_lane(reg(w, in.a, lane), in.type, reg(w, in.b, lane));
+        });
+        w.ready_cycle = cycle_ + lat.store_issue + extra_latency;
+        w.pc += 1;
+        return;
+      }
+      case Opcode::kAtomAdd: {
+        ++stats_.atomics;
+        const int ntx = count_transactions(w, in.a, vir::size_of(in.type));
+        stats_.mem_transactions += static_cast<std::uint64_t>(ntx);
+        std::int64_t wait = mem_occupy(2 * ntx);  // read-modify-write traffic
+        // Lanes update sequentially (hardware serializes conflicting atomics).
+        for_active(w, [&](int lane) {
+          std::uint64_t addr = reg(w, in.a, lane);
+          std::uint64_t old_v = load_lane(addr, in.type);
+          std::uint64_t add_v = reg(w, in.b, lane);
+          store_lane(addr, in.type, arith(Opcode::kAdd, in.type, old_v, add_v));
+        });
+        w.ready_cycle = cycle_ + wait + lat.atomic + extra_latency;
+        w.pc += 1;
+        return;
+      }
+      case Opcode::kBra:
+        w.pc = k_.target(static_cast<std::int32_t>(in.imm));
+        w.ready_cycle = cycle_ + 1;
+        return;
+      case Opcode::kCbr: {
+        std::uint32_t taken = 0;
+        for_active(w, [&](int lane) {
+          if (reg(w, in.a, lane) & 1) taken |= (1u << lane);
+        });
+        std::uint32_t fall = w.active & ~taken;
+        const std::int32_t target = k_.target(static_cast<std::int32_t>(in.imm));
+        const std::int32_t reconv = k_.target(in.imm2);
+        w.ready_cycle = cycle_ + 1;
+        if (fall == 0) {
+          w.pc = target;
+        } else if (taken == 0) {
+          w.pc += 1;
+        } else {
+          // Divergence. Merge into an existing entry for the same
+          // (reconvergence, target) — the loop-exit pattern — to keep the
+          // stack bounded by nesting depth rather than trip count.
+          if (!w.stack.empty() && w.stack.back().reconv_pc == reconv &&
+              w.stack.back().other_pc == target) {
+            w.stack.back().other_mask |= taken;
+          } else {
+            SimtEntry e;
+            e.reconv_pc = reconv;
+            e.other_pc = target;
+            e.other_mask = taken;
+            e.merged_mask = w.active;
+            w.stack.push_back(e);
+          }
+          w.active = fall;
+          w.pc += 1;
+        }
+        return;
+      }
+      case Opcode::kExit:
+        w.finished = true;
+        return;
+    }
+  }
+
+  const Kernel& k_;
+  const regalloc::AllocationResult& alloc_;
+  const DeviceSpec& spec_;
+  DeviceMemory& mem_;
+  const std::vector<std::uint64_t>& params_;
+  const LaunchConfig& cfg_;
+  LaunchStats& stats_;
+  CacheModel ro_cache_;
+  std::uint64_t ro_hits_seen_ = 0;
+  std::uint64_t ro_misses_seen_ = 0;
+
+  std::vector<std::int64_t> pending_;
+  std::size_t next_pending_ = 0;
+  std::vector<ResidentBlock> blocks_;
+  std::vector<std::unique_ptr<Warp>> warps_;
+  std::int64_t cycle_ = 0;
+  std::int64_t mem_free_ = 0;
+};
+
+}  // namespace
+
+LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc,
+                   const DeviceSpec& spec, DeviceMemory& mem,
+                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg) {
+  if (params.size() != kernel.params.size()) {
+    throw std::runtime_error("launch: parameter count mismatch for kernel " + kernel.name);
+  }
+  LaunchStats stats;
+  stats.regs_per_thread = std::max(alloc.regs_used, 1);
+
+  Occupancy occ = compute_occupancy(spec, stats.regs_per_thread, cfg.threads_per_block());
+  stats.occupancy = occ.ratio;
+  stats.occupancy_limiter = occ.limiter;
+  const int blocks_per_sm = std::max(occ.blocks_per_sm, 1);
+
+  // Static round-robin distribution of blocks over SMs (documented
+  // simplification; SMs are independent so they can be simulated in turn).
+  const std::int64_t total = cfg.total_blocks();
+  std::uint64_t max_cycles = 0;
+  for (int sm = 0; sm < spec.num_sms; ++sm) {
+    std::vector<std::int64_t> mine;
+    for (std::int64_t b = sm; b < total; b += spec.num_sms) mine.push_back(b);
+    if (mine.empty()) continue;
+    SmSimulator sim(kernel, alloc, spec, mem, params, cfg, stats);
+    max_cycles = std::max(max_cycles, sim.run(mine, blocks_per_sm));
+  }
+  stats.cycles = max_cycles;
+  return stats;
+}
+
+}  // namespace safara::vgpu

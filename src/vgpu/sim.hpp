@@ -1,0 +1,66 @@
+// The GPU timing + functional simulator.
+//
+// Execution model: thread blocks are distributed round-robin over the SMs;
+// each SM keeps up to `Occupancy::blocks_per_sm` blocks resident and runs
+// their warps under a greedy round-robin scheduler with a per-warp register
+// scoreboard (an in-order Kepler-style core). Divergence uses a SIMT
+// reconvergence stack driven by the structured reconvergence labels codegen
+// attaches to every conditional branch.
+//
+// Timing: every instruction has an issue cost and a result latency; memory
+// instructions derive their latency from the number of 128-byte transactions
+// the warp's 32 lane addresses coalesce into, and from the read-only data
+// cache for `@ro` loads. Reads/writes of spilled virtual registers charge
+// local-memory latency (the performance cost of spilling). Occupancy —
+// derived from the ptxas-sim register count — bounds how many warps are
+// resident to hide those latencies, which is exactly the register-pressure /
+// latency-hiding tradeoff the paper's optimizations navigate.
+#pragma once
+
+#include <cstdint>
+
+#include "regalloc/regalloc.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/occupancy.hpp"
+#include "vir/vir.hpp"
+
+namespace safara::vgpu {
+
+struct LaunchConfig {
+  int grid[3] = {1, 1, 1};
+  int block[3] = {1, 1, 1};
+
+  int threads_per_block() const { return block[0] * block[1] * block[2]; }
+  std::int64_t total_blocks() const {
+    return static_cast<std::int64_t>(grid[0]) * grid[1] * grid[2];
+  }
+};
+
+struct LaunchStats {
+  std::uint64_t cycles = 0;             // max over SMs
+  std::uint64_t warp_instructions = 0;  // dynamic warp-level instructions
+  std::uint64_t mem_transactions = 0;
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t ro_hits = 0;
+  std::uint64_t ro_misses = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t spill_accesses = 0;
+  int regs_per_thread = 0;
+  double occupancy = 0.0;
+  OccupancyLimiter occupancy_limiter = OccupancyLimiter::kWarps;
+
+  double milliseconds(const DeviceSpec& spec) const {
+    return static_cast<double>(cycles) / (spec.clock_ghz * 1e6);
+  }
+};
+
+/// Runs `kernel` to completion. `params` holds one raw 8-byte slot per kernel
+/// formal (already type-punned by the host runtime). Functional effects land
+/// in `mem`; the return value carries the timing statistics.
+LaunchStats launch(const vir::Kernel& kernel, const regalloc::AllocationResult& alloc,
+                   const DeviceSpec& spec, DeviceMemory& mem,
+                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg);
+
+}  // namespace safara::vgpu

@@ -1,0 +1,142 @@
+#include "vir/liveness.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace safara::vir {
+
+std::vector<BasicBlock> build_cfg(const Kernel& k) {
+  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
+  std::set<std::int32_t> leaders;
+  leaders.insert(0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Instr& in = k.code[i];
+    if (in.op == Opcode::kBra || in.op == Opcode::kCbr) {
+      std::int32_t t = k.target(static_cast<std::int32_t>(in.imm));
+      if (t < n) leaders.insert(t);
+      if (i + 1 < n) leaders.insert(i + 1);
+    } else if (in.op == Opcode::kExit && i + 1 < n) {
+      leaders.insert(i + 1);
+    }
+  }
+
+  std::vector<BasicBlock> blocks;
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    BasicBlock bb;
+    bb.begin = *it;
+    auto next = std::next(it);
+    bb.end = next == leaders.end() ? n : *next;
+    blocks.push_back(bb);
+  }
+
+  auto block_of = [&](std::int32_t index) -> std::int32_t {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (index >= blocks[b].begin && index < blocks[b].end) {
+        return static_cast<std::int32_t>(b);
+      }
+    }
+    return -1;
+  };
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    BasicBlock& bb = blocks[b];
+    if (bb.begin == bb.end) continue;
+    const Instr& last = k.code[bb.end - 1];
+    if (last.op == Opcode::kBra) {
+      std::int32_t t = block_of(k.target(static_cast<std::int32_t>(last.imm)));
+      if (t >= 0) bb.succs.push_back(t);
+    } else if (last.op == Opcode::kCbr) {
+      std::int32_t t = block_of(k.target(static_cast<std::int32_t>(last.imm)));
+      if (t >= 0) bb.succs.push_back(t);
+      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    } else if (last.op != Opcode::kExit) {
+      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    }
+  }
+  return blocks;
+}
+
+std::vector<LiveInterval> compute_live_intervals(const Kernel& k) {
+  const std::uint32_t nregs = k.num_vregs();
+  std::vector<BasicBlock> blocks = build_cfg(k);
+  const std::size_t nblocks = blocks.size();
+
+  // Per-block use (upward-exposed) and def sets, as bitsets.
+  const std::size_t words = (nregs + 63) / 64;
+  auto bit_get = [&](const std::vector<std::uint64_t>& bs, std::uint32_t r) {
+    return (bs[r / 64] >> (r % 64)) & 1;
+  };
+  auto bit_set = [&](std::vector<std::uint64_t>& bs, std::uint32_t r) {
+    bs[r / 64] |= std::uint64_t{1} << (r % 64);
+  };
+
+  std::vector<std::vector<std::uint64_t>> use(nblocks), def(nblocks),
+      live_in(nblocks), live_out(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    use[b].assign(words, 0);
+    def[b].assign(words, 0);
+    live_in[b].assign(words, 0);
+    live_out[b].assign(words, 0);
+    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      const Instr& in = k.code[i];
+      for_each_use(in, [&](std::uint32_t r) {
+        if (!bit_get(def[b], r)) bit_set(use[b], r);
+      });
+      if (has_dst(in.op) && in.dst != kNoReg) bit_set(def[b], in.dst);
+    }
+  }
+
+  // Iterate to fixpoint (reverse order converges fast on reducible CFGs).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nblocks; bi-- > 0;) {
+      std::vector<std::uint64_t> out(words, 0);
+      for (std::int32_t s : blocks[bi].succs) {
+        for (std::size_t w = 0; w < words; ++w) {
+          out[w] |= live_in[static_cast<std::size_t>(s)][w];
+        }
+      }
+      std::vector<std::uint64_t> in_set(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        in_set[w] = use[bi][w] | (out[w] & ~def[bi][w]);
+      }
+      if (in_set != live_in[bi] || out != live_out[bi]) {
+        changed = true;
+        live_in[bi] = std::move(in_set);
+        live_out[bi] = std::move(out);
+      }
+    }
+  }
+
+  // Hole-free intervals.
+  constexpr std::int32_t kUnset = -1;
+  std::vector<std::int32_t> start(nregs, kUnset), end(nregs, kUnset);
+  auto extend = [&](std::uint32_t r, std::int32_t pos) {
+    if (start[r] == kUnset || pos < start[r]) start[r] = pos;
+    if (end[r] == kUnset || pos > end[r]) end[r] = pos;
+  };
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (std::uint32_t r = 0; r < nregs; ++r) {
+      if (bit_get(live_in[b], r)) extend(r, blocks[b].begin);
+      if (bit_get(live_out[b], r)) extend(r, blocks[b].end - 1);
+    }
+    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      const Instr& in = k.code[i];
+      for_each_use(in, [&](std::uint32_t r) { extend(r, i); });
+      if (has_dst(in.op) && in.dst != kNoReg) extend(in.dst, i);
+    }
+  }
+
+  std::vector<LiveInterval> intervals;
+  for (std::uint32_t r = 0; r < nregs; ++r) {
+    if (start[r] != kUnset) intervals.push_back({r, start[r], end[r]});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const LiveInterval& a, const LiveInterval& b) {
+              return a.start < b.start;
+            });
+  return intervals;
+}
+
+}  // namespace safara::vir

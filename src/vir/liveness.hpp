@@ -1,0 +1,42 @@
+// CFG construction and live-interval computation over VIR kernels, feeding
+// the ptxas-sim linear-scan allocator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vir/vir.hpp"
+
+namespace safara::vir {
+
+struct BasicBlock {
+  std::int32_t begin = 0;  // first instruction index
+  std::int32_t end = 0;    // one past the last instruction
+  std::vector<std::int32_t> succs;
+};
+
+/// Partitions the kernel into basic blocks and records successor edges.
+std::vector<BasicBlock> build_cfg(const Kernel& k);
+
+/// Conservative (hole-free) live interval of a virtual register, in
+/// instruction indices: the register is considered occupied on [start, end].
+struct LiveInterval {
+  std::uint32_t vreg = 0;
+  std::int32_t start = 0;
+  std::int32_t end = 0;
+};
+
+/// Classic backward-dataflow liveness, then one hole-free interval per vreg
+/// (registers live across a backedge span the whole loop). Never-used vregs
+/// get no interval.
+std::vector<LiveInterval> compute_live_intervals(const Kernel& k);
+
+/// Invokes `fn(vreg)` for every register the instruction reads.
+template <typename Fn>
+void for_each_use(const Instr& in, Fn&& fn) {
+  if (in.a != kNoReg) fn(in.a);
+  if (in.b != kNoReg) fn(in.b);
+  if (in.c != kNoReg) fn(in.c);
+}
+
+}  // namespace safara::vir

@@ -1,0 +1,154 @@
+// VIR: the virtual PTX-like ISA the compiler targets.
+//
+// Like PTX, VIR has an unbounded virtual register file; hardware register
+// counts are only known after the ptxas-sim allocator (src/regalloc) runs.
+// Control flow is structured-by-construction: every conditional branch
+// carries the reconvergence label the SIMT interpreter uses for divergence.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace safara::vir {
+
+enum class VType : std::uint8_t { kI32, kI64, kF32, kF64, kPred };
+
+constexpr int size_of(VType t) {
+  switch (t) {
+    case VType::kI32:
+    case VType::kF32: return 4;
+    case VType::kI64:
+    case VType::kF64: return 8;
+    case VType::kPred: return 1;
+  }
+  return 0;
+}
+/// 32-bit hardware registers needed to hold one value of this type.
+/// Predicates live in a separate predicate file (as on NVIDIA hardware) and
+/// cost no general-purpose registers.
+constexpr int registers_of(VType t) {
+  switch (t) {
+    case VType::kI32:
+    case VType::kF32: return 1;
+    case VType::kI64:
+    case VType::kF64: return 2;
+    case VType::kPred: return 0;
+  }
+  return 0;
+}
+const char* to_string(VType t);
+
+enum class Opcode : std::uint8_t {
+  kMovImmI,  // dst <- imm
+  kMovImmF,  // dst <- fimm
+  kMov,      // dst <- a
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kMin,
+  kMax,
+  kNeg,
+  kAbs,
+  kSetLt,  // dst(pred) <- a < b
+  kSetLe,
+  kSetGt,
+  kSetGe,
+  kSetEq,
+  kSetNe,
+  kPredAnd,  // dst(pred) <- a && b
+  kPredOr,
+  kPredNot,
+  kSelp,  // dst <- c(pred) ? a : b
+  kCvt,   // dst(type) <- convert(a)
+  // Special function unit ops.
+  kSqrt,
+  kRsqrt,
+  kExp,
+  kLog,
+  kSin,
+  kCos,
+  kPow,  // a^b
+  kFloor,
+  kCeil,
+  // Memory.
+  kLdParam,   // dst <- param[imm]
+  kLdGlobal,  // dst <- mem[a]; flags&kFlagReadOnly selects the RO-cache path
+  kStGlobal,  // mem[a] <- b
+  kAtomAdd,   // mem[a] <- mem[a] + b (atomic)
+  kMovSpecial,  // dst <- special register (imm = SpecialReg)
+  // Control flow.
+  kBra,   // goto label imm
+  kCbr,   // if a(pred) goto label imm, else fall through; reconverge at imm2
+  kExit,
+};
+
+const char* to_string(Opcode op);
+bool is_pure(Opcode op);      // no side effects, no memory reads
+bool is_sfu(Opcode op);       // special-function-unit instruction
+bool has_dst(Opcode op);
+
+enum class SpecialReg : std::uint8_t {
+  kTidX, kTidY, kTidZ,
+  kCtaidX, kCtaidY, kCtaidZ,
+  kNtidX, kNtidY, kNtidZ,
+  kNctaidX, kNctaidY, kNctaidZ,
+};
+const char* to_string(SpecialReg r);
+
+constexpr std::uint32_t kNoReg = std::numeric_limits<std::uint32_t>::max();
+constexpr std::int32_t kNoLabel = -1;
+
+struct Instr {
+  Opcode op = Opcode::kExit;
+  VType type = VType::kI32;  // operation type (result type for kCvt)
+  std::uint32_t dst = kNoReg;
+  std::uint32_t a = kNoReg;
+  std::uint32_t b = kNoReg;
+  std::uint32_t c = kNoReg;      // kSelp predicate
+  std::int64_t imm = 0;          // immediate / param index / branch label
+  double fimm = 0.0;             // float immediate
+  std::int32_t imm2 = kNoLabel;  // reconvergence label for kCbr
+  std::uint8_t flags = 0;
+
+  static constexpr std::uint8_t kFlagReadOnly = 1;  // kLdGlobal via RO cache
+};
+
+/// What a kernel formal parameter carries; the host runtime assembles the
+/// actual parameter buffer from these descriptors at launch time.
+struct ParamInfo {
+  enum class Kind : std::uint8_t {
+    kArrayBase,  // device address of array `name`
+    kScalar,     // scalar argument `name`
+    kDopeLb,     // lower bound of dimension `dim` of array `name`
+    kDopeLen,    // extent of dimension `dim` of array `name`
+  };
+  Kind kind = Kind::kScalar;
+  std::string name;  // array or scalar name
+  int dim = 0;       // for kDopeLb / kDopeLen
+  VType type = VType::kI64;
+};
+
+struct Kernel {
+  std::string name;
+  std::vector<VType> vreg_types;
+  std::vector<Instr> code;
+  /// label id -> instruction index (the label precedes that instruction).
+  std::vector<std::int32_t> labels;
+  std::vector<ParamInfo> params;
+
+  std::uint32_t num_vregs() const {
+    return static_cast<std::uint32_t>(vreg_types.size());
+  }
+  /// Instruction index a label refers to.
+  std::int32_t target(std::int32_t label) const { return labels[static_cast<std::size_t>(label)]; }
+};
+
+/// Disassembles to PTX-flavoured text for tests and debugging.
+std::string to_string(const Instr& in, const Kernel& k);
+std::string to_string(const Kernel& k);
+
+}  // namespace safara::vir

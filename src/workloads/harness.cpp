@@ -1,0 +1,98 @@
+#include "workloads/harness.hpp"
+
+#include <algorithm>
+
+#include "parse/parser.hpp"
+#include "rt/runtime.hpp"
+
+namespace safara::workloads {
+
+double checksum_of(const Dataset& data, const std::vector<std::string>& outputs) {
+  double sum = 0.0;
+  for (const std::string& name : outputs) {
+    const driver::HostArray& arr = data.array(name);
+    for (std::int64_t i = 0; i < arr.element_count(); ++i) sum += arr.get(i);
+  }
+  return sum;
+}
+
+RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
+                   const vgpu::DeviceSpec& spec) {
+  driver::Compiler compiler(opts);
+  driver::CompiledProgram prog = compiler.compile(w.source, w.function);
+
+  Dataset data = w.make_dataset();
+  rt::Device dev(spec);
+  rt::Runtime runtime(dev);
+
+  std::map<std::string, rt::Buffer> buffers;
+  rt::ArgMap args;
+  for (auto& [name, arr] : data.arrays) {
+    rt::Buffer buf = runtime.alloc(arr.elem, arr.dims);
+    dev.memory().copy_in(buf.device_addr, arr.data.data(), arr.data.size());
+    buffers.emplace(name, buf);
+  }
+  for (auto& [name, buf] : buffers) args.emplace(name, &buf);
+  for (auto& [name, sv] : data.scalars) args.emplace(name, sv);
+
+  RunResult result;
+  result.kernels.resize(prog.kernels.size());
+  for (int step = 0; step < w.time_steps; ++step) {
+    for (std::size_t k = 0; k < prog.kernels.size(); ++k) {
+      const driver::CompiledKernel& ck = prog.kernels[k];
+      vgpu::LaunchStats stats = runtime.launch(ck.kernel, ck.alloc, ck.plan, args);
+      result.cycles += stats.cycles;
+      result.warp_instructions += stats.warp_instructions;
+      result.global_loads += stats.global_loads;
+      result.mem_transactions += stats.mem_transactions;
+      result.spill_accesses += stats.spill_accesses;
+      result.max_regs = std::max(result.max_regs, stats.regs_per_thread);
+      result.min_occupancy = std::min(result.min_occupancy, stats.occupancy);
+
+      KernelMetrics& km = result.kernels[k];
+      km.name = ck.name;
+      km.regs = ck.alloc.regs_used;
+      km.spill_bytes = ck.alloc.spill_bytes;
+      km.occupancy = stats.occupancy;
+      km.cycles += stats.cycles;
+    }
+  }
+
+  for (auto& [name, arr] : data.arrays) {
+    dev.memory().copy_out(buffers.at(name).device_addr, arr.data.data(), arr.data.size());
+  }
+  result.checksum = checksum_of(data, w.outputs);
+  return result;
+}
+
+RunResult run_reference(const Workload& w) {
+  Dataset data = w.make_dataset();
+
+  DiagnosticEngine diags;
+  ast::Program program = parse::parse_source(w.source, diags);
+  if (!diags.ok()) throw CompileError("workload parse failed:\n" + diags.render());
+  ast::Function* fn = w.function.empty() ? program.functions.front().get()
+                                         : program.find(w.function);
+  if (!fn) throw CompileError("workload function not found: " + w.function);
+
+  driver::RefArgMap args;
+  for (auto& [name, arr] : data.arrays) args.emplace(name, &arr);
+  for (auto& [name, sv] : data.scalars) args.emplace(name, sv);
+  for (int step = 0; step < w.time_steps; ++step) {
+    driver::run_reference(*fn, args);
+  }
+
+  RunResult result;
+  result.checksum = checksum_of(data, w.outputs);
+  return result;
+}
+
+double speedup(const Workload& w, const driver::CompilerOptions& baseline,
+               const driver::CompilerOptions& candidate) {
+  RunResult base = simulate(w, baseline);
+  RunResult cand = simulate(w, candidate);
+  if (cand.cycles == 0) return 1.0;
+  return static_cast<double>(base.cycles) / static_cast<double>(cand.cycles);
+}
+
+}  // namespace safara::workloads

@@ -1,0 +1,46 @@
+// Execution harness: runs a workload under a compiler configuration on the
+// simulated GPU (or under the CPU reference) and reports the metrics the
+// paper's figures are built from.
+#pragma once
+
+#include "driver/compiler.hpp"
+#include "vgpu/sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace safara::workloads {
+
+struct KernelMetrics {
+  std::string name;
+  int regs = 0;
+  int spill_bytes = 0;
+  double occupancy = 0.0;
+  std::uint64_t cycles = 0;  // summed over time steps
+};
+
+struct RunResult {
+  std::uint64_t cycles = 0;  // total simulated device cycles
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t global_loads = 0;
+  std::uint64_t mem_transactions = 0;
+  std::uint64_t spill_accesses = 0;
+  int max_regs = 0;
+  double min_occupancy = 1.0;
+  double checksum = 0.0;
+  std::vector<KernelMetrics> kernels;
+};
+
+/// Checksum over the workload's declared output arrays.
+double checksum_of(const Dataset& data, const std::vector<std::string>& outputs);
+
+/// Compiles `w` with `opts` and runs it for `w.time_steps` steps.
+RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
+                   const vgpu::DeviceSpec& spec = vgpu::DeviceSpec::k20xm());
+
+/// Runs the sequential CPU reference (same dataset builder).
+RunResult run_reference(const Workload& w);
+
+/// speedup = cycles(baseline) / cycles(candidate); > 1 means candidate wins.
+double speedup(const Workload& w, const driver::CompilerOptions& baseline,
+               const driver::CompilerOptions& candidate);
+
+}  // namespace safara::workloads

@@ -1,0 +1,387 @@
+// NAS NPB-ACC-like workloads. The NAS codes are C programs without
+// allocatable arrays — multi-dimensional data is declared as VLAs whose
+// extents are shared scalar parameters, so the compiler already knows the
+// shapes and the `dim` clause has nothing to add (matching the paper's
+// Section V-C remark). `small` still shrinks the 64-bit offset arithmetic.
+#include "workloads/workloads_detail.hpp"
+
+namespace safara::workloads::detail {
+
+namespace {
+driver::HostArray f32_1d(std::int64_t n) {
+  return driver::HostArray::make(ast::ScalarType::kF32, {{0, n}});
+}
+driver::HostArray i32_1d(std::int64_t n) {
+  return driver::HostArray::make(ast::ScalarType::kI32, {{0, n}});
+}
+driver::HostArray f32_3d(std::int64_t a, std::int64_t b, std::int64_t c) {
+  return driver::HostArray::make(ast::ScalarType::kF32, {{0, a}, {0, b}, {0, c}});
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EP: Gaussian deviates by acceptance-rejection; tally into a shared
+// histogram via atomics.
+// ---------------------------------------------------------------------------
+Workload make_nas_ep() {
+  Workload w;
+  w.name = "EP";
+  w.suite = "NPB";
+  w.description = "embarrassingly parallel Gaussian pairs + histogram atomics";
+  w.function = "nas_ep";
+  w.outputs = {"sums", "q"};
+  w.source = R"(
+void nas_ep(int n, const float *seeds, float *sums, float *q) {
+  #pragma acc parallel loop gang vector(128) small(seeds, sums, q)
+  for (i = 0; i < n; i++) {
+    float s = seeds[i];
+    float sx = 0.0f;
+    float sy = 0.0f;
+    #pragma acc loop seq
+    for (t = 0; t < 10; t++) {
+      s = s * 5.9604645f + 0.331f;
+      s = s - floor(s);
+      float x1 = 2.0f * s - 1.0f;
+      s = s * 3.1415926f + 0.721f;
+      s = s - floor(s);
+      float x2 = 2.0f * s - 1.0f;
+      float t2 = x1 * x1 + x2 * x2;
+      if (t2 <= 1.0f) {
+        float safe = max(t2, 0.000001f);
+        float f = sqrt(-2.0f * log(safe) / safe);
+        float gx = x1 * f;
+        float gy = x2 * f;
+        sx = sx + gx;
+        sy = sy + gy;
+        int bin = int(min(fabs(gx), fabs(gy)) * 2.0f);
+        q[min(bin, 9)] += 1.0f;
+      }
+    }
+    sums[i] = sx * sx + sy * sy;
+  }
+}
+)";
+  const int n = 16384;
+  w.make_dataset = [=] {
+    Dataset d;
+    d.arrays.emplace("seeds", f32_1d(n));
+    d.arrays.emplace("sums", f32_1d(n));
+    d.arrays.emplace("q", f32_1d(10));
+    fill(d.arrays.at("seeds"), 9001, 0.0, 1.0);
+    d.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+    return d;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// CG: sparse matrix-vector product (the NPB random sparse matrix shape) plus
+// the alpha update's two dot products.
+// ---------------------------------------------------------------------------
+Workload make_nas_cg() {
+  Workload w;
+  w.name = "CG";
+  w.suite = "NPB";
+  w.description = "conjugate gradient: SpMV + dot products";
+  w.function = "nas_cg";
+  w.outputs = {"qv", "dots"};
+  w.source = R"(
+void nas_cg(int nrow, const int *rowptr, const int *col, const float *a,
+            const float *p, const float *r, float *qv, float *dots) {
+  #pragma acc parallel loop gang vector(128) small(rowptr, col, a, p, qv)
+  for (row = 0; row < nrow; row++) {
+    float sum = 0.0f;
+    int lo = rowptr[row];
+    int hi = rowptr[row + 1];
+    #pragma acc loop seq
+    for (j = lo; j < hi; j++) {
+      sum = sum + a[j] * p[col[j]];
+    }
+    qv[row] = sum;
+  }
+  #pragma acc parallel loop gang vector(128) small(p, qv, r)
+  for (row = 0; row < nrow; row++) {
+    dots[0] += p[row] * qv[row];
+    dots[1] += r[row] * r[row];
+  }
+}
+)";
+  const int nrow = 4096, per_row = 12;
+  w.make_dataset = [=] {
+    Dataset d;
+    const std::int64_t nnz = static_cast<std::int64_t>(nrow) * per_row;
+    driver::HostArray rowptr = i32_1d(nrow + 1);
+    for (int r = 0; r <= nrow; ++r) rowptr.set_int(r, static_cast<std::int64_t>(r) * per_row);
+    driver::HostArray col = i32_1d(nnz);
+    std::uint64_t s = 424242;
+    for (std::int64_t t = 0; t < nnz; ++t) {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      col.set_int(t, static_cast<std::int64_t>(s % nrow));
+    }
+    d.arrays.emplace("rowptr", std::move(rowptr));
+    d.arrays.emplace("col", std::move(col));
+    d.arrays.emplace("a", f32_1d(nnz));
+    d.arrays.emplace("p", f32_1d(nrow));
+    d.arrays.emplace("r", f32_1d(nrow));
+    d.arrays.emplace("qv", f32_1d(nrow));
+    d.arrays.emplace("dots", f32_1d(2));
+    fill(d.arrays.at("a"), 4243, -1.0, 1.0);
+    fill(d.arrays.at("p"), 4244, -1.0, 1.0);
+    fill(d.arrays.at("r"), 4245, -1.0, 1.0);
+    d.scalars.emplace("nrow", rt::ScalarValue::of_i32(nrow));
+    return d;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MG: the multigrid smoother (resid + psinv shapes): 3D 7/19-point stencils.
+// ---------------------------------------------------------------------------
+Workload make_nas_mg() {
+  Workload w;
+  w.name = "MG";
+  w.suite = "NPB";
+  w.description = "multigrid resid/psinv 3D stencils";
+  w.function = "nas_mg";
+  w.time_steps = 2;
+  w.outputs = {"r", "u"};
+  w.source = R"(
+void nas_mg(int n, const float v[n][n][n], float u[n][n][n], float r[n][n][n]) {
+  #pragma acc parallel loop gang small(v, u, r)
+  for (k = 1; k < n - 1; k++) {
+    #pragma acc loop gang
+    for (j = 1; j < n - 1; j++) {
+      #pragma acc loop vector(64)
+      for (i = 1; i < n - 1; i++) {
+        r[k][j][i] = v[k][j][i]
+                   - 2.0f * u[k][j][i]
+                   + 0.125f * (u[k-1][j][i] + u[k+1][j][i]
+                             + u[k][j-1][i] + u[k][j+1][i]
+                             + u[k][j][i-1] + u[k][j][i+1]);
+      }
+    }
+  }
+  #pragma acc parallel loop gang small(u, r)
+  for (k = 1; k < n - 1; k++) {
+    #pragma acc loop gang
+    for (j = 1; j < n - 1; j++) {
+      #pragma acc loop vector(64)
+      for (i = 1; i < n - 1; i++) {
+        u[k][j][i] = u[k][j][i]
+                   + 0.5f * r[k][j][i]
+                   + 0.0625f * (r[k-1][j][i] + r[k+1][j][i]
+                              + r[k][j-1][i] + r[k][j+1][i]);
+      }
+    }
+  }
+}
+)";
+  const int n = 40;
+  w.make_dataset = [=] {
+    Dataset d;
+    d.arrays.emplace("v", f32_3d(n, n, n));
+    d.arrays.emplace("u", f32_3d(n, n, n));
+    d.arrays.emplace("r", f32_3d(n, n, n));
+    fill(d.arrays.at("v"), 5001, -1.0, 1.0);
+    fill(d.arrays.at("u"), 5002, -0.5, 0.5);
+    d.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+    return d;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SP (NAS): scalar pentadiagonal z-sweeps over the five solution components.
+// ---------------------------------------------------------------------------
+Workload make_nas_sp() {
+  Workload w;
+  w.name = "SP";
+  w.suite = "NPB";
+  w.description = "scalar pentadiagonal z-sweeps, 5 solution components";
+  w.function = "nas_sp";
+  w.outputs = {"u0", "u1", "rhs"};
+  w.source = R"(
+void nas_sp(int nx, int ny, int nz, float dt,
+            float u0[nz][ny][nx], float u1[nz][ny][nx], float u2[nz][ny][nx],
+            float rhs[nz][ny][nx], const float ws[nz][ny][nx]) {
+  #pragma acc parallel loop gang small(u0, ws, rhs)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k < nz - 2; k++) {
+        rhs[k][j][i] = u0[k][j][i] - dt * (ws[k+1][j][i] - ws[k-1][j][i])
+                     + 0.1f * (u0[k-2][j][i] - 4.0f * u0[k-1][j][i] + 6.0f * u0[k][j][i]
+                             - 4.0f * u0[k+1][j][i] + u0[k+2][j][i]);
+      }
+    }
+  }
+  #pragma acc parallel loop gang small(u1, u2, ws)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz - 1; k++) {
+        u1[k][j][i] = u1[k][j][i] + dt * ws[k][j][i] * (u2[k-1][j][i] - 2.0f * u2[k][j][i]
+                    + u2[k+1][j][i]);
+      }
+    }
+  }
+}
+)";
+  const int nx = 64, ny = 32, nz = 20;
+  w.make_dataset = [=] {
+    Dataset d;
+    for (const char* name : {"u0", "u1", "u2", "rhs", "ws"}) {
+      d.arrays.emplace(name, f32_3d(nz, ny, nx));
+    }
+    fill(d.arrays.at("u0"), 6001, 0.5, 1.5);
+    fill(d.arrays.at("u1"), 6002, 0.5, 1.5);
+    fill(d.arrays.at("u2"), 6003, 0.5, 1.5);
+    fill(d.arrays.at("ws"), 6004, -0.2, 0.2);
+    d.scalars.emplace("nx", rt::ScalarValue::of_i32(nx));
+    d.scalars.emplace("ny", rt::ScalarValue::of_i32(ny));
+    d.scalars.emplace("nz", rt::ScalarValue::of_i32(nz));
+    d.scalars.emplace("dt", rt::ScalarValue::of_f32(0.02f));
+    return d;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// LU: SSOR-flavoured lower-triangular sweep: k-carried dependence handled
+// per-thread along the sequential k loop (jacobi-ized across the plane).
+// ---------------------------------------------------------------------------
+Workload make_nas_lu() {
+  Workload w;
+  w.name = "LU";
+  w.suite = "NPB";
+  w.description = "SSOR sweep with sequential k dependence";
+  w.function = "nas_lu";
+  w.outputs = {"rsd"};
+  w.source = R"(
+void nas_lu(int nx, int ny, int nz, float omega,
+            float rsd[nz][ny][nx], const float frct[nz][ny][nx],
+            const float amat[nz][ny][nx]) {
+  #pragma acc parallel loop gang small(rsd, frct, amat)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz - 1; k++) {
+        rsd[k][j][i] = (1.0f - omega) * rsd[k][j][i]
+                     + omega * (frct[k][j][i]
+                              + 0.3f * amat[k][j][i] * rsd[k-1][j][i]
+                              + 0.1f * amat[k-1][j][i] * frct[k-1][j][i]);
+      }
+    }
+  }
+  #pragma acc parallel loop gang small(rsd, frct, amat)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = nz - 2; k >= 1; k--) {
+        rsd[k][j][i] = rsd[k][j][i]
+                     + omega * 0.3f * amat[k][j][i] * rsd[k+1][j][i]
+                     + 0.05f * (frct[k+1][j][i] - frct[k][j][i]);
+      }
+    }
+  }
+}
+)";
+  const int nx = 64, ny = 32, nz = 20;
+  w.make_dataset = [=] {
+    Dataset d;
+    for (const char* name : {"rsd", "frct", "amat"}) {
+      d.arrays.emplace(name, f32_3d(nz, ny, nx));
+    }
+    fill(d.arrays.at("rsd"), 7001, -1.0, 1.0);
+    fill(d.arrays.at("frct"), 7002, -1.0, 1.0);
+    fill(d.arrays.at("amat"), 7003, 0.1, 0.9);
+    d.scalars.emplace("nx", rt::ScalarValue::of_i32(nx));
+    d.scalars.emplace("ny", rt::ScalarValue::of_i32(ny));
+    d.scalars.emplace("nz", rt::ScalarValue::of_i32(nz));
+    d.scalars.emplace("omega", rt::ScalarValue::of_f32(1.2f));
+    return d;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// BT: block-tridiagonal-flavoured kernel: many arrays and long expressions
+// in one body (the register-pressure heavyweight of the NAS suite — the one
+// the paper found benefits from `small`).
+// ---------------------------------------------------------------------------
+Workload make_nas_bt() {
+  Workload w;
+  w.name = "BT";
+  w.suite = "NPB";
+  w.description = "block tridiagonal: many-array k-sweep, register heavy";
+  w.function = "nas_bt";
+  w.outputs = {"out0", "out1", "out2"};
+  w.source = R"(
+void nas_bt(int nx, int ny, int nz, float dt,
+            const float q0[nx][ny][nz], const float q1[nx][ny][nz],
+            const float q2[nx][ny][nz], const float q3[nx][ny][nz],
+            const float q4[nx][ny][nz],
+            const float sq[nx][ny][nz],
+            float out0[nx][ny][nz], float out1[nx][ny][nz], float out2[nx][ny][nz]) {
+  // [i][j][k] layout with i vectorized: every access is uncoalesced, as in
+  // the NAS BT z-solve kernels the paper calls out.
+  #pragma acc parallel loop gang small(q0, q1, q2, q3, q4, sq, out0, out1, out2)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz - 1; k++) {
+        float r0 = q0[i][j][k];
+        float r1 = q1[i][j][k];
+        float r2 = q2[i][j][k];
+        float r3 = q3[i][j][k];
+        float r4 = q4[i][j][k];
+        float rm0 = q0[i][j][k-1];
+        float rm1 = q1[i][j][k-1];
+        float rm2 = q2[i][j][k-1];
+        float rm3 = q3[i][j][k-1];
+        float rm4 = q4[i][j][k-1];
+        float rp0 = q0[i][j][k+1];
+        float rp1 = q1[i][j][k+1];
+        float rp2 = q2[i][j][k+1];
+        float rp3 = q3[i][j][k+1];
+        float rp4 = q4[i][j][k+1];
+        float s = sq[i][j][k];
+        float d0 = r1 * rp0 - rm1 * r0 + dt * (rp1 - 2.0f * r1 + rm1);
+        float d1 = r2 * rp1 - rm2 * r1 + dt * (rp2 - 2.0f * r2 + rm2);
+        float d2 = r3 * rp2 - rm0 * r2 + dt * (r4 * s - r3 * r3);
+        float d3 = r4 * rp3 - rm3 * r3 + dt * (rp4 - 2.0f * r4 + rm4);
+        float d4 = r0 * rp4 - rm4 * r4 + dt * (rp0 - 2.0f * r0 + rm0);
+        out0[i][j][k] = out0[i][j][k] + d0 * s + 0.02f * (d3 - d4);
+        out1[i][j][k] = out1[i][j][k] + d1 * s + 0.1f * d0 + 0.01f * d3;
+        out2[i][j][k] = out2[i][j][k] + d2 * s + 0.1f * d1 - 0.05f * d0 + 0.01f * d4;
+      }
+    }
+  }
+}
+)";
+  const int nx = 64, ny = 32, nz = 20;
+  w.make_dataset = [=] {
+    Dataset d;
+    int seed = 8001;
+    for (const char* name :
+         {"q0", "q1", "q2", "q3", "q4", "sq", "out0", "out1", "out2"}) {
+      d.arrays.emplace(name, f32_3d(nx, ny, nz));
+      fill(d.arrays.at(name), static_cast<std::uint64_t>(seed++), -0.5, 0.5);
+    }
+    d.scalars.emplace("nx", rt::ScalarValue::of_i32(nx));
+    d.scalars.emplace("ny", rt::ScalarValue::of_i32(ny));
+    d.scalars.emplace("nz", rt::ScalarValue::of_i32(nz));
+    d.scalars.emplace("dt", rt::ScalarValue::of_f32(0.01f));
+    return d;
+  };
+  return w;
+}
+
+}  // namespace safara::workloads::detail

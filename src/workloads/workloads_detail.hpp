@@ -1,0 +1,28 @@
+// Internal: per-benchmark factory functions, one per source file.
+#pragma once
+
+#include "workloads/workloads.hpp"
+
+namespace safara::workloads::detail {
+
+// SPEC ACCEL-like suite.
+Workload make_spec_ostencil();   // 303: 3D 7-point stencil (C pointers)
+Workload make_spec_olbm();       // 304: lattice Boltzmann (AoS gather)
+Workload make_spec_omriq();      // 314: MRI-Q k-space summation
+Workload make_spec_md();         // 350: molecular dynamics neighbor forces
+Workload make_spec_ep();         // 352: embarrassingly parallel RNG
+Workload make_spec_clvrleaf();   // 353: CloverLeaf hydro kernels
+Workload make_spec_cg();         // 354: CSR SpMV + dot product
+Workload make_spec_seismic();    // 355: seismic wave propagation (allocatables)
+Workload make_spec_sp();         // 356: scalar pentadiagonal solver (allocatables)
+Workload make_spec_swim();       // 363: shallow water stencils
+
+// NAS NPB-ACC-like suite (C, no allocatables: dim inapplicable).
+Workload make_nas_ep();
+Workload make_nas_cg();
+Workload make_nas_mg();
+Workload make_nas_sp();
+Workload make_nas_lu();
+Workload make_nas_bt();
+
+}  // namespace safara::workloads::detail

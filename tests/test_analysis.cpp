@@ -1,0 +1,432 @@
+// Unit tests for the analysis layer: affine subscripts, access
+// classification (memory space + coalescing), and reuse-group discovery.
+#include <gtest/gtest.h>
+
+#include "analysis/access.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/reuse.hpp"
+#include "parse/parser.hpp"
+#include "sema/sema.hpp"
+
+namespace safara::analysis {
+namespace {
+
+struct Ctx {
+  DiagnosticEngine diags;
+  ast::Program program;
+  std::unique_ptr<sema::FunctionInfo> info;
+
+  const sema::OffloadRegion& region(std::size_t i = 0) { return info->regions[i]; }
+};
+
+std::unique_ptr<Ctx> make(std::string_view src) {
+  auto c = std::make_unique<Ctx>();
+  c->program = parse::parse_source(src, c->diags);
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  sema::Sema sema(c->diags);
+  c->info = sema.analyze(*c->program.functions.front());
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  return c;
+}
+
+ast::ExprPtr expr_of(std::string_view src) {
+  DiagnosticEngine diags;
+  std::string fn = "void f(int n, int m, int i, int j, int k) { int t = " +
+                   std::string(src) + "; t = t; }";
+  // (parsing embedded; sema binds symbols)
+  static std::vector<std::unique_ptr<Ctx>> keep_alive;
+  auto c = std::make_unique<Ctx>();
+  c->program = parse::parse_source(fn, c->diags);
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  sema::Sema sema(c->diags);
+  c->info = sema.analyze(*c->program.functions.front());
+  auto& decl = c->program.functions[0]->body->stmts[0]->as<ast::DeclStmt>();
+  ast::ExprPtr out = decl.init->clone();
+  keep_alive.push_back(std::move(c));  // keep symbols alive for the clone
+  return out;
+}
+
+// -- affine ---------------------------------------------------------------------
+
+TEST(Affine, Constant) {
+  AffineExpr a = to_affine(*expr_of("7"));
+  EXPECT_TRUE(a.is_constant());
+  EXPECT_EQ(a.constant, 7);
+}
+
+TEST(Affine, LinearCombination) {
+  AffineExpr a = to_affine(*expr_of("2 * i + 3 * j - 4"));
+  ASSERT_TRUE(a.affine);
+  EXPECT_EQ(a.constant, -4);
+  EXPECT_EQ(a.coeffs.size(), 2u);
+}
+
+TEST(Affine, MulByVariableIsNonAffine) {
+  EXPECT_FALSE(to_affine(*expr_of("i * j")).affine);
+}
+
+TEST(Affine, NegationAndSubtraction) {
+  AffineExpr a = to_affine(*expr_of("-(i - 2)"));
+  ASSERT_TRUE(a.affine);
+  EXPECT_EQ(a.constant, 2);
+}
+
+TEST(Affine, ExactDivisionStaysAffine) {
+  AffineExpr a = to_affine(*expr_of("(4 * i + 8) / 4"));
+  ASSERT_TRUE(a.affine);
+  EXPECT_EQ(a.constant, 2);
+}
+
+TEST(Affine, InexactDivisionIsNonAffine) {
+  EXPECT_FALSE(to_affine(*expr_of("i / 2")).affine);
+}
+
+TEST(Affine, CancellingTermsDropOut) {
+  AffineExpr a = to_affine(*expr_of("i + j - i"));
+  ASSERT_TRUE(a.affine);
+  EXPECT_EQ(a.coeffs.size(), 1u);
+}
+
+TEST(Affine, SameShapeComparesCoefficients) {
+  // All three expressions must reference the *same* symbol, so parse them
+  // from one function.
+  auto c = make(R"(
+void f(int n, int i, float *x) {
+  #pragma acc parallel loop gang vector
+  for (q = 0; q < n; q++) {
+    x[q] = x[i + 1] + x[i + 5] + x[2 * i];
+  }
+})");
+  RegionAccesses acc = analyze_accesses(c->region());
+  std::vector<AffineExpr> subs;
+  for (const AccessInfo& a : acc.accesses) {
+    if (!a.is_write) subs.push_back(a.subscripts[0]);
+  }
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_TRUE(AffineExpr::same_shape(subs[0], subs[1]));
+  EXPECT_FALSE(AffineExpr::same_shape(subs[0], subs[2]));
+
+  auto d = affine_difference(subs[1], subs[0]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->is_constant());
+  EXPECT_EQ(d->constant, 4);
+}
+
+// -- access classification ---------------------------------------------------------
+
+constexpr const char* kAccessKernel = R"(
+void f(int n, int m, const float a[n][m], const float b[n][m], float c[n][m],
+       const float *lut, const int *idx) {
+  #pragma acc parallel loop gang
+  for (j = 1; j < n - 1; j++) {
+    #pragma acc loop vector(64)
+    for (i = 0; i < m; i++) {
+      c[j][i] = a[j][i] + a[j-1][i]   // coalesced reads
+              + b[i][j]               // transposed: uncoalesced
+              + lut[j]                // uniform in the vector dim
+              + lut[idx[i]];          // data-dependent gather
+    }
+  }
+})";
+
+TEST(Access, ClassifiesSpaces) {
+  auto c = make(kAccessKernel);
+  RegionAccesses acc = analyze_accesses(c->region());
+  for (const AccessInfo& a : acc.accesses) {
+    if (a.array->name == "c") {
+      EXPECT_EQ(a.space, MemSpace::kGlobalRW);
+    } else {
+      EXPECT_EQ(a.space, MemSpace::kGlobalRO) << a.array->name;
+    }
+  }
+}
+
+TEST(Access, ClassifiesCoalescing) {
+  auto c = make(kAccessKernel);
+  RegionAccesses acc = analyze_accesses(c->region());
+  ASSERT_EQ(acc.vector_iv->name, "i");
+  int coalesced = 0, uniform = 0, uncoalesced = 0;
+  for (const AccessInfo& a : acc.accesses) {
+    if (a.array->name == "a" || a.array->name == "c" || a.array->name == "idx") {
+      EXPECT_EQ(a.coalescing, CoalesceClass::kCoalesced) << a.array->name;
+      ++coalesced;
+    } else if (a.array->name == "b") {
+      EXPECT_EQ(a.coalescing, CoalesceClass::kUncoalesced);
+      ++uncoalesced;
+    } else if (a.array->name == "lut") {
+      // lut[j] is uniform; lut[idx[i]] is non-affine -> uncoalesced.
+      if (a.coalescing == CoalesceClass::kUniform) ++uniform;
+      if (a.coalescing == CoalesceClass::kUncoalesced) ++uncoalesced;
+    }
+  }
+  EXPECT_EQ(coalesced, 4);  // a[j][i], a[j-1][i], c[j][i], idx[i]
+  EXPECT_EQ(uniform, 1);
+  EXPECT_EQ(uncoalesced, 2);
+}
+
+TEST(Access, CompoundUpdateCountsReadAndWrite) {
+  auto c = make(R"(
+void f(int n, float *x) {
+  #pragma acc parallel loop gang vector
+  for (i = 0; i < n; i++) { x[i] += 1.0f; }
+})");
+  RegionAccesses acc = analyze_accesses(c->region());
+  int reads = 0, writes = 0;
+  for (const AccessInfo& a : acc.accesses) {
+    (a.is_write ? writes : reads) += 1;
+  }
+  EXPECT_EQ(reads, 1);
+  EXPECT_EQ(writes, 1);
+}
+
+TEST(Access, ConditionalFlagRelativeToInnermostLoop) {
+  auto c = make(R"(
+void f(int n, int m, const float a[n][m], float b[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (j = 0; j < n; j++) {
+    if (j > 2) {
+      #pragma acc loop seq
+      for (i = 1; i < m; i++) {
+        b[j][i] = a[j][i];   // unconditional w.r.t. the i loop
+      }
+    }
+  }
+})");
+  RegionAccesses acc = analyze_accesses(c->region());
+  for (const AccessInfo& a : acc.accesses) {
+    if (a.array->name == "a") {
+      EXPECT_FALSE(a.conditional);
+    }
+  }
+}
+
+TEST(Access, RefUnderIfIsConditional) {
+  auto c = make(R"(
+void f(int n, const float *a, float *b) {
+  #pragma acc parallel loop gang vector
+  for (i = 1; i < n; i++) {
+    if (i > 2) { b[i] = a[i]; }
+  }
+})");
+  RegionAccesses acc = analyze_accesses(c->region());
+  for (const AccessInfo& a : acc.accesses) {
+    if (a.array->name == "a") {
+      EXPECT_TRUE(a.conditional);
+    }
+  }
+}
+
+// -- reuse groups ---------------------------------------------------------------------
+
+constexpr const char* kSweepKernel = R"(
+void f(int n, int m, const float b[n][m], const float w[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < m - 1; k++) {
+      a[i][k] = (b[i][k+1] - 2.0f * b[i][k] + b[i][k-1]) * w[i][0];
+    }
+  }
+})";
+
+std::vector<ReuseGroup> groups_of(Ctx& c, bool intra_only_on_parallel = true) {
+  RegionAccesses acc = analyze_accesses(c.region());
+  ReuseOptions opts;
+  opts.intra_only_on_parallel = intra_only_on_parallel;
+  return find_reuse_groups(c.region(), acc, opts);
+}
+
+TEST(Reuse, FindsCarriedGroup) {
+  auto c = make(kSweepKernel);
+  auto groups = groups_of(*c);
+  const ReuseGroup* carried = nullptr;
+  for (const ReuseGroup& g : groups) {
+    if (g.kind == ReuseKind::kCarried) carried = &g;
+  }
+  ASSERT_NE(carried, nullptr);
+  EXPECT_EQ(carried->array->name, "b");
+  EXPECT_EQ(carried->members.size(), 3u);
+  EXPECT_EQ(carried->distance, 2);
+  EXPECT_EQ(carried->scalars_needed(), 3);
+  EXPECT_EQ(carried->saved_loads_per_iteration(), 2);
+}
+
+TEST(Reuse, FindsInvariantGroup) {
+  auto c = make(kSweepKernel);
+  auto groups = groups_of(*c);
+  const ReuseGroup* inv = nullptr;
+  for (const ReuseGroup& g : groups) {
+    if (g.kind == ReuseKind::kInvariant) inv = &g;
+  }
+  ASSERT_NE(inv, nullptr);
+  EXPECT_EQ(inv->array->name, "w");
+}
+
+TEST(Reuse, WrittenArraysAreExcluded) {
+  auto c = make(kSweepKernel);
+  for (const ReuseGroup& g : groups_of(*c)) {
+    EXPECT_NE(g.array->name, "a");
+  }
+}
+
+TEST(Reuse, NoCarriedGroupsOnParallelLoops) {
+  auto c = make(R"(
+void f(int n, const float *b, float *a) {
+  #pragma acc parallel loop gang
+  for (j = 0; j < n; j++) {
+    #pragma acc loop vector(64)
+    for (i = 1; i < n - 1; i++) {
+      a[i] = b[i] + b[i+1];
+    }
+  }
+})");
+  for (const ReuseGroup& g : groups_of(*c, /*intra_only_on_parallel=*/true)) {
+    EXPECT_NE(g.kind, ReuseKind::kCarried);
+  }
+  // ...but the classical (Carr-Kennedy) mode does form them.
+  bool found = false;
+  for (const ReuseGroup& g : groups_of(*c, /*intra_only_on_parallel=*/false)) {
+    if (g.kind == ReuseKind::kCarried) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reuse, IntraGroupsNeedTwoIdenticalReads) {
+  auto c = make(R"(
+void f(int n, const float *b, float *a) {
+  #pragma acc parallel loop gang vector
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * b[i] + 1.0f;
+  }
+})");
+  auto groups = groups_of(*c);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].kind, ReuseKind::kIntra);
+  EXPECT_EQ(groups[0].members.size(), 2u);
+  EXPECT_EQ(groups[0].registers_needed(), 1);
+}
+
+TEST(Reuse, StrideTwoLoopDividesOffsets) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 2; k < m - 2; k += 2) {
+      a[i][k] = b[i][k] + b[i][k+2];
+    }
+  }
+})");
+  auto groups = groups_of(*c);
+  const ReuseGroup* carried = nullptr;
+  for (const ReuseGroup& g : groups) {
+    if (g.kind == ReuseKind::kCarried) carried = &g;
+  }
+  ASSERT_NE(carried, nullptr);
+  EXPECT_EQ(carried->distance, 1);  // one *iteration*, not one index unit
+}
+
+TEST(Reuse, MisalignedStrideOffsetsDontGroup) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 2; k < m - 2; k += 2) {
+      a[i][k] = b[i][k] + b[i][k+1];
+    }
+  }
+})");
+  for (const ReuseGroup& g : groups_of(*c)) {
+    EXPECT_NE(g.kind, ReuseKind::kCarried);
+  }
+}
+
+TEST(Reuse, ConditionalRefsExcluded) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < m; k++) {
+      if (k > 3) { a[i][k] = b[i][k] + b[i][k-1]; }
+    }
+  }
+})");
+  EXPECT_TRUE(groups_of(*c).empty());
+}
+
+TEST(Reuse, LocalInSubscriptExcluded) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < m - 1; k++) {
+      int t = k;
+      a[i][k] = b[i][t] + b[i][t];
+    }
+  }
+})");
+  EXPECT_TRUE(groups_of(*c).empty());
+}
+
+TEST(Reuse, MaxDistanceRespected) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 8; k < m - 8; k++) {
+      a[i][k] = b[i][k] + b[i][k+8];
+    }
+  }
+})");
+  RegionAccesses acc = analyze_accesses(c->region());
+  ReuseOptions opts;
+  opts.max_distance = 4;
+  for (const ReuseGroup& g : find_reuse_groups(c->region(), acc, opts)) {
+    EXPECT_NE(g.kind, ReuseKind::kCarried);
+  }
+}
+
+TEST(Reuse, DeterministicOrder) {
+  auto c1 = make(kSweepKernel);
+  auto c2 = make(kSweepKernel);
+  auto g1 = groups_of(*c1);
+  auto g2 = groups_of(*c2);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g1[i].array->name, g2[i].array->name);
+    EXPECT_EQ(g1[i].kind, g2[i].kind);
+  }
+}
+
+// -- cost model --------------------------------------------------------------------
+
+TEST(CostModel, UncoalescedCostsMore) {
+  CostModel cm(vgpu::LatencyModel{});
+  double co = cm.access_latency(MemSpace::kGlobalRO, CoalesceClass::kCoalesced);
+  double un = cm.access_latency(MemSpace::kGlobalRO, CoalesceClass::kUncoalesced);
+  EXPECT_GT(un, co * 3);
+}
+
+TEST(CostModel, GlobalCostsMoreThanReadOnly) {
+  CostModel cm(vgpu::LatencyModel{});
+  EXPECT_GT(cm.access_latency(MemSpace::kGlobalRW, CoalesceClass::kCoalesced),
+            cm.access_latency(MemSpace::kGlobalRO, CoalesceClass::kCoalesced));
+}
+
+TEST(CostModel, PriorityIsLatencyTimesCount) {
+  auto c = make(kSweepKernel);
+  auto groups = groups_of(*c);
+  CostModel cm(vgpu::LatencyModel{});
+  for (const ReuseGroup& g : groups) {
+    EXPECT_DOUBLE_EQ(cm.group_priority(g),
+                     cm.access_latency(g.space, g.coalescing) * g.reference_count());
+    EXPECT_DOUBLE_EQ(cm.count_priority(g), g.reference_count());
+  }
+}
+
+}  // namespace
+}  // namespace safara::analysis

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "lex/lexer.hpp"
+
+namespace safara::lex {
+namespace {
+
+std::vector<Token> lex(std::string_view src, bool expect_ok = true) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.tokenize();
+  if (expect_ok) {
+    EXPECT_TRUE(diags.ok()) << diags.render();
+  }
+  return toks;
+}
+
+std::vector<TokKind> kinds(const std::vector<Token>& toks) {
+  std::vector<TokKind> out;
+  for (const Token& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kEof);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = lex("foo _bar baz42");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz42");
+}
+
+TEST(Lexer, Keywords) {
+  auto toks = lex("void int long float double for if else return const");
+  std::vector<TokKind> expect = {
+      TokKind::kKwVoid, TokKind::kKwInt,   TokKind::kKwLong,  TokKind::kKwFloat,
+      TokKind::kKwDouble, TokKind::kKwFor, TokKind::kKwIf,    TokKind::kKwElse,
+      TokKind::kKwReturn, TokKind::kKwConst, TokKind::kEof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = lex("0 42 1000000");
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 1000000);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = lex("1.5 2.5f 1e3 1.25e-2 3f");
+  EXPECT_EQ(toks[0].kind, TokKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_TRUE(toks[0].is_double);
+  EXPECT_FALSE(toks[1].is_double);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.0125);
+  EXPECT_EQ(toks[4].kind, TokKind::kFloatLit);
+  EXPECT_FALSE(toks[4].is_double);
+}
+
+TEST(Lexer, IntegerFollowedByDotMember) {
+  // `1.x` style would be invalid; `1.` without digits stays an int then error
+  // on '.', but `2 .5`-like splits are not merged.
+  auto toks = lex("7 8.0");
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[1].kind, TokKind::kFloatLit);
+}
+
+TEST(Lexer, OperatorsSingleAndDouble) {
+  auto toks = lex("+ - * / % = == != < > <= >= && || ! ++ -- += -= *= /=");
+  std::vector<TokKind> expect = {
+      TokKind::kPlus,      TokKind::kMinus,      TokKind::kStar,
+      TokKind::kSlash,     TokKind::kPercent,    TokKind::kAssign,
+      TokKind::kEq,        TokKind::kNe,         TokKind::kLt,
+      TokKind::kGt,        TokKind::kLe,         TokKind::kGe,
+      TokKind::kAmpAmp,    TokKind::kPipePipe,   TokKind::kBang,
+      TokKind::kPlusPlus,  TokKind::kMinusMinus, TokKind::kPlusAssign,
+      TokKind::kMinusAssign, TokKind::kStarAssign, TokKind::kSlashAssign,
+      TokKind::kEof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, Punctuation) {
+  auto toks = lex("( ) { } [ ] ; , : ?");
+  std::vector<TokKind> expect = {
+      TokKind::kLParen,   TokKind::kRParen, TokKind::kLBrace, TokKind::kRBrace,
+      TokKind::kLBracket, TokKind::kRBracket, TokKind::kSemi, TokKind::kComma,
+      TokKind::kColon,    TokKind::kQuestion, TokKind::kEof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, LineComments) {
+  auto toks = lex("a // this is ignored\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BlockComments) {
+  auto toks = lex("a /* span\nmultiple\nlines */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a /* never closed", diags);
+  lexer.tokenize();
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(Lexer, PragmaMode) {
+  auto toks = lex("#pragma acc parallel loop\nfor");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::kPragma);
+  EXPECT_EQ(toks[1].text, "acc");
+  EXPECT_EQ(toks[2].text, "parallel");
+  EXPECT_EQ(toks[3].text, "loop");
+  EXPECT_EQ(toks[4].kind, TokKind::kPragmaEnd);
+  EXPECT_EQ(toks[5].kind, TokKind::kKwFor);
+}
+
+TEST(Lexer, PragmaLineContinuation) {
+  auto toks = lex("#pragma acc parallel \\\n loop gang\nx");
+  // The continuation keeps `loop gang` inside the pragma.
+  std::size_t end_at = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPragmaEnd) {
+      end_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(toks[end_at - 1].text, "gang");
+  EXPECT_EQ(toks[end_at + 1].text, "x");
+}
+
+TEST(Lexer, PragmaAtEndOfFile) {
+  auto toks = lex("#pragma acc loop seq");
+  // Even without a trailing newline the pragma terminates.
+  EXPECT_EQ(toks[toks.size() - 2].kind, TokKind::kPragmaEnd);
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, HashWithoutPragmaIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("#include <x>", diags);
+  lexer.tokenize();
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a @ b", diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.ok());
+  ASSERT_EQ(toks.size(), 3u);  // error char skipped, both idents survive
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[2].loc.line, 3u);
+  EXPECT_EQ(toks[2].loc.col, 3u);
+}
+
+TEST(Lexer, LongSuffixAccepted) {
+  auto toks = lex("5L 5l");
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 5);
+  EXPECT_EQ(toks[1].kind, TokKind::kIntLit);
+}
+
+TEST(Lexer, AmpersandAloneIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a & b", diags);
+  lexer.tokenize();
+  EXPECT_FALSE(diags.ok());
+}
+
+}  // namespace
+}  // namespace safara::lex

@@ -1,0 +1,303 @@
+// Optimization pass tests: the scalar-replacement transform itself (AST
+// shapes + functional equivalence), the SAFARA feedback pass, and the
+// Carr-Kennedy baseline with its sequentialization hazard.
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "opt/carr_kennedy.hpp"
+#include "opt/safara.hpp"
+#include "opt/scalar_replacement.hpp"
+#include "tests_common.hpp"
+
+namespace safara::test {
+namespace {
+
+struct PassCtx {
+  DiagnosticEngine diags;
+  ast::Program program;
+  std::unique_ptr<sema::FunctionInfo> info;
+
+  ast::Function& fn() { return *program.functions.front(); }
+};
+
+std::unique_ptr<PassCtx> make(std::string_view src) {
+  auto c = std::make_unique<PassCtx>();
+  c->program = parse::parse_source(src, c->diags);
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  sema::Sema sema(c->diags);
+  c->info = sema.analyze(*c->program.functions.front());
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  return c;
+}
+
+constexpr const char* kSweep = R"(
+void f(int n, int m, const float b[n][m], const float w[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < m - 1; k++) {
+      a[i][k] = (b[i][k+1] - 2.0f * b[i][k] + b[i][k-1]) * w[i][0];
+    }
+  }
+})";
+
+// -- the transform ---------------------------------------------------------------
+
+TEST(ScalarReplacement, CarriedGroupProducesRotation) {
+  auto c = make(kSweep);
+  auto& region = c->info->regions[0];
+  auto accesses = analysis::analyze_accesses(region);
+  auto groups = analysis::find_reuse_groups(region, accesses, {});
+  const analysis::ReuseGroup* carried = nullptr;
+  for (const auto& g : groups) {
+    if (g.kind == analysis::ReuseKind::kCarried) carried = &g;
+  }
+  ASSERT_NE(carried, nullptr);
+
+  opt::SrNameGen names;
+  int scalars = opt::apply_scalar_replacement(*region.loop, *carried, names, c->diags);
+  EXPECT_TRUE(c->diags.ok()) << c->diags.render();
+  EXPECT_EQ(scalars, 3);  // distance 2 -> 3 rotating scalars
+
+  std::string after = ast::to_source(c->fn());
+  // Preheader loads + rotation at the bottom (the paper's Fig. 6 shape).
+  EXPECT_NE(after.find("__sr0_b"), std::string::npos);
+  EXPECT_NE(after.find("__sr1_b = __sr2_b"), std::string::npos) << after;
+  // Only one load of b remains inside the loop (the leading load).
+  std::size_t pos = after.find("for (k");
+  int b_loads = 0;
+  for (std::size_t p = after.find("b[i]", pos); p != std::string::npos;
+       p = after.find("b[i]", p + 1)) {
+    ++b_loads;
+  }
+  EXPECT_EQ(b_loads, 1) << after;
+}
+
+TEST(ScalarReplacement, TransformPreservesSemantics) {
+  // Apply SR by hand, then run both versions through the CPU reference.
+  auto plain = make(kSweep);
+  auto transformed = make(kSweep);
+  {
+    auto& region = transformed->info->regions[0];
+    auto accesses = analysis::analyze_accesses(region);
+    auto groups = analysis::find_reuse_groups(region, accesses, {});
+    opt::SrNameGen names;
+    for (const auto& g : groups) {
+      opt::apply_scalar_replacement(*region.loop, g, names, transformed->diags);
+    }
+    ASSERT_TRUE(transformed->diags.ok()) << transformed->diags.render();
+  }
+
+  const int n = 16, m = 24;
+  auto make_data = [&] {
+    Data d;
+    d.arrays.emplace("b", f32_array({{0, n}, {0, m}}));
+    d.arrays.emplace("w", f32_array({{0, n}, {0, m}}));
+    d.arrays.emplace("a", f32_array({{0, n}, {0, m}}));
+    fill_pattern(d.array("b"), 1);
+    fill_pattern(d.array("w"), 2);
+    d.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+    d.scalars.emplace("m", rt::ScalarValue::of_i32(m));
+    return d;
+  };
+  Data d1 = make_data();
+  Data d2 = make_data();
+  {
+    auto args = ref_args(d1);
+    driver::run_reference(plain->fn(), args);
+  }
+  {
+    auto args = ref_args(d2);
+    driver::run_reference(transformed->fn(), args);
+  }
+  expect_arrays_near(d1.array("a"), d2.array("a"), 0.0, "a");
+}
+
+TEST(ScalarReplacement, InvariantGroupHoistsBeforeLoop) {
+  auto c = make(kSweep);
+  auto& region = c->info->regions[0];
+  auto accesses = analysis::analyze_accesses(region);
+  auto groups = analysis::find_reuse_groups(region, accesses, {});
+  const analysis::ReuseGroup* inv = nullptr;
+  for (const auto& g : groups) {
+    if (g.kind == analysis::ReuseKind::kInvariant) inv = &g;
+  }
+  ASSERT_NE(inv, nullptr);
+  opt::SrNameGen names;
+  EXPECT_EQ(opt::apply_scalar_replacement(*region.loop, *inv, names, c->diags), 1);
+  std::string after = ast::to_source(c->fn());
+  // The load appears before the k loop, not inside it.
+  std::size_t decl_at = after.find("__sr0_w = w[i][0]");
+  std::size_t loop_at = after.find("for (k");
+  ASSERT_NE(decl_at, std::string::npos) << after;
+  EXPECT_LT(decl_at, loop_at);
+}
+
+TEST(ScalarReplacement, NegativeOffsetsNormalize) {
+  auto c = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 2; k < m; k++) {
+      a[i][k] = b[i][k-1] + b[i][k-2];
+    }
+  }
+})");
+  auto& region = c->info->regions[0];
+  auto accesses = analysis::analyze_accesses(region);
+  auto groups = analysis::find_reuse_groups(region, accesses, {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].distance, 1);
+  opt::SrNameGen names;
+  EXPECT_EQ(opt::apply_scalar_replacement(*region.loop, groups[0], names, c->diags), 2);
+
+  // Semantics preserved for a downward-offset group.
+  const int n = 8, m = 16;
+  Data d1, d2;
+  for (Data* d : {&d1, &d2}) {
+    d->arrays.emplace("b", f32_array({{0, n}, {0, m}}));
+    d->arrays.emplace("a", f32_array({{0, n}, {0, m}}));
+    fill_pattern(d->array("b"), 77);
+    d->scalars.emplace("n", rt::ScalarValue::of_i32(n));
+    d->scalars.emplace("m", rt::ScalarValue::of_i32(m));
+  }
+  auto fresh = make(R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (k = 2; k < m; k++) {
+      a[i][k] = b[i][k-1] + b[i][k-2];
+    }
+  }
+})");
+  auto a1 = ref_args(d1);
+  driver::run_reference(fresh->fn(), a1);
+  auto a2 = ref_args(d2);
+  driver::run_reference(c->fn(), a2);
+  expect_arrays_near(d1.array("a"), d2.array("a"), 0.0, "a");
+}
+
+// -- SAFARA -----------------------------------------------------------------------
+
+TEST(Safara, RespectsRegisterBudget) {
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_safara();
+  opts.safara.max_registers = 40;
+  driver::Compiler compiler(opts);
+  auto prog = compiler.compile(kSweep);
+  for (const auto& k : prog.kernels) {
+    // The pass stops replacing once the feedback says the budget is spent;
+    // allow the final kernel a small overshoot from the last batch.
+    EXPECT_LE(k.alloc.regs_used, 40 + 8) << k.name;
+  }
+}
+
+TEST(Safara, ReportsIterationLog) {
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara());
+  auto prog = compiler.compile(kSweep);
+  ASSERT_EQ(prog.safara.regions.size(), 1u);
+  EXPECT_GE(prog.safara.regions[0].iterations, 1);
+  EXPECT_GT(prog.safara.total_groups(), 0);
+  bool mentions_ptxas = false;
+  for (const auto& line : prog.safara.regions[0].log) {
+    if (line.find("ptxas reports") != std::string::npos) mentions_ptxas = true;
+  }
+  EXPECT_TRUE(mentions_ptxas);
+}
+
+TEST(Safara, NeverIncreasesGlobalLoadCount) {
+  for (const char* src : {kSweep}) {
+    driver::Compiler base(driver::CompilerOptions::openuh_base());
+    driver::Compiler saf(driver::CompilerOptions::openuh_safara());
+    auto count_loads = [](const driver::CompiledProgram& p) {
+      int n = 0;
+      for (const auto& k : p.kernels) {
+        for (const auto& in : k.kernel.code) {
+          if (in.op == vir::Opcode::kLdGlobal) ++n;
+        }
+      }
+      return n;
+    };
+    EXPECT_LE(count_loads(saf.compile(src)), count_loads(base.compile(src)));
+  }
+}
+
+TEST(Safara, ZeroBudgetReplacesNothing) {
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_safara();
+  opts.safara.max_registers = 1;
+  driver::Compiler compiler(opts);
+  auto prog = compiler.compile(kSweep);
+  EXPECT_EQ(prog.safara.total_groups(), 0);
+}
+
+TEST(Safara, DeterministicAcrossCompiles) {
+  driver::Compiler c1(driver::CompilerOptions::openuh_safara());
+  driver::Compiler c2(driver::CompilerOptions::openuh_safara());
+  auto p1 = c1.compile(kSweep);
+  auto p2 = c2.compile(kSweep);
+  ASSERT_EQ(p1.kernels.size(), p2.kernels.size());
+  for (std::size_t i = 0; i < p1.kernels.size(); ++i) {
+    EXPECT_EQ(p1.kernels[i].alloc.regs_used, p2.kernels[i].alloc.regs_used);
+    EXPECT_EQ(p1.kernels[i].kernel.code.size(), p2.kernels[i].kernel.code.size());
+  }
+  EXPECT_EQ(ast::to_source(*p1.transformed), ast::to_source(*p2.transformed));
+}
+
+// -- Carr-Kennedy -------------------------------------------------------------------
+
+constexpr const char* kParallelCarried = R"(
+void f(int n, int m, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang
+  for (j = 0; j < n; j++) {
+    #pragma acc loop vector(64)
+    for (i = 1; i < m - 1; i++) {
+      a[j][i] = (b[j][i] + b[j][i+1]) / 2.0f;
+    }
+  }
+})";
+
+TEST(CarrKennedy, SequentializesParallelLoop) {
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.enable_carr_kennedy = true;
+  driver::Compiler compiler(opts);
+  auto prog = compiler.compile(kParallelCarried);
+  EXPECT_GE(prog.carr_kennedy.groups_replaced, 1);
+  EXPECT_EQ(prog.carr_kennedy.loops_sequentialized, 1);
+  // The transformed source now marks the inner loop seq.
+  std::string after = ast::to_source(*prog.transformed);
+  EXPECT_NE(after.find("loop seq"), std::string::npos) << after;
+}
+
+TEST(CarrKennedy, StillComputesCorrectResults) {
+  Data data;
+  const int n = 24, m = 96;
+  data.arrays.emplace("b", f32_array({{0, n}, {0, m}}));
+  data.arrays.emplace("a", f32_array({{0, n}, {0, m}}));
+  fill_pattern(data.array("b"), 5);
+  data.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+  data.scalars.emplace("m", rt::ScalarValue::of_i32(m));
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.enable_carr_kennedy = true;
+  check_against_reference(kParallelCarried, opts, data, 0.0);
+}
+
+TEST(CarrKennedy, RespectsRegisterBudget) {
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.enable_carr_kennedy = true;
+  opts.carr_kennedy.register_budget = 0;
+  driver::Compiler compiler(opts);
+  auto prog = compiler.compile(kParallelCarried);
+  EXPECT_EQ(prog.carr_kennedy.groups_replaced, 0);
+  EXPECT_EQ(prog.carr_kennedy.loops_sequentialized, 0);
+}
+
+TEST(CarrKennedy, SafaraDoesNotSequentialize) {
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara());
+  auto prog = compiler.compile(kParallelCarried);
+  std::string after = ast::to_source(*prog.transformed);
+  EXPECT_EQ(after.find("loop seq"), std::string::npos) << after;
+}
+
+}  // namespace
+}  // namespace safara::test

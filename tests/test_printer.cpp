@@ -1,0 +1,143 @@
+// Printer round-trip tests: printing an AST and reparsing it must yield a
+// structurally identical program (this also exercises clone()).
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "parse/parser.hpp"
+
+namespace safara::ast {
+namespace {
+
+std::string normalize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+void roundtrip(std::string_view src) {
+  DiagnosticEngine d1;
+  Program p1 = parse::parse_source(src, d1);
+  ASSERT_TRUE(d1.ok()) << d1.render();
+  std::string printed1 = to_source(p1);
+
+  DiagnosticEngine d2;
+  Program p2 = parse::parse_source(printed1, d2);
+  ASSERT_TRUE(d2.ok()) << "reparse failed:\n" << d2.render() << "\n" << printed1;
+  std::string printed2 = to_source(p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST(Printer, SimpleKernelRoundTrips) {
+  roundtrip(R"(
+void f(int n, float *x, float *y) {
+  #pragma acc parallel loop gang vector(128)
+  for (i = 0; i < n; i++) {
+    y[i] = 2.0f * x[i] + 1.0f;
+  }
+})");
+}
+
+TEST(Printer, AllParamKindsRoundTrip) {
+  roundtrip(R"(
+void f(int n, const float *p, float s[8][4], float v[n][n], double a[?][?]) {
+})");
+}
+
+TEST(Printer, DirectivesRoundTrip) {
+  roundtrip(R"(
+void f(int nx, int ny, float p[?][?], float q[?][?], float *r) {
+  #pragma acc parallel loop gang(nx/2) vector(2) dim((0:nx, 0:ny)(p, q)) small(p, q, r)
+  for (j = 0; j < nx; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 0; i < ny; i++) {
+      #pragma acc loop seq
+      for (k = 0; k < 4; k++) {
+        p[j][i] = q[j][i] + r[k];
+      }
+    }
+  }
+})");
+}
+
+TEST(Printer, ControlFlowRoundTrips) {
+  roundtrip(R"(
+void f(int n, const int *c, float *x) {
+  #pragma acc parallel loop gang vector
+  for (i = 0; i < n; i++) {
+    float t = 0.0f;
+    if (c[i] > 0) {
+      t = 1.0f;
+    } else if (c[i] < -5) {
+      t = 2.0f;
+    } else {
+      t = 3.0f;
+    }
+    x[i] = t;
+  }
+})");
+}
+
+TEST(Printer, StepsAndBoundsRoundTrip) {
+  roundtrip(R"(
+void f(int n, float *x) {
+  for (i = n - 1; i >= 0; i -= 2) { x[i] = 0.0f; }
+  for (int j = 0; j <= n; j += 3) { x[j] = 1.0f; }
+})");
+}
+
+TEST(Printer, PrecedencePreserved) {
+  // (a+b)*c must not print as a+b*c.
+  DiagnosticEngine diags;
+  Program p = parse::parse_source(
+      "void f(int a, int b, int c, int *o) { for(i=0;i<1;i++){ o[0] = (a + b) * c; } }",
+      diags);
+  ASSERT_TRUE(diags.ok());
+  std::string printed = to_source(p);
+  EXPECT_NE(normalize(printed).find("(a+b)*c"), std::string::npos) << printed;
+}
+
+TEST(Printer, CloneProducesIdenticalSource) {
+  DiagnosticEngine diags;
+  Program p = parse::parse_source(R"(
+void f(int n, const float b[n][n], float a[n][n]) {
+  #pragma acc parallel loop gang vector(64) small(a, b)
+  for (i = 1; i < n - 1; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < n - 1; k++) {
+      a[i][k] = 0.5f * (b[i][k-1] + b[i][k+1]) - sqrt(fabs(b[i][k]));
+    }
+  }
+})", diags);
+  ASSERT_TRUE(diags.ok());
+  auto clone = p.functions[0]->clone();
+  EXPECT_EQ(to_source(*p.functions[0]), to_source(*clone));
+}
+
+TEST(Printer, StructuralEquality) {
+  DiagnosticEngine diags;
+  Program p = parse::parse_source(
+      "void f(int a, int b, int *o) { for(i=0;i<1;i++){ o[0] = a * 2 + b; o[1] = a * 2 + b; o[2] = b + a * 2; } }",
+      diags);
+  ASSERT_TRUE(diags.ok());
+  auto& loop = p.functions[0]->body->stmts[0]->as<ForStmt>();
+  const Expr& e0 = *loop.body->stmts[0]->as<AssignStmt>().rhs;
+  const Expr& e1 = *loop.body->stmts[1]->as<AssignStmt>().rhs;
+  const Expr& e2 = *loop.body->stmts[2]->as<AssignStmt>().rhs;
+  EXPECT_TRUE(equal(e0, e1));
+  EXPECT_FALSE(equal(e0, e2));  // commuted operands are structurally distinct
+}
+
+TEST(Printer, FloatLiteralsKeepSuffix) {
+  DiagnosticEngine diags;
+  Program p = parse::parse_source(
+      "void f(float *o) { for(i=0;i<1;i++){ o[0] = 1.5f + 2.0; } }", diags);
+  ASSERT_TRUE(diags.ok());
+  std::string printed = to_source(p);
+  EXPECT_NE(printed.find("1.5f"), std::string::npos);
+  EXPECT_NE(printed.find("2.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace safara::ast

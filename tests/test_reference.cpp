@@ -1,0 +1,196 @@
+// CPU reference interpreter unit tests: HostArray dope-vector indexing,
+// value semantics (f32 rounding, integer division), control flow, compound
+// updates, and error reporting.
+#include <gtest/gtest.h>
+
+#include "driver/reference.hpp"
+#include "parse/parser.hpp"
+
+namespace safara::driver {
+namespace {
+
+void run(const std::string& src, RefArgMap& args) {
+  DiagnosticEngine diags;
+  ast::Program p = parse::parse_source(src, diags);
+  ASSERT_TRUE(diags.ok()) << diags.render();
+  run_reference(*p.functions.front(), args);
+}
+
+TEST(HostArray, LinearIndexRowMajor) {
+  HostArray a = HostArray::make(ast::ScalarType::kF32, {{0, 3}, {0, 4}});
+  EXPECT_EQ(a.linear_index({0, 0}), 0);
+  EXPECT_EQ(a.linear_index({0, 3}), 3);
+  EXPECT_EQ(a.linear_index({1, 0}), 4);
+  EXPECT_EQ(a.linear_index({2, 3}), 11);
+}
+
+TEST(HostArray, LowerBoundsShiftIndices) {
+  HostArray a = HostArray::make(ast::ScalarType::kF32, {{1, 3}, {2, 4}});
+  EXPECT_EQ(a.linear_index({1, 2}), 0);
+  EXPECT_EQ(a.linear_index({3, 5}), 11);
+}
+
+TEST(HostArray, OutOfBoundsThrows) {
+  HostArray a = HostArray::make(ast::ScalarType::kF32, {{0, 3}});
+  EXPECT_THROW(a.linear_index({3}), std::runtime_error);
+  EXPECT_THROW(a.linear_index({-1}), std::runtime_error);
+  EXPECT_THROW(a.linear_index({0, 0}), std::runtime_error);  // rank mismatch
+}
+
+TEST(HostArray, TypedStorage) {
+  HostArray f = HostArray::make(ast::ScalarType::kF64, {{0, 2}});
+  f.set(0, 1.25);
+  EXPECT_DOUBLE_EQ(f.get(0), 1.25);
+  HostArray i = HostArray::make(ast::ScalarType::kI32, {{0, 2}});
+  i.set_int(1, -7);
+  EXPECT_EQ(i.get_int(1), -7);
+  // f32 storage rounds.
+  HostArray h = HostArray::make(ast::ScalarType::kF32, {{0, 1}});
+  h.set(0, 0.1);
+  EXPECT_FLOAT_EQ(static_cast<float>(h.get(0)), 0.1f);
+}
+
+TEST(Reference, SequentialLoopAndCompound) {
+  HostArray x = HostArray::make(ast::ScalarType::kF32, {{0, 4}});
+  RefArgMap args;
+  args.emplace("n", rt::ScalarValue::of_i32(4));
+  args.emplace("x", &x);
+  run(R"(
+void f(int n, float *x) {
+  for (i = 0; i < n; i++) {
+    x[i] = 1.0f;
+    x[i] += float(i);
+    x[i] *= 2.0f;
+  }
+})", args);
+  EXPECT_FLOAT_EQ(static_cast<float>(x.get(0)), 2.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(x.get(3)), 8.0f);
+}
+
+TEST(Reference, F32RoundingMatchesFloatArithmetic) {
+  HostArray x = HostArray::make(ast::ScalarType::kF32, {{0, 1}});
+  RefArgMap args;
+  args.emplace("x", &x);
+  run(R"(
+void f(float *x) {
+  for (i = 0; i < 1; i++) {
+    x[0] = 0.1f + 0.2f;
+  }
+})", args);
+  EXPECT_FLOAT_EQ(static_cast<float>(x.get(0)), 0.1f + 0.2f);
+}
+
+TEST(Reference, IntegerDivisionByZeroIsZero) {
+  HostArray y = HostArray::make(ast::ScalarType::kI32, {{0, 2}});
+  RefArgMap args;
+  args.emplace("y", &y);
+  run(R"(
+void f(int *y) {
+  for (i = 0; i < 2; i++) {
+    y[i] = (i + 5) / i + (i + 5) % i;
+  }
+})", args);
+  EXPECT_EQ(y.get_int(0), 0);      // 5/0 + 5%0 == 0 by our semantics
+  EXPECT_EQ(y.get_int(1), 6 + 0);  // 6/1 + 6%1
+}
+
+TEST(Reference, NestedControlFlow) {
+  HostArray y = HostArray::make(ast::ScalarType::kI32, {{0, 10}});
+  RefArgMap args;
+  args.emplace("y", &y);
+  run(R"(
+void f(int *y) {
+  for (i = 0; i < 10; i++) {
+    if (i % 2 == 0) {
+      if (i > 4) { y[i] = 1; } else { y[i] = 2; }
+    } else {
+      y[i] = 3;
+    }
+  }
+})", args);
+  EXPECT_EQ(y.get_int(0), 2);
+  EXPECT_EQ(y.get_int(1), 3);
+  EXPECT_EQ(y.get_int(6), 1);
+}
+
+TEST(Reference, DowncountingLoop) {
+  HostArray y = HostArray::make(ast::ScalarType::kI32, {{0, 5}});
+  RefArgMap args;
+  args.emplace("y", &y);
+  run(R"(
+void f(int *y) {
+  int t = 0;
+  for (i = 4; i >= 0; i--) {
+    y[i] = t;
+    t = t + 1;
+  }
+})", args);
+  EXPECT_EQ(y.get_int(4), 0);
+  EXPECT_EQ(y.get_int(0), 4);
+}
+
+TEST(Reference, IntrinsicsAndCasts) {
+  HostArray y = HostArray::make(ast::ScalarType::kF32, {{0, 3}});
+  RefArgMap args;
+  args.emplace("y", &y);
+  run(R"(
+void f(float *y) {
+  for (i = 0; i < 1; i++) {
+    y[0] = sqrt(16.0f) + pow(2.0f, 3.0f);
+    y[1] = float(int(3.9f));
+    y[2] = min(max(float(i), 2.0f), 5.0f);
+  }
+})", args);
+  EXPECT_FLOAT_EQ(static_cast<float>(y.get(0)), 12.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(y.get(1)), 3.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(y.get(2)), 2.0f);
+}
+
+TEST(Reference, MissingArgumentThrows) {
+  HostArray x = HostArray::make(ast::ScalarType::kF32, {{0, 4}});
+  RefArgMap args;  // n missing
+  args.emplace("x", &x);
+  DiagnosticEngine diags;
+  ast::Program p = parse::parse_source(
+      "void f(int n, float *x) { for (i=0;i<n;i++) { x[i] = 1.0f; } }", diags);
+  EXPECT_THROW(run_reference(*p.functions.front(), args), std::runtime_error);
+}
+
+TEST(Reference, OutOfBoundsSubscriptThrows) {
+  HostArray x = HostArray::make(ast::ScalarType::kF32, {{0, 4}});
+  RefArgMap args;
+  args.emplace("n", rt::ScalarValue::of_i32(8));
+  args.emplace("x", &x);
+  DiagnosticEngine diags;
+  ast::Program p = parse::parse_source(
+      "void f(int n, float *x) { for (i=0;i<n;i++) { x[i] = 1.0f; } }", diags);
+  EXPECT_THROW(run_reference(*p.functions.front(), args), std::runtime_error);
+}
+
+TEST(Reference, DirectivesAreIgnored) {
+  HostArray x = HostArray::make(ast::ScalarType::kF32, {{0, 8}});
+  RefArgMap args;
+  args.emplace("n", rt::ScalarValue::of_i32(8));
+  args.emplace("x", &x);
+  run(R"(
+void f(int n, float *x) {
+  #pragma acc parallel loop gang(n/2) vector(2)
+  for (i = 0; i < n; i++) { x[i] = float(i) * 2.0f; }
+})", args);
+  EXPECT_FLOAT_EQ(static_cast<float>(x.get(7)), 14.0f);
+}
+
+TEST(Reference, ScalarParamConversion) {
+  HostArray y = HostArray::make(ast::ScalarType::kF64, {{0, 1}});
+  RefArgMap args;
+  args.emplace("v", rt::ScalarValue::of_i64(41));
+  args.emplace("y", &y);
+  run(R"(
+void f(long v, double *y) {
+  for (i = 0; i < 1; i++) { y[0] = double(v) + 1.0; }
+})", args);
+  EXPECT_DOUBLE_EQ(y.get(0), 42.0);
+}
+
+}  // namespace
+}  // namespace safara::driver

@@ -1,0 +1,248 @@
+// Tests for the virtual ISA utilities: CFG construction, liveness, and the
+// ptxas-sim linear-scan allocator (register counts, 64-bit pairing, spills).
+#include <gtest/gtest.h>
+
+#include "regalloc/regalloc.hpp"
+#include "vir/liveness.hpp"
+#include "vir/vir.hpp"
+
+namespace safara::vir {
+namespace {
+
+/// Tiny builder for hand-written kernels.
+class KB {
+ public:
+  std::uint32_t reg(VType t) {
+    k.vreg_types.push_back(t);
+    return k.num_vregs() - 1;
+  }
+  std::int32_t label() {
+    k.labels.push_back(-1);
+    return static_cast<std::int32_t>(k.labels.size() - 1);
+  }
+  void place(std::int32_t l) { k.labels[static_cast<std::size_t>(l)] = size(); }
+  std::int32_t size() const { return static_cast<std::int32_t>(k.code.size()); }
+
+  Instr& emit(Opcode op, VType t, std::uint32_t dst = kNoReg, std::uint32_t a = kNoReg,
+              std::uint32_t b = kNoReg) {
+    Instr in;
+    in.op = op;
+    in.type = t;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    k.code.push_back(in);
+    return k.code.back();
+  }
+
+  Kernel k;
+};
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  KB b;
+  auto r0 = b.reg(VType::kI32);
+  auto r1 = b.reg(VType::kI32);
+  b.emit(Opcode::kMovImmI, VType::kI32, r0).imm = 1;
+  b.emit(Opcode::kAdd, VType::kI32, r1, r0, r0);
+  b.emit(Opcode::kExit, VType::kI32);
+  auto blocks = build_cfg(b.k);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(blocks[0].succs.empty());
+}
+
+TEST(Cfg, LoopHasBackedge) {
+  KB b;
+  auto iv = b.reg(VType::kI32);
+  auto bound = b.reg(VType::kI32);
+  auto pred = b.reg(VType::kPred);
+  std::int32_t head = b.label();
+  std::int32_t exit = b.label();
+  b.emit(Opcode::kMovImmI, VType::kI32, iv).imm = 0;
+  b.emit(Opcode::kMovImmI, VType::kI32, bound).imm = 10;
+  b.place(head);
+  b.emit(Opcode::kSetGe, VType::kI32, pred, iv, bound);
+  {
+    Instr& br = b.emit(Opcode::kCbr, VType::kI32, kNoReg, pred);
+    br.imm = exit;
+    br.imm2 = exit;
+  }
+  auto one = b.reg(VType::kI32);
+  b.emit(Opcode::kMovImmI, VType::kI32, one).imm = 1;
+  b.emit(Opcode::kAdd, VType::kI32, iv, iv, one);
+  b.emit(Opcode::kBra, VType::kI32).imm = head;
+  b.place(exit);
+  b.emit(Opcode::kExit, VType::kI32);
+
+  auto blocks = build_cfg(b.k);
+  ASSERT_GE(blocks.size(), 3u);
+  bool has_backedge = false;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::int32_t s : blocks[i].succs) {
+      if (s <= static_cast<std::int32_t>(i)) has_backedge = true;
+    }
+  }
+  EXPECT_TRUE(has_backedge);
+}
+
+TEST(Liveness, LoopCarriedValueSpansLoop) {
+  KB b;
+  auto iv = b.reg(VType::kI32);
+  auto bound = b.reg(VType::kI32);
+  auto pred = b.reg(VType::kPred);
+  auto one = b.reg(VType::kI32);
+  std::int32_t head = b.label();
+  std::int32_t exit = b.label();
+  b.emit(Opcode::kMovImmI, VType::kI32, iv).imm = 0;          // 0
+  b.emit(Opcode::kMovImmI, VType::kI32, bound).imm = 10;      // 1
+  b.emit(Opcode::kMovImmI, VType::kI32, one).imm = 1;         // 2
+  b.place(head);
+  b.emit(Opcode::kSetGe, VType::kI32, pred, iv, bound);       // 3
+  {
+    Instr& br = b.emit(Opcode::kCbr, VType::kI32, kNoReg, pred);  // 4
+    br.imm = exit;
+    br.imm2 = exit;
+  }
+  b.emit(Opcode::kAdd, VType::kI32, iv, iv, one);             // 5
+  b.emit(Opcode::kBra, VType::kI32).imm = head;               // 6
+  b.place(exit);
+  b.emit(Opcode::kExit, VType::kI32);                         // 7
+
+  auto intervals = compute_live_intervals(b.k);
+  const LiveInterval* iv_interval = nullptr;
+  for (const LiveInterval& li : intervals) {
+    if (li.vreg == iv) iv_interval = &li;
+  }
+  ASSERT_NE(iv_interval, nullptr);
+  EXPECT_LE(iv_interval->start, 0);
+  EXPECT_GE(iv_interval->end, 5);  // live across the whole loop
+}
+
+TEST(Liveness, DeadRegisterGetsNoInterval) {
+  KB b;
+  auto used = b.reg(VType::kI32);
+  b.reg(VType::kI32);  // never referenced
+  b.emit(Opcode::kMovImmI, VType::kI32, used).imm = 1;
+  b.emit(Opcode::kExit, VType::kI32);
+  auto intervals = compute_live_intervals(b.k);
+  EXPECT_EQ(intervals.size(), 1u);
+}
+
+// -- allocator -----------------------------------------------------------------
+
+TEST(Regalloc, SequentialReuseNeedsFewRegisters) {
+  // t0 = imm; t1 = t0+t0; t2 = t1+t1; ... — each value dies immediately.
+  KB b;
+  std::uint32_t prev = b.reg(VType::kI32);
+  b.emit(Opcode::kMovImmI, VType::kI32, prev).imm = 1;
+  for (int i = 0; i < 20; ++i) {
+    std::uint32_t next = b.reg(VType::kI32);
+    b.emit(Opcode::kAdd, VType::kI32, next, prev, prev);
+    prev = next;
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+  auto res = regalloc::allocate(b.k);
+  EXPECT_LE(res.regs_used, 3);
+  EXPECT_FALSE(res.any_spills());
+}
+
+TEST(Regalloc, SimultaneouslyLiveValuesStack) {
+  // Define 10 values, then one instruction consuming... them pairwise late.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 10; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  for (int i = 0; i + 1 < 10; ++i) {
+    auto d = b.reg(VType::kI32);
+    b.emit(Opcode::kAdd, VType::kI32, d, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+  auto res = regalloc::allocate(b.k);
+  EXPECT_GE(res.regs_used, 10);
+}
+
+TEST(Regalloc, F64TakesTwoRegisters) {
+  KB b;
+  auto d0 = b.reg(VType::kF64);
+  auto d1 = b.reg(VType::kF64);
+  auto d2 = b.reg(VType::kF64);
+  b.emit(Opcode::kMovImmF, VType::kF64, d0).fimm = 1.0;
+  b.emit(Opcode::kMovImmF, VType::kF64, d1).fimm = 2.0;
+  b.emit(Opcode::kAdd, VType::kF64, d2, d0, d1);
+  b.emit(Opcode::kExit, VType::kF64);
+  auto res = regalloc::allocate(b.k);
+  EXPECT_GE(res.regs_used, 4);  // two doubles live simultaneously
+  EXPECT_EQ(res.regs_used % 2, 0);
+}
+
+TEST(Regalloc, PredicatesDontUseGeneralRegisters) {
+  KB b;
+  auto a = b.reg(VType::kI32);
+  auto c = b.reg(VType::kI32);
+  auto p = b.reg(VType::kPred);
+  b.emit(Opcode::kMovImmI, VType::kI32, a).imm = 1;
+  b.emit(Opcode::kMovImmI, VType::kI32, c).imm = 2;
+  b.emit(Opcode::kSetLt, VType::kI32, p, a, c);
+  b.emit(Opcode::kExit, VType::kI32);
+  auto res = regalloc::allocate(b.k);
+  EXPECT_LE(res.regs_used, 2);
+  EXPECT_EQ(res.pred_regs_used, 1);
+}
+
+TEST(Regalloc, CapForcesSpills) {
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 16; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  auto sink = b.reg(VType::kI32);
+  for (int i = 0; i + 1 < 16; ++i) {
+    b.emit(Opcode::kAdd, VType::kI32, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions opts;
+  opts.max_registers = 8;
+  auto res = regalloc::allocate(b.k, opts);
+  EXPECT_LE(res.regs_used, 8);
+  EXPECT_TRUE(res.any_spills());
+  EXPECT_GT(res.spill_loads, 0);
+  EXPECT_GT(res.spill_bytes, 0);
+}
+
+TEST(Regalloc, PtxasInfoFormat) {
+  KB b;
+  auto r = b.reg(VType::kI32);
+  b.emit(Opcode::kMovImmI, VType::kI32, r).imm = 1;
+  b.emit(Opcode::kExit, VType::kI32);
+  b.k.name = "demo_k0";
+  auto res = regalloc::allocate(b.k);
+  std::string line = res.ptxas_info("demo_k0");
+  EXPECT_NE(line.find("ptxas info"), std::string::npos);
+  EXPECT_NE(line.find("demo_k0"), std::string::npos);
+  EXPECT_NE(line.find("registers"), std::string::npos);
+}
+
+TEST(Vir, DisassemblyMentionsEveryOpcode) {
+  KB b;
+  auto r = b.reg(VType::kF32);
+  auto addr = b.reg(VType::kI64);
+  b.emit(Opcode::kMovImmI, VType::kI64, addr).imm = 4096;
+  Instr& ld = b.emit(Opcode::kLdGlobal, VType::kF32, r, addr);
+  ld.flags = Instr::kFlagReadOnly;
+  b.emit(Opcode::kStGlobal, VType::kF32, kNoReg, addr, r);
+  b.emit(Opcode::kExit, VType::kF32);
+  b.k.name = "dis";
+  std::string text = to_string(b.k);
+  EXPECT_NE(text.find("ld.global"), std::string::npos);
+  EXPECT_NE(text.find("@ro"), std::string::npos);
+  EXPECT_NE(text.find("st.global"), std::string::npos);
+  EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace safara::vir

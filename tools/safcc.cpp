@@ -1,0 +1,141 @@
+// safcc: the command-line front door to the SAFARA compiler.
+//
+//   safcc file.acc                         # compile, print ptxas report
+//   safcc file.acc --config safara_clauses # pick a configuration
+//   safcc file.acc --emit-vir              # dump the virtual ISA
+//   safcc file.acc --emit-source           # dump the post-pass ACC-C
+//   safcc file.acc --unroll 4              # enable the unrolling extension
+//   safcc file.acc --max-regs 64           # __launch_bounds__-style cap
+//   safcc file.acc --fn name               # choose a function
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ast/printer.hpp"
+#include "driver/compiler.hpp"
+#include "vir/vir.hpp"
+
+using namespace safara;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: safcc <file.acc> [--fn name] [--config base|small|small_dim|"
+               "safara|safara_clauses|pgi]\n"
+               "             [--emit-vir] [--emit-source] [--unroll N] [--max-regs N]\n"
+               "             [--verify-clauses]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string fn_name;
+  std::string config = "safara_clauses";
+  bool emit_vir = false;
+  bool emit_source = false;
+  int unroll = 0;
+  int max_regs = 0;
+  bool verify = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fn") fn_name = next();
+    else if (arg == "--config") config = next();
+    else if (arg == "--emit-vir") emit_vir = true;
+    else if (arg == "--emit-source") emit_source = true;
+    else if (arg == "--unroll") unroll = std::atoi(next());
+    else if (arg == "--max-regs") max_regs = std::atoi(next());
+    else if (arg == "--verify-clauses") verify = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "safcc: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "safcc: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  driver::CompilerOptions opts;
+  if (config == "base") opts = driver::CompilerOptions::openuh_base();
+  else if (config == "small") opts = driver::CompilerOptions::openuh_small();
+  else if (config == "small_dim") opts = driver::CompilerOptions::openuh_small_dim();
+  else if (config == "safara") opts = driver::CompilerOptions::openuh_safara();
+  else if (config == "safara_clauses") opts = driver::CompilerOptions::openuh_safara_clauses();
+  else if (config == "pgi") opts = driver::CompilerOptions::pgi_like();
+  else {
+    std::fprintf(stderr, "safcc: unknown config '%s'\n", config.c_str());
+    return 2;
+  }
+  if (unroll > 1) {
+    opts.enable_unroll = true;
+    opts.unroll.factor = unroll;
+  }
+  if (max_regs > 0) opts.regalloc.max_registers = max_regs;
+  if (verify) opts.verify_clauses = true;
+
+  driver::Compiler compiler(opts);
+  driver::CompiledProgram prog;
+  try {
+    prog = compiler.compile(buf.str(), fn_name);
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "safcc: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("safcc: compiled %zu kernel(s) from '%s' [config %s]\n",
+              prog.kernels.size(), prog.function_name.c_str(), config.c_str());
+  for (const driver::CompiledKernel& k : prog.kernels) {
+    std::printf("%s\n", k.ptxas_info().c_str());
+  }
+  if (prog.unroll.loops_unrolled > 0) {
+    std::printf("unroll: %d loop(s) unrolled\n", prog.unroll.loops_unrolled);
+  }
+  for (const auto& region : prog.safara.regions) {
+    for (const auto& line : region.log) std::printf("safara: %s\n", line.c_str());
+  }
+  if (prog.fallback) {
+    std::printf("verify-clauses: fallback kernels compiled (");
+    for (std::size_t i = 0; i < prog.fallback->kernels.size(); ++i) {
+      if (i) std::printf(", ");
+      std::printf("%d regs", prog.fallback->kernels[i].alloc.regs_used);
+    }
+    std::printf(")\n");
+  }
+  if (emit_source) {
+    std::printf("\n---- post-optimization source ----\n%s",
+                ast::to_source(*prog.transformed).c_str());
+  }
+  if (emit_vir) {
+    for (const driver::CompiledKernel& k : prog.kernels) {
+      std::printf("\n---- %s ----\n%s", k.name.c_str(),
+                  vir::to_string(k.kernel).c_str());
+    }
+  }
+  return 0;
+}
