@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carr_kennedy.dir/ablation_carr_kennedy.cpp.o"
+  "CMakeFiles/ablation_carr_kennedy.dir/ablation_carr_kennedy.cpp.o.d"
+  "ablation_carr_kennedy"
+  "ablation_carr_kennedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carr_kennedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_spec_safara_only.dir/fig07_spec_safara_only.cpp.o"
+  "CMakeFiles/fig07_spec_safara_only.dir/fig07_spec_safara_only.cpp.o.d"
+  "fig07_spec_safara_only"
+  "fig07_spec_safara_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_spec_safara_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_spec_safara_only.
+# This may be replaced when dependencies are built.

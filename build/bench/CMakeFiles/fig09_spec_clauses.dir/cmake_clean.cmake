@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_spec_clauses.dir/fig09_spec_clauses.cpp.o"
+  "CMakeFiles/fig09_spec_clauses.dir/fig09_spec_clauses.cpp.o.d"
+  "fig09_spec_clauses"
+  "fig09_spec_clauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spec_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nas_clauses.dir/fig10_nas_clauses.cpp.o"
+  "CMakeFiles/fig10_nas_clauses.dir/fig10_nas_clauses.cpp.o.d"
+  "fig10_nas_clauses"
+  "fig10_nas_clauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nas_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

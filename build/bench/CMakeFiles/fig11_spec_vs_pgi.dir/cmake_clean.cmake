@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_spec_vs_pgi.dir/fig11_spec_vs_pgi.cpp.o"
+  "CMakeFiles/fig11_spec_vs_pgi.dir/fig11_spec_vs_pgi.cpp.o.d"
+  "fig11_spec_vs_pgi"
+  "fig11_spec_vs_pgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_spec_vs_pgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

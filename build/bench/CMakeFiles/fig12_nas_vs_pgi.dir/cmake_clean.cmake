@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nas_vs_pgi.dir/fig12_nas_vs_pgi.cpp.o"
+  "CMakeFiles/fig12_nas_vs_pgi.dir/fig12_nas_vs_pgi.cpp.o.d"
+  "fig12_nas_vs_pgi"
+  "fig12_nas_vs_pgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nas_vs_pgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

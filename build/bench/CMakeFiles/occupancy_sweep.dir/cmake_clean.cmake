@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_sweep.dir/occupancy_sweep.cpp.o"
+  "CMakeFiles/occupancy_sweep.dir/occupancy_sweep.cpp.o.d"
+  "occupancy_sweep"
+  "occupancy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

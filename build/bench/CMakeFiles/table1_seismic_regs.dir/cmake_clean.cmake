@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_seismic_regs.dir/table1_seismic_regs.cpp.o"
+  "CMakeFiles/table1_seismic_regs.dir/table1_seismic_regs.cpp.o.d"
+  "table1_seismic_regs"
+  "table1_seismic_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_seismic_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_seismic_regs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sp_regs.dir/table2_sp_regs.cpp.o"
+  "CMakeFiles/table2_sp_regs.dir/table2_sp_regs.cpp.o.d"
+  "table2_sp_regs"
+  "table2_sp_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sp_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

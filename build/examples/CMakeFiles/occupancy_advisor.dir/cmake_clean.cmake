@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_advisor.dir/occupancy_advisor.cpp.o"
+  "CMakeFiles/occupancy_advisor.dir/occupancy_advisor.cpp.o.d"
+  "occupancy_advisor"
+  "occupancy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_tuning.dir/seismic_tuning.cpp.o"
+  "CMakeFiles/seismic_tuning.dir/seismic_tuning.cpp.o.d"
+  "seismic_tuning"
+  "seismic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_analysis.dir/access.cpp.o"
+  "CMakeFiles/safara_analysis.dir/access.cpp.o.d"
+  "CMakeFiles/safara_analysis.dir/affine.cpp.o"
+  "CMakeFiles/safara_analysis.dir/affine.cpp.o.d"
+  "CMakeFiles/safara_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/safara_analysis.dir/reuse.cpp.o.d"
+  "libsafara_analysis.a"
+  "libsafara_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

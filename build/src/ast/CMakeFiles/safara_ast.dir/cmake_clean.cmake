@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_ast.dir/ast.cpp.o"
+  "CMakeFiles/safara_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/safara_ast.dir/printer.cpp.o"
+  "CMakeFiles/safara_ast.dir/printer.cpp.o.d"
+  "libsafara_ast.a"
+  "libsafara_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/codegen.cpp" "src/codegen/CMakeFiles/safara_codegen.dir/codegen.cpp.o" "gcc" "src/codegen/CMakeFiles/safara_codegen.dir/codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sema/CMakeFiles/safara_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/safara_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/safara_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/safara_codegen.dir/codegen.cpp.o.d"
+  "libsafara_codegen.a"
+  "libsafara_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_driver.dir/compiler.cpp.o"
+  "CMakeFiles/safara_driver.dir/compiler.cpp.o.d"
+  "CMakeFiles/safara_driver.dir/reference.cpp.o"
+  "CMakeFiles/safara_driver.dir/reference.cpp.o.d"
+  "CMakeFiles/safara_driver.dir/verified_launch.cpp.o"
+  "CMakeFiles/safara_driver.dir/verified_launch.cpp.o.d"
+  "libsafara_driver.a"
+  "libsafara_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_lex.dir/lexer.cpp.o"
+  "CMakeFiles/safara_lex.dir/lexer.cpp.o.d"
+  "libsafara_lex.a"
+  "libsafara_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ast_mutate.cpp" "src/opt/CMakeFiles/safara_opt.dir/ast_mutate.cpp.o" "gcc" "src/opt/CMakeFiles/safara_opt.dir/ast_mutate.cpp.o.d"
+  "/root/repo/src/opt/carr_kennedy.cpp" "src/opt/CMakeFiles/safara_opt.dir/carr_kennedy.cpp.o" "gcc" "src/opt/CMakeFiles/safara_opt.dir/carr_kennedy.cpp.o.d"
+  "/root/repo/src/opt/safara.cpp" "src/opt/CMakeFiles/safara_opt.dir/safara.cpp.o" "gcc" "src/opt/CMakeFiles/safara_opt.dir/safara.cpp.o.d"
+  "/root/repo/src/opt/scalar_replacement.cpp" "src/opt/CMakeFiles/safara_opt.dir/scalar_replacement.cpp.o" "gcc" "src/opt/CMakeFiles/safara_opt.dir/scalar_replacement.cpp.o.d"
+  "/root/repo/src/opt/unroll.cpp" "src/opt/CMakeFiles/safara_opt.dir/unroll.cpp.o" "gcc" "src/opt/CMakeFiles/safara_opt.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/safara_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/safara_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/safara_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/safara_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/safara_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/safara_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

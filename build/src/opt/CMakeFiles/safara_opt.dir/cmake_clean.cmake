@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_opt.dir/ast_mutate.cpp.o"
+  "CMakeFiles/safara_opt.dir/ast_mutate.cpp.o.d"
+  "CMakeFiles/safara_opt.dir/carr_kennedy.cpp.o"
+  "CMakeFiles/safara_opt.dir/carr_kennedy.cpp.o.d"
+  "CMakeFiles/safara_opt.dir/safara.cpp.o"
+  "CMakeFiles/safara_opt.dir/safara.cpp.o.d"
+  "CMakeFiles/safara_opt.dir/scalar_replacement.cpp.o"
+  "CMakeFiles/safara_opt.dir/scalar_replacement.cpp.o.d"
+  "CMakeFiles/safara_opt.dir/unroll.cpp.o"
+  "CMakeFiles/safara_opt.dir/unroll.cpp.o.d"
+  "libsafara_opt.a"
+  "libsafara_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

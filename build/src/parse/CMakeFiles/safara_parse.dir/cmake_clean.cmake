@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_parse.dir/parser.cpp.o"
+  "CMakeFiles/safara_parse.dir/parser.cpp.o.d"
+  "libsafara_parse.a"
+  "libsafara_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

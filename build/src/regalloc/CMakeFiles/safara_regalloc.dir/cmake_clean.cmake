@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_regalloc.dir/regalloc.cpp.o"
+  "CMakeFiles/safara_regalloc.dir/regalloc.cpp.o.d"
+  "libsafara_regalloc.a"
+  "libsafara_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_rt.dir/host_eval.cpp.o"
+  "CMakeFiles/safara_rt.dir/host_eval.cpp.o.d"
+  "CMakeFiles/safara_rt.dir/runtime.cpp.o"
+  "CMakeFiles/safara_rt.dir/runtime.cpp.o.d"
+  "libsafara_rt.a"
+  "libsafara_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

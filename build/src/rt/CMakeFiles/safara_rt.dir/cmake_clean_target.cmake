@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsafara_rt.a"
+)

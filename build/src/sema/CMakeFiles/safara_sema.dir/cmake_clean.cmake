@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_sema.dir/sema.cpp.o"
+  "CMakeFiles/safara_sema.dir/sema.cpp.o.d"
+  "libsafara_sema.a"
+  "libsafara_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

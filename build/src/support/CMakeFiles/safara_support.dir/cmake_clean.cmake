@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/safara_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/safara_support.dir/string_util.cpp.o"
+  "CMakeFiles/safara_support.dir/string_util.cpp.o.d"
+  "libsafara_support.a"
+  "libsafara_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_vgpu.dir/occupancy.cpp.o"
+  "CMakeFiles/safara_vgpu.dir/occupancy.cpp.o.d"
+  "CMakeFiles/safara_vgpu.dir/sim.cpp.o"
+  "CMakeFiles/safara_vgpu.dir/sim.cpp.o.d"
+  "libsafara_vgpu.a"
+  "libsafara_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_vir.dir/liveness.cpp.o"
+  "CMakeFiles/safara_vir.dir/liveness.cpp.o.d"
+  "CMakeFiles/safara_vir.dir/vir.cpp.o"
+  "CMakeFiles/safara_vir.dir/vir.cpp.o.d"
+  "libsafara_vir.a"
+  "libsafara_vir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_vir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

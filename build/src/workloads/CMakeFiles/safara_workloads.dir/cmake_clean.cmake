@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safara_workloads.dir/harness.cpp.o"
+  "CMakeFiles/safara_workloads.dir/harness.cpp.o.d"
+  "CMakeFiles/safara_workloads.dir/nas.cpp.o"
+  "CMakeFiles/safara_workloads.dir/nas.cpp.o.d"
+  "CMakeFiles/safara_workloads.dir/spec_a.cpp.o"
+  "CMakeFiles/safara_workloads.dir/spec_a.cpp.o.d"
+  "CMakeFiles/safara_workloads.dir/spec_b.cpp.o"
+  "CMakeFiles/safara_workloads.dir/spec_b.cpp.o.d"
+  "CMakeFiles/safara_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/safara_workloads.dir/workloads.cpp.o.d"
+  "libsafara_workloads.a"
+  "libsafara_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safara_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_util.dir/test_support_util.cpp.o"
+  "CMakeFiles/test_support_util.dir/test_support_util.cpp.o.d"
+  "test_support_util"
+  "test_support_util.pdb"
+  "test_support_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

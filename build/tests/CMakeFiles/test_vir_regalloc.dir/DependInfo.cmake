@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vir_regalloc.cpp" "tests/CMakeFiles/test_vir_regalloc.dir/test_vir_regalloc.cpp.o" "gcc" "tests/CMakeFiles/test_vir_regalloc.dir/test_vir_regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/safara_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/safara_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/safara_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/safara_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/safara_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/safara_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/safara_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/safara_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/safara_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/safara_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/safara_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/safara_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/safara_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

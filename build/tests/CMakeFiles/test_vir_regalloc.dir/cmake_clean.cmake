@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vir_regalloc.dir/test_vir_regalloc.cpp.o"
+  "CMakeFiles/test_vir_regalloc.dir/test_vir_regalloc.cpp.o.d"
+  "test_vir_regalloc"
+  "test_vir_regalloc.pdb"
+  "test_vir_regalloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vir_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

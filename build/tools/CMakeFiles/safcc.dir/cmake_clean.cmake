@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safcc.dir/safcc.cpp.o"
+  "CMakeFiles/safcc.dir/safcc.cpp.o.d"
+  "safcc"
+  "safcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
