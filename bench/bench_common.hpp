@@ -9,10 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "workloads/harness.hpp"
 
 namespace safara::bench {
@@ -75,10 +78,51 @@ inline std::map<std::string, workloads::RunResult> run_configs(
   return out;
 }
 
+/// Accumulates every counter set registered by this binary so `--json FILE`
+/// can dump the whole table/figure as one machine-readable document — the
+/// substrate the perf-trajectory files (BENCH_*.json) are built from.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void add(const std::string& name, const std::map<std::string, double>& counters) {
+    rows_.emplace_back(name, counters);
+  }
+
+  /// Writes {"benchmark": ..., "rows": [{"name":..., counters...}]}.
+  bool write(const std::string& path, const std::string& binary_name) const {
+    obs::json::Value doc = obs::json::Value::object();
+    doc["benchmark"] = obs::json::Value(binary_name);
+    obs::json::Value rows = obs::json::Value::array();
+    for (const auto& [name, counters] : rows_) {
+      obs::json::Value row = obs::json::Value::object();
+      row["name"] = obs::json::Value(name);
+      for (const auto& [key, value] : counters) row[key] = obs::json::Value(value);
+      rows.push_back(std::move(row));
+    }
+    doc["rows"] = std::move(rows);
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    out << doc.dump(2) << "\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::map<std::string, double>>> rows_;
+};
+
 /// Registers a google-benchmark entry that reports a precomputed metric set
-/// as counters (the heavy simulation ran once, up front).
+/// as counters (the heavy simulation ran once, up front), and mirrors the
+/// row into the JSON sink.
 inline void register_counters(const std::string& name,
                               std::map<std::string, double> counters) {
+  JsonSink::instance().add(name, counters);
   benchmark::RegisterBenchmark(name.c_str(), [counters](benchmark::State& state) {
     for (auto _ : state) {
       benchmark::DoNotOptimize(counters.size());
@@ -87,6 +131,36 @@ inline void register_counters(const std::string& name,
       state.counters[key] = value;
     }
   })->Iterations(1);
+}
+
+/// Shared main(): runs the table/figure generator, honours `--json FILE` /
+/// `--json=FILE` (stripped before google-benchmark sees the args), then hands
+/// the remaining flags to the standard benchmark runner.
+inline int bench_main(int argc, char** argv, const char* binary_name, void (*run)()) {
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[i + 1];
+      ++i;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  run();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    if (!JsonSink::instance().write(json_path, binary_name)) return 1;
+    std::printf("json: wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace safara::bench

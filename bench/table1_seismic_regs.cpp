@@ -42,8 +42,5 @@ void run() {
 }  // namespace safara::bench
 
 int main(int argc, char** argv) {
-  safara::bench::run();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return safara::bench::bench_main(argc, argv, "table1_seismic_regs", safara::bench::run);
 }

@@ -57,7 +57,12 @@ codegen::CodegenOptions Compiler::codegen_options() const {
 
 CompiledProgram Compiler::compile(std::string_view source, const std::string& fn_name) {
   DiagnosticEngine diags;
-  ast::Program program = parse::parse_source(source, diags);
+  ast::Program program;
+  {
+    obs::ScopedSpan span(obs::tracer_of(collector_), "frontend.parse", "frontend");
+    span.set_arg("bytes", obs::json::Value(static_cast<std::int64_t>(source.size())));
+    program = parse::parse_source(source, diags);
+  }
   if (!diags.ok()) {
     throw CompileError("parse failed:\n" + diags.render());
   }
@@ -77,6 +82,11 @@ CompiledProgram Compiler::compile(std::string_view source, const std::string& fn
 }
 
 CompiledProgram Compiler::compile(const ast::Function& fn) {
+  obs::Tracer* tracer = obs::tracer_of(collector_);
+  obs::ScopedSpan compile_span(tracer, "compile", "driver");
+  compile_span.set_arg("function", obs::json::Value(fn.name));
+  if (collector_) collector_->metrics.add("driver.compiles");
+
   CompiledProgram out;
   out.function_name = fn.name;
   out.transformed = fn.clone();
@@ -84,20 +94,30 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
 
   DiagnosticEngine diags;
   sema::Sema sema(diags);
-  auto info = sema.analyze(work);
+  decltype(sema.analyze(work)) info;
+  {
+    obs::ScopedSpan span(tracer, "sema", "frontend");
+    info = sema.analyze(work);
+  }
   if (!diags.ok()) {
     throw CompileError("sema failed for '" + fn.name + "':\n" + diags.render());
   }
 
   if (opts_.enable_unroll) {
+    obs::ScopedSpan span(tracer, "opt.unroll", "opt");
     out.unroll = opt::run_unroll(work, opts_.unroll, diags);
+    span.set_arg("loops_unrolled", obs::json::Value(out.unroll.loops_unrolled));
     if (!diags.ok()) {
       throw CompileError("unroll pass failed:\n" + diags.render());
     }
   }
 
   if (opts_.enable_carr_kennedy) {
+    obs::ScopedSpan span(tracer, "opt.carr_kennedy", "opt");
     out.carr_kennedy = opt::run_carr_kennedy(work, opts_.carr_kennedy, diags);
+    span.set_arg("groups_replaced", obs::json::Value(out.carr_kennedy.groups_replaced));
+    span.set_arg("loops_sequentialized",
+                 obs::json::Value(out.carr_kennedy.loops_sequentialized));
     if (!diags.ok()) {
       throw CompileError("Carr-Kennedy pass failed:\n" + diags.render());
     }
@@ -109,6 +129,7 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     sopts.max_registers = std::min(sopts.max_registers, opts_.device.max_registers_per_thread);
     const codegen::CodegenOptions cg = codegen_options();
     auto feedback = [&](ast::Function& f, int region_index) -> int {
+      obs::ScopedSpan fb_span(tracer, "safara.feedback_compile", "safara");
       DiagnosticEngine fb_diags;
       sema::Sema fb_sema(fb_diags);
       auto fb_info = fb_sema.analyze(f);
@@ -123,21 +144,31 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
         throw CompileError("SAFARA feedback codegen failed:\n" + fb_diags.render());
       }
       regalloc::AllocationResult alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+      fb_span.set_arg("regs_used", obs::json::Value(alloc.regs_used));
+      if (collector_) collector_->metrics.add("safara.feedback_compiles");
       return alloc.regs_used;
     };
-    out.safara = opt::run_safara(work, feedback, sopts, diags);
+    obs::ScopedSpan span(tracer, "opt.safara", "opt");
+    out.safara = opt::run_safara(work, feedback, sopts, diags, collector_);
+    span.set_arg("groups_replaced", obs::json::Value(out.safara.total_groups()));
     if (!diags.ok()) {
       throw CompileError("SAFARA pass failed:\n" + diags.render());
     }
   }
 
   // Final analysis and code generation.
-  auto final_info = sema.analyze(work);
+  decltype(sema.analyze(work)) final_info;
+  {
+    obs::ScopedSpan span(tracer, "sema.final", "frontend");
+    final_info = sema.analyze(work);
+  }
   if (!diags.ok()) {
     throw CompileError("post-optimization sema failed:\n" + diags.render());
   }
   const codegen::CodegenOptions cg = codegen_options();
   for (std::size_t r = 0; r < final_info->regions.size(); ++r) {
+    obs::ScopedSpan span(tracer, "codegen", "backend");
+    span.set_arg("region_index", obs::json::Value(static_cast<int>(r)));
     codegen::CodegenResult res = codegen::generate_kernel(
         *final_info, final_info->regions[r], static_cast<int>(r), cg, diags);
     if (!diags.ok()) {
@@ -146,8 +177,19 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     CompiledKernel ck;
     ck.name = res.kernel.name;
     ck.plan = std::move(res.plan);
-    ck.alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+    {
+      obs::ScopedSpan alloc_span(tracer, "regalloc", "backend");
+      ck.alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+      alloc_span.set_arg("regs_used", obs::json::Value(ck.alloc.regs_used));
+      alloc_span.set_arg("spill_bytes", obs::json::Value(ck.alloc.spill_bytes));
+    }
     ck.kernel = std::move(res.kernel);
+    span.set_arg("kernel", obs::json::Value(ck.name));
+    if (collector_) {
+      collector_->metrics.add("driver.kernels");
+      collector_->metrics.set("regalloc.regs_used." + ck.name, ck.alloc.regs_used);
+      collector_->metrics.set("regalloc.spill_bytes." + ck.name, ck.alloc.spill_bytes);
+    }
 
     // Record the clause assertions for launch-time verification.
     const ast::AccDirective* dir = final_info->regions[r].loop->directive.get();
@@ -173,7 +215,7 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     fb_opts.honor_dim = false;
     fb_opts.honor_small = false;
     fb_opts.verify_clauses = false;
-    Compiler fb_compiler(fb_opts);
+    Compiler fb_compiler(fb_opts, collector_);
     out.fallback = std::make_unique<CompiledProgram>(fb_compiler.compile(fn));
   }
   return out;

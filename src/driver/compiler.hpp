@@ -16,6 +16,7 @@
 
 #include "ast/decl.hpp"
 #include "codegen/codegen.hpp"
+#include "obs/collector.hpp"
 #include "opt/carr_kennedy.hpp"
 #include "opt/safara.hpp"
 #include "opt/unroll.hpp"
@@ -99,6 +100,8 @@ struct CompiledProgram {
 class Compiler {
  public:
   explicit Compiler(CompilerOptions opts = {}) : opts_(std::move(opts)) {}
+  Compiler(CompilerOptions opts, obs::Collector* collector)
+      : opts_(std::move(opts)), collector_(collector) {}
 
   /// Compiles function `fn_name` of `source` (the sole function if empty).
   /// Throws CompileError with rendered diagnostics on any front-end error.
@@ -110,10 +113,16 @@ class Compiler {
 
   const CompilerOptions& options() const { return opts_; }
 
+  /// Attaches (or detaches, with nullptr) the observability sink: every
+  /// subsequent compile emits per-pass spans and metrics into it.
+  void set_collector(obs::Collector* collector) { collector_ = collector; }
+  obs::Collector* collector() const { return collector_; }
+
  private:
   codegen::CodegenOptions codegen_options() const;
 
   CompilerOptions opts_;
+  obs::Collector* collector_ = nullptr;
 };
 
 }  // namespace safara::driver

@@ -1,0 +1,84 @@
+// The cross-cutting observability context threaded through the pipeline.
+//
+// A Collector bundles the three sinks every layer reports into:
+//   * tracer   — timed spans (compiler passes, SAFARA iterations, launches);
+//   * metrics  — deterministic counters/gauges;
+//   * sim      — per-kernel, per-SM cycle/stall profiles from the GPU
+//                simulator.
+//
+// Call sites take `obs::Collector*` defaulting to nullptr. The null path is
+// a single pointer test: no allocation, no timing, and — enforced by test —
+// bit-identical simulator cycle counts whether or not a collector is
+// attached (profiling observes the schedule, it never perturbs it).
+//
+// This header deliberately knows nothing about the AST, VIR, or device
+// model, so every subsystem (opt, vgpu, rt, driver, workloads, tools) can
+// depend on it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace safara::obs {
+
+/// Cycle breakdown for one SM over one kernel launch. Stall cycles classify
+/// every cycle in which the SM issued nothing by what the earliest-unblocking
+/// warp was waiting on.
+struct SmProfile {
+  int sm = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t issue_cycles = 0;       // cycles with >= 1 instruction issued
+  std::uint64_t issued_instructions = 0;
+  std::uint64_t stall_scoreboard = 0;   // waiting on a non-memory result
+  std::uint64_t stall_memory = 0;       // waiting on a memory result
+  std::uint64_t stall_no_warp = 0;      // no runnable warp resident at all
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t max_resident_warps = 0;
+
+  json::Value to_json() const;
+};
+
+/// One kernel launch as the simulator saw it: per-SM breakdowns plus the
+/// launch-wide counter snapshot the caller attaches.
+struct KernelSimProfile {
+  std::string kernel;
+  int launch_index = 0;  // ordinal of this launch within the collector
+  std::vector<SmProfile> sms;
+  json::Value launch_stats;  // LaunchStats::to_json() snapshot
+
+  SmProfile totals() const;
+  json::Value to_json() const;
+};
+
+class Collector {
+ public:
+  Tracer tracer;
+  MetricsRegistry metrics;
+  std::vector<KernelSimProfile> sim_profiles;
+
+  /// Starts the profile record for one launch; the simulator fills it in.
+  KernelSimProfile& begin_kernel_profile(std::string kernel_name) {
+    KernelSimProfile p;
+    p.kernel = std::move(kernel_name);
+    p.launch_index = static_cast<int>(sim_profiles.size());
+    sim_profiles.push_back(std::move(p));
+    return sim_profiles.back();
+  }
+
+  /// {"launches": [...]} — every kernel profile collected so far.
+  json::Value sim_to_json() const;
+
+  /// The combined metrics + simulator document `--metrics-out` writes.
+  json::Value report() const;
+};
+
+/// Null-safe accessors so call sites can write
+/// `obs::tracer_of(collector)` instead of `collector ? &collector->tracer : nullptr`.
+inline Tracer* tracer_of(Collector* c) { return c ? &c->tracer : nullptr; }
+
+}  // namespace safara::obs

@@ -1,0 +1,57 @@
+// A deterministic metrics registry: named monotonic counters and last-value
+// gauges. Names are dotted paths ("safara.iterations", "sim.launches").
+// Storage is ordered maps so snapshots serialize in a stable order — two runs
+// over the same input produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace safara::obs {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void add(std::string_view name, std::int64_t delta = 1) {
+    counters_[std::string(name)] += delta;
+  }
+  /// Sets gauge `name` to `value` (last write wins).
+  void set(std::string_view name, double value) {
+    gauges_[std::string(name)] = value;
+  }
+
+  std::int64_t counter(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+  double gauge(std::string_view name) const {
+    auto it = gauges_.find(std::string(name));
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+
+  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  /// {"counters": {...}, "gauges": {...}}
+  json::Value to_json() const {
+    json::Value root = json::Value::object();
+    json::Value c = json::Value::object();
+    for (const auto& [k, v] : counters_) c[k] = json::Value(v);
+    json::Value g = json::Value::object();
+    for (const auto& [k, v] : gauges_) g[k] = json::Value(v);
+    root["counters"] = std::move(c);
+    root["gauges"] = std::move(g);
+    return root;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace safara::obs

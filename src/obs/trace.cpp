@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace safara::obs {
+
+Tracer::SpanId Tracer::begin_span(std::string name, std::string category) {
+  TraceSpan s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start_us = now_us();
+  s.parent = stack_.empty() ? kNoSpan : stack_.back();
+  s.depth = static_cast<int>(stack_.size());
+  spans_.push_back(std::move(s));
+  const SpanId id = static_cast<SpanId>(spans_.size() - 1);
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(SpanId id) {
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  const std::int64_t t = now_us();
+  // Close any descendants left open (mismatched nesting is a caller bug but
+  // must not corrupt the trace), then the span itself.
+  while (!stack_.empty()) {
+    SpanId top = stack_.back();
+    stack_.pop_back();
+    if (spans_[static_cast<std::size_t>(top)].open()) {
+      TraceSpan& s = spans_[static_cast<std::size_t>(top)];
+      s.dur_us = std::max<std::int64_t>(0, t - s.start_us);
+    }
+    if (top == id) break;
+  }
+}
+
+void Tracer::set_arg(SpanId id, std::string_view key, json::Value value) {
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  TraceSpan& s = spans_[static_cast<std::size_t>(id)];
+  for (auto& [k, v] : s.args) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  s.args.emplace_back(std::string(key), std::move(value));
+}
+
+json::Value Tracer::chrome_trace() const {
+  const std::int64_t now = now_us();
+  json::Value events = json::Value::array();
+  for (const TraceSpan& s : spans_) {
+    json::Value e = json::Value::object();
+    e["name"] = json::Value(s.name);
+    e["cat"] = json::Value(s.category);
+    e["ph"] = json::Value("X");
+    e["ts"] = json::Value(s.start_us);
+    e["dur"] = json::Value(s.open() ? std::max<std::int64_t>(0, now - s.start_us)
+                                    : s.dur_us);
+    e["pid"] = json::Value(1);
+    e["tid"] = json::Value(1);
+    if (!s.args.empty()) {
+      json::Value args = json::Value::object();
+      for (const auto& [k, v] : s.args) args[k] = v;
+      e["args"] = std::move(args);
+    }
+    events.push_back(std::move(e));
+  }
+  json::Value root = json::Value::object();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = json::Value("ms");
+  return root;
+}
+
+std::string Tracer::time_report() const {
+  struct Row {
+    std::int64_t wall_us = 0;  // inclusive
+    std::int64_t self_us = 0;  // minus child spans
+    int count = 0;
+  };
+  std::map<std::string, Row> rows;
+  std::int64_t total = 0;
+  const std::int64_t now = now_us();
+  auto dur = [&](const TraceSpan& s) {
+    return s.open() ? std::max<std::int64_t>(0, now - s.start_us) : s.dur_us;
+  };
+  std::vector<std::int64_t> child_us(spans_.size(), 0);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent >= 0) {
+      child_us[static_cast<std::size_t>(spans_[i].parent)] += dur(spans_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    Row& r = rows[s.name];
+    const std::int64_t d = dur(s);
+    r.wall_us += d;
+    r.self_us += std::max<std::int64_t>(0, d - child_us[i]);
+    r.count += 1;
+    if (s.parent < 0) total += d;
+  }
+
+  std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_us != b.second.self_us) return a.second.self_us > b.second.self_us;
+    return a.first < b.first;
+  });
+
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "===-------------------------------------------------------===\n"
+                "                    ... Pass execution timing ...\n"
+                "===-------------------------------------------------------===\n"
+                "  Total Execution Time: %.4f seconds\n\n"
+                "   ---Self time---   ---Wall time---   ---Count---  Name\n",
+                static_cast<double>(total) / 1e6);
+  out += buf;
+  const double tot = total > 0 ? static_cast<double>(total) : 1.0;
+  for (const auto& [name, r] : sorted) {
+    std::snprintf(buf, sizeof buf, "   %8.4f (%5.1f%%)   %8.4f (%5.1f%%)   %8d     %s\n",
+                  static_cast<double>(r.self_us) / 1e6,
+                  100.0 * static_cast<double>(r.self_us) / tot,
+                  static_cast<double>(r.wall_us) / 1e6,
+                  100.0 * static_cast<double>(r.wall_us) / tot, r.count, name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace safara::obs

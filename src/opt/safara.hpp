@@ -13,6 +13,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "analysis/reuse.hpp"
+#include "obs/collector.hpp"
 #include "support/diagnostics.hpp"
 
 namespace safara::opt {
@@ -36,6 +37,8 @@ struct SafaraRegionReport {
   int scalars_introduced = 0;
   int final_registers = 0;
   std::vector<std::string> log;  // human-readable feedback trace
+
+  obs::json::Value to_json() const;
 };
 
 struct SafaraReport {
@@ -46,6 +49,8 @@ struct SafaraReport {
     for (const SafaraRegionReport& r : regions) n += r.groups_replaced;
     return n;
   }
+
+  obs::json::Value to_json() const;
 };
 
 /// Backend feedback: compiles region `region_index` of `fn` as it currently
@@ -54,7 +59,11 @@ using RegisterFeedback = std::function<int(ast::Function& fn, int region_index)>
 
 /// Runs SAFARA over every offload region of `fn`, mutating the AST in place.
 /// The function must be re-analyzed (sema) by the caller before codegen.
+/// A non-null `collector` receives one trace span per feedback iteration
+/// (with the reported/predicted register counts and the groups replaced as
+/// span attributes) plus metrics counters.
 SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
-                        const SafaraOptions& opts, DiagnosticEngine& diags);
+                        const SafaraOptions& opts, DiagnosticEngine& diags,
+                        obs::Collector* collector = nullptr);
 
 }  // namespace safara::opt

@@ -158,10 +158,11 @@ std::vector<std::uint64_t> Runtime::marshal_params(const vir::Kernel& kernel,
 
 vgpu::LaunchStats Runtime::launch(const vir::Kernel& kernel,
                                   const regalloc::AllocationResult& alloc,
-                                  const codegen::LaunchPlan& plan, const ArgMap& args) {
+                                  const codegen::LaunchPlan& plan, const ArgMap& args,
+                                  obs::Collector* collector) {
   vgpu::LaunchConfig cfg = configure(plan, args);
   std::vector<std::uint64_t> params = marshal_params(kernel, args);
-  return vgpu::launch(kernel, alloc, dev_.spec(), dev_.memory(), params, cfg);
+  return vgpu::launch(kernel, alloc, dev_.spec(), dev_.memory(), params, cfg, collector);
 }
 
 }  // namespace safara::rt

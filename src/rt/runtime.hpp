@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "codegen/codegen.hpp"
+#include "obs/collector.hpp"
 #include "regalloc/regalloc.hpp"
 #include "rt/args.hpp"
 #include "rt/buffer.hpp"
@@ -51,10 +52,12 @@ class Runtime {
   /// Derives the launch configuration from a compiled launch plan.
   vgpu::LaunchConfig configure(const codegen::LaunchPlan& plan, const ArgMap& args) const;
 
-  /// Marshals kernel parameters and launches on the simulator.
+  /// Marshals kernel parameters and launches on the simulator. A non-null
+  /// `collector` receives the launch's trace span and simulator profile.
   vgpu::LaunchStats launch(const vir::Kernel& kernel,
                            const regalloc::AllocationResult& alloc,
-                           const codegen::LaunchPlan& plan, const ArgMap& args);
+                           const codegen::LaunchPlan& plan, const ArgMap& args,
+                           obs::Collector* collector = nullptr);
 
   Device& device() { return dev_; }
 

@@ -59,6 +59,9 @@ struct SimtEntry {
   std::uint32_t merged_mask = 0;
 };
 
+// What a stalled warp is waiting on (profiling only; never feeds timing).
+enum : std::uint8_t { kWaitPipeline = 0, kWaitScoreboard = 1, kWaitMemory = 2 };
+
 struct Warp {
   std::int32_t pc = 0;
   std::uint32_t active = 0;
@@ -66,8 +69,10 @@ struct Warp {
   bool finished = false;
   int block_index = -1;  // index into the SM's resident-block table
   int warp_in_block = 0;
+  std::uint8_t wait_reason = kWaitPipeline;  // profiling only
   std::vector<std::uint64_t> regs;      // nvregs * 32
   std::vector<std::int64_t> reg_ready;  // nvregs
+  std::vector<std::uint8_t> reg_from_mem;  // nvregs; profiling only
   std::vector<SimtEntry> stack;
 };
 
@@ -81,7 +86,7 @@ class SmSimulator {
   SmSimulator(const Kernel& kernel, const regalloc::AllocationResult& alloc,
               const DeviceSpec& spec, DeviceMemory& mem,
               const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
-              LaunchStats& stats)
+              LaunchStats& stats, obs::SmProfile* prof = nullptr)
       : k_(kernel),
         alloc_(alloc),
         spec_(spec),
@@ -89,6 +94,7 @@ class SmSimulator {
         params_(params),
         cfg_(cfg),
         stats_(stats),
+        prof_(prof),
         ro_cache_(spec.ro_cache_bytes, spec.ro_cache_line, spec.ro_cache_ways) {}
 
   /// Runs the given linear block indices to completion; returns SM cycles.
@@ -109,18 +115,41 @@ class SmSimulator {
         if (step(w)) ++issued;
       }
       ++rr;
+      // Account issued instructions before the empty-SM break below: the
+      // final cycle's issues would otherwise be missed (the cycle counter
+      // itself intentionally keeps its seed behavior of not counting it).
+      if (prof_ && issued > 0) {
+        prof_->issued_instructions += static_cast<std::uint64_t>(issued);
+      }
       retire_finished();
       if (warps_.empty()) break;
       if (issued == 0) {
         std::int64_t next = std::numeric_limits<std::int64_t>::max();
+        const Warp* blocker = nullptr;
         for (auto& wp : warps_) {
-          if (!wp->finished) next = std::min(next, wp->ready_cycle);
+          if (!wp->finished && wp->ready_cycle < next) {
+            next = wp->ready_cycle;
+            blocker = wp.get();
+          }
         }
-        cycle_ = std::max(cycle_ + 1, next);
+        const std::int64_t target = std::max(cycle_ + 1, next);
+        if (prof_) {
+          // Attribute the whole idle gap to whatever the earliest-unblocking
+          // warp is waiting on.
+          const std::uint64_t gap = static_cast<std::uint64_t>(target - cycle_);
+          if (blocker && blocker->wait_reason == kWaitMemory) {
+            prof_->stall_memory += gap;
+          } else {
+            prof_->stall_scoreboard += gap;
+          }
+        }
+        cycle_ = target;
       } else {
+        if (prof_) ++prof_->issue_cycles;
         ++cycle_;
       }
     }
+    if (prof_) prof_->cycles = static_cast<std::uint64_t>(cycle_);
     return static_cast<std::uint64_t>(cycle_);
   }
 
@@ -146,8 +175,14 @@ class SmSimulator {
       w->active = lanes == 32 ? 0xffffffffu : ((1u << lanes) - 1);
       w->regs.assign(static_cast<std::size_t>(k_.num_vregs()) * 32, 0);
       w->reg_ready.assign(k_.num_vregs(), 0);
+      if (prof_) w->reg_from_mem.assign(k_.num_vregs(), 0);
       w->ready_cycle = cycle_;
       warps_.push_back(std::move(w));
+    }
+    if (prof_) {
+      ++prof_->blocks_executed;
+      prof_->max_resident_warps =
+          std::max<std::uint64_t>(prof_->max_resident_warps, warps_.size());
     }
   }
 
@@ -203,11 +238,20 @@ class SmSimulator {
 
     // Operand scoreboard.
     std::int64_t ready = cycle_;
+    std::uint32_t blocking_reg = vir::kNoReg;
     vir::for_each_use(in, [&](std::uint32_t r) {
-      ready = std::max(ready, w.reg_ready[r]);
+      if (w.reg_ready[r] > ready) {
+        ready = w.reg_ready[r];
+        blocking_reg = r;
+      }
     });
     if (ready > cycle_) {
       w.ready_cycle = ready;
+      if (prof_) {
+        w.wait_reason = (blocking_reg != vir::kNoReg && w.reg_from_mem[blocking_reg])
+                            ? kWaitMemory
+                            : kWaitScoreboard;
+      }
       return false;
     }
 
@@ -225,15 +269,18 @@ class SmSimulator {
     return true;
   }
 
-  void set_result(Warp& w, const Instr& in, int latency) {
+  void set_result(Warp& w, const Instr& in, int latency, bool mem_result = false) {
     if (vir::has_dst(in.op) && in.dst != vir::kNoReg) {
       if (alloc_.spilled[in.dst]) {
         latency += spec_.lat.local_mem;
         ++stats_.spill_accesses;
+        mem_result = true;  // the result arrives from local memory
       }
       w.reg_ready[in.dst] = cycle_ + latency;
+      if (prof_) w.reg_from_mem[in.dst] = mem_result ? 1 : 0;
     }
     w.ready_cycle = cycle_ + 1;
+    if (prof_) w.wait_reason = kWaitPipeline;
     w.pc += 1;
   }
 
@@ -609,7 +656,7 @@ class SmSimulator {
         for_active(w, [&](int lane) {
           reg(w, in.dst, lane) = load_lane(reg(w, in.a, lane), in.type);
         });
-        set_result(w, in, latency + extra_latency);
+        set_result(w, in, latency + extra_latency, /*mem_result=*/true);
         return;
       }
       case Opcode::kStGlobal: {
@@ -622,6 +669,7 @@ class SmSimulator {
           store_lane(reg(w, in.a, lane), in.type, reg(w, in.b, lane));
         });
         w.ready_cycle = cycle_ + lat.store_issue + extra_latency;
+        if (prof_) w.wait_reason = kWaitMemory;
         w.pc += 1;
         return;
       }
@@ -638,6 +686,7 @@ class SmSimulator {
           store_lane(addr, in.type, arith(Opcode::kAdd, in.type, old_v, add_v));
         });
         w.ready_cycle = cycle_ + wait + lat.atomic + extra_latency;
+        if (prof_) w.wait_reason = kWaitMemory;
         w.pc += 1;
         return;
       }
@@ -691,6 +740,7 @@ class SmSimulator {
   const std::vector<std::uint64_t>& params_;
   const LaunchConfig& cfg_;
   LaunchStats& stats_;
+  obs::SmProfile* prof_;
   CacheModel ro_cache_;
   std::uint64_t ro_hits_seen_ = 0;
   std::uint64_t ro_misses_seen_ = 0;
@@ -705,12 +755,33 @@ class SmSimulator {
 
 }  // namespace
 
+obs::json::Value LaunchStats::to_json() const {
+  obs::json::Value v = obs::json::Value::object();
+  v["cycles"] = obs::json::Value(cycles);
+  v["warp_instructions"] = obs::json::Value(warp_instructions);
+  v["mem_transactions"] = obs::json::Value(mem_transactions);
+  v["global_loads"] = obs::json::Value(global_loads);
+  v["global_stores"] = obs::json::Value(global_stores);
+  v["ro_hits"] = obs::json::Value(ro_hits);
+  v["ro_misses"] = obs::json::Value(ro_misses);
+  v["atomics"] = obs::json::Value(atomics);
+  v["spill_accesses"] = obs::json::Value(spill_accesses);
+  v["regs_per_thread"] = obs::json::Value(regs_per_thread);
+  v["occupancy"] = obs::json::Value(occupancy);
+  v["occupancy_limiter"] = obs::json::Value(to_string(occupancy_limiter));
+  return v;
+}
+
 LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc,
                    const DeviceSpec& spec, DeviceMemory& mem,
-                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg) {
+                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
+                   obs::Collector* collector) {
   if (params.size() != kernel.params.size()) {
     throw std::runtime_error("launch: parameter count mismatch for kernel " + kernel.name);
   }
+  obs::ScopedSpan span(obs::tracer_of(collector), "sim.launch", "sim");
+  span.set_arg("kernel", obs::json::Value(kernel.name));
+
   LaunchStats stats;
   stats.regs_per_thread = std::max(alloc.regs_used, 1);
 
@@ -718,6 +789,9 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
   stats.occupancy = occ.ratio;
   stats.occupancy_limiter = occ.limiter;
   const int blocks_per_sm = std::max(occ.blocks_per_sm, 1);
+
+  obs::KernelSimProfile* kprof =
+      collector ? &collector->begin_kernel_profile(kernel.name) : nullptr;
 
   // Static round-robin distribution of blocks over SMs (documented
   // simplification; SMs are independent so they can be simulated in turn).
@@ -727,10 +801,34 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
     std::vector<std::int64_t> mine;
     for (std::int64_t b = sm; b < total; b += spec.num_sms) mine.push_back(b);
     if (mine.empty()) continue;
-    SmSimulator sim(kernel, alloc, spec, mem, params, cfg, stats);
+    obs::SmProfile sm_prof;
+    sm_prof.sm = sm;
+    SmSimulator sim(kernel, alloc, spec, mem, params, cfg, stats,
+                    kprof ? &sm_prof : nullptr);
     max_cycles = std::max(max_cycles, sim.run(mine, blocks_per_sm));
+    if (kprof) kprof->sms.push_back(sm_prof);
   }
   stats.cycles = max_cycles;
+
+  if (collector) {
+    // An SM that drains early sits with no resident warp until the slowest
+    // SM finishes — that tail is the launch's load-imbalance stall.
+    for (obs::SmProfile& p : kprof->sms) {
+      p.stall_no_warp = stats.cycles - p.cycles;
+    }
+    kprof->launch_stats = stats.to_json();
+    collector->metrics.add("sim.launches");
+    collector->metrics.add("sim.cycles", static_cast<std::int64_t>(stats.cycles));
+    collector->metrics.add("sim.warp_instructions",
+                           static_cast<std::int64_t>(stats.warp_instructions));
+    collector->metrics.add("sim.mem_transactions",
+                           static_cast<std::int64_t>(stats.mem_transactions));
+    collector->metrics.add("sim.spill_accesses",
+                           static_cast<std::int64_t>(stats.spill_accesses));
+    span.set_arg("cycles", obs::json::Value(stats.cycles));
+    span.set_arg("regs_per_thread", obs::json::Value(stats.regs_per_thread));
+    span.set_arg("occupancy", obs::json::Value(stats.occupancy));
+  }
   return stats;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "obs/collector.hpp"
 #include "regalloc/regalloc.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/memory.hpp"
@@ -54,13 +55,21 @@ struct LaunchStats {
   double milliseconds(const DeviceSpec& spec) const {
     return static_cast<double>(cycles) / (spec.clock_ghz * 1e6);
   }
+
+  obs::json::Value to_json() const;
 };
 
 /// Runs `kernel` to completion. `params` holds one raw 8-byte slot per kernel
 /// formal (already type-punned by the host runtime). Functional effects land
 /// in `mem`; the return value carries the timing statistics.
+///
+/// When `collector` is non-null the simulator additionally records a
+/// per-kernel, per-SM cycle/stall profile into it. Profiling is purely
+/// observational: cycle counts and functional results are identical with and
+/// without a collector attached.
 LaunchStats launch(const vir::Kernel& kernel, const regalloc::AllocationResult& alloc,
                    const DeviceSpec& spec, DeviceMemory& mem,
-                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg);
+                   const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
+                   obs::Collector* collector = nullptr);
 
 }  // namespace safara::vgpu

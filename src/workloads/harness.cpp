@@ -16,9 +16,37 @@ double checksum_of(const Dataset& data, const std::vector<std::string>& outputs)
   return sum;
 }
 
+obs::json::Value KernelMetrics::to_json() const {
+  obs::json::Value v = obs::json::Value::object();
+  v["name"] = obs::json::Value(name);
+  v["regs"] = obs::json::Value(regs);
+  v["spill_bytes"] = obs::json::Value(spill_bytes);
+  v["occupancy"] = obs::json::Value(occupancy);
+  v["cycles"] = obs::json::Value(cycles);
+  return v;
+}
+
+obs::json::Value RunResult::to_json() const {
+  obs::json::Value v = obs::json::Value::object();
+  v["cycles"] = obs::json::Value(cycles);
+  v["warp_instructions"] = obs::json::Value(warp_instructions);
+  v["global_loads"] = obs::json::Value(global_loads);
+  v["mem_transactions"] = obs::json::Value(mem_transactions);
+  v["spill_accesses"] = obs::json::Value(spill_accesses);
+  v["max_regs"] = obs::json::Value(max_regs);
+  v["min_occupancy"] = obs::json::Value(min_occupancy);
+  v["checksum"] = obs::json::Value(checksum);
+  obs::json::Value ks = obs::json::Value::array();
+  for (const KernelMetrics& k : kernels) ks.push_back(k.to_json());
+  v["kernels"] = std::move(ks);
+  return v;
+}
+
 RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
-                   const vgpu::DeviceSpec& spec) {
-  driver::Compiler compiler(opts);
+                   const vgpu::DeviceSpec& spec, obs::Collector* collector) {
+  obs::ScopedSpan span(obs::tracer_of(collector), "workload.simulate", "harness");
+  span.set_arg("workload", obs::json::Value(w.name));
+  driver::Compiler compiler(opts, collector);
   driver::CompiledProgram prog = compiler.compile(w.source, w.function);
 
   Dataset data = w.make_dataset();
@@ -40,7 +68,7 @@ RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
   for (int step = 0; step < w.time_steps; ++step) {
     for (std::size_t k = 0; k < prog.kernels.size(); ++k) {
       const driver::CompiledKernel& ck = prog.kernels[k];
-      vgpu::LaunchStats stats = runtime.launch(ck.kernel, ck.alloc, ck.plan, args);
+      vgpu::LaunchStats stats = runtime.launch(ck.kernel, ck.alloc, ck.plan, args, collector);
       result.cycles += stats.cycles;
       result.warp_instructions += stats.warp_instructions;
       result.global_loads += stats.global_loads;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "driver/compiler.hpp"
+#include "obs/collector.hpp"
 #include "vgpu/sim.hpp"
 #include "workloads/workloads.hpp"
 
@@ -15,6 +16,8 @@ struct KernelMetrics {
   int spill_bytes = 0;
   double occupancy = 0.0;
   std::uint64_t cycles = 0;  // summed over time steps
+
+  obs::json::Value to_json() const;
 };
 
 struct RunResult {
@@ -27,14 +30,19 @@ struct RunResult {
   double min_occupancy = 1.0;
   double checksum = 0.0;
   std::vector<KernelMetrics> kernels;
+
+  obs::json::Value to_json() const;
 };
 
 /// Checksum over the workload's declared output arrays.
 double checksum_of(const Dataset& data, const std::vector<std::string>& outputs);
 
-/// Compiles `w` with `opts` and runs it for `w.time_steps` steps.
+/// Compiles `w` with `opts` and runs it for `w.time_steps` steps. A non-null
+/// `collector` observes both the compilation (pass spans, SAFARA iterations)
+/// and every simulated launch (cycle/stall profiles).
 RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
-                   const vgpu::DeviceSpec& spec = vgpu::DeviceSpec::k20xm());
+                   const vgpu::DeviceSpec& spec = vgpu::DeviceSpec::k20xm(),
+                   obs::Collector* collector = nullptr);
 
 /// Runs the sequential CPU reference (same dataset builder).
 RunResult run_reference(const Workload& w);

@@ -1,0 +1,345 @@
+// Observability-layer tests: JSON emit/parse round-trips, tracer span
+// nesting/ordering, Chrome trace-event output, metric determinism, and the
+// key regression guarantee — attaching a collector must not change what the
+// simulator computes (cycle counts, results).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/collector.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tests_common.hpp"
+
+namespace safara::test {
+namespace {
+
+using obs::json::Value;
+
+const Value* arg_of(const obs::TraceSpan& span, std::string_view key) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// -- JSON value + parser -------------------------------------------------------
+
+TEST(ObsJson, DumpParsesBackIdentically) {
+  Value doc = Value::object();
+  doc["name"] = Value(std::string("blur_k0"));
+  doc["regs"] = Value(std::int64_t{42});
+  doc["occupancy"] = Value(0.625);
+  doc["spilled"] = Value(false);
+  doc["note"] = Value(std::string("line1\nline2\t\"quoted\""));
+  Value arr = Value::array();
+  arr.push_back(Value(std::int64_t{1}));
+  arr.push_back(Value());
+  arr.push_back(Value(true));
+  doc["mixed"] = std::move(arr);
+
+  for (int indent : {-1, 2}) {
+    const std::string text = doc.dump(indent);
+    Value parsed;
+    std::string err;
+    ASSERT_TRUE(Value::parse(text, parsed, &err)) << err;
+    // Re-dumping the parsed value must reproduce the original byte stream:
+    // same member order, same number formatting.
+    EXPECT_EQ(parsed.dump(indent), text);
+  }
+}
+
+TEST(ObsJson, ObjectPreservesInsertionOrder) {
+  Value doc = Value::object();
+  doc["zebra"] = Value(std::int64_t{1});
+  doc["alpha"] = Value(std::int64_t{2});
+  doc["mid"] = Value(std::int64_t{3});
+  const std::string text = doc.dump();
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mid"));
+}
+
+TEST(ObsJson, IntegersStayExactAndIntegralDoublesReadable) {
+  Value big(std::int64_t{123456789012345678});
+  EXPECT_EQ(big.dump(), "123456789012345678");
+  Value d(40.0);
+  EXPECT_EQ(d.dump(), "40.0");  // not "4e+01"
+  Value frac(0.625);
+  Value round;
+  ASSERT_TRUE(Value::parse(frac.dump(), round, nullptr));
+  EXPECT_EQ(round.as_double(), 0.625);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  Value out;
+  std::string err;
+  EXPECT_FALSE(Value::parse("{\"a\": 1,}", out, &err)) << "trailing comma";
+  EXPECT_FALSE(Value::parse("{\"a\" 1}", out, &err));
+  EXPECT_FALSE(Value::parse("[1, 2", out, &err));
+  EXPECT_FALSE(Value::parse("\"unterminated", out, &err));
+  EXPECT_FALSE(Value::parse("{} trailing", out, &err));
+  EXPECT_FALSE(Value::parse("nul", out, &err));
+}
+
+TEST(ObsJson, ParsesEscapesAndNesting) {
+  Value out;
+  std::string err;
+  ASSERT_TRUE(Value::parse(R"({"k": ["a\nA", {"x": -1.5e2}]})", out, &err)) << err;
+  const Value* k = out.find("k");
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->size(), 2u);
+  EXPECT_EQ(k->at(0).as_string(), "a\nA");
+  EXPECT_EQ(k->at(1).find("x")->as_double(), -150.0);
+}
+
+// -- tracer --------------------------------------------------------------------
+
+TEST(ObsTrace, SpanNestingAndOrdering) {
+  obs::Tracer tracer;
+  int outer = tracer.begin_span("compile", "driver");
+  int inner = tracer.begin_span("regalloc", "backend");
+  tracer.set_arg(inner, "regs_used", Value(std::int64_t{17}));
+  tracer.end_span(inner);
+  int second = tracer.begin_span("codegen", "backend");
+  tracer.end_span(second);
+  tracer.end_span(outer);
+
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Recorded in begin order.
+  EXPECT_EQ(spans[0].name, "compile");
+  EXPECT_EQ(spans[1].name, "regalloc");
+  EXPECT_EQ(spans[2].name, "codegen");
+  // Nesting: both children point at the root, root has no parent.
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].parent, outer);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].parent, outer);
+  // All closed, with sane timestamps.
+  for (const auto& s : spans) {
+    EXPECT_GE(s.dur_us, 0) << s.name;
+    EXPECT_GE(s.start_us, 0) << s.name;
+  }
+  // Children are contained in the parent's [start, start+dur] window.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].dur_us, spans[0].start_us + spans[0].dur_us);
+  // The attribute landed on the right span.
+  const Value* regs = arg_of(spans[1], "regs_used");
+  ASSERT_NE(regs, nullptr);
+  EXPECT_EQ(regs->as_int(), 17);
+}
+
+TEST(ObsTrace, EndSpanClosesOpenDescendants) {
+  obs::Tracer tracer;
+  int outer = tracer.begin_span("outer", "t");
+  tracer.begin_span("forgotten", "t");
+  tracer.end_span(outer);  // must close the dangling child too
+  for (const auto& s : tracer.spans()) EXPECT_GE(s.dur_us, 0) << s.name;
+}
+
+TEST(ObsTrace, ScopedSpanIsNullSafe) {
+  // A null tracer must be a no-op, not a crash: every instrumentation site
+  // relies on this for the collector-off path.
+  obs::ScopedSpan span(nullptr, "noop", "test");
+  span.set_arg("k", Value(std::int64_t{1}));
+}
+
+TEST(ObsTrace, ChromeTraceSchemaIsWellFormed) {
+  obs::Tracer tracer;
+  int a = tracer.begin_span("alpha", "cat");
+  tracer.set_arg(a, "answer", Value(std::int64_t{42}));
+  tracer.end_span(a);
+
+  Value doc = tracer.chrome_trace();
+  std::string err;
+  Value parsed;
+  ASSERT_TRUE(Value::parse(doc.dump(2), parsed, &err)) << err;
+  const Value* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->size(), 1u);
+  const Value& e = events->at(0);
+  EXPECT_EQ(e.find("name")->as_string(), "alpha");
+  EXPECT_EQ(e.find("ph")->as_string(), "X");
+  ASSERT_NE(e.find("ts"), nullptr);
+  ASSERT_NE(e.find("dur"), nullptr);
+  ASSERT_NE(e.find("pid"), nullptr);
+  ASSERT_NE(e.find("tid"), nullptr);
+  const Value* args = e.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("answer")->as_int(), 42);
+}
+
+// -- metrics -------------------------------------------------------------------
+
+TEST(ObsMetrics, CountersAccumulateAndGaugesOverwrite) {
+  obs::MetricsRegistry m;
+  m.add("sim.launches");
+  m.add("sim.launches");
+  m.add("sim.cycles", 100);
+  m.set("regalloc.regs", 40.0);
+  m.set("regalloc.regs", 32.0);
+  Value doc = m.to_json();
+  EXPECT_EQ(doc.find("counters")->find("sim.launches")->as_int(), 2);
+  EXPECT_EQ(doc.find("counters")->find("sim.cycles")->as_int(), 100);
+  EXPECT_EQ(doc.find("gauges")->find("regalloc.regs")->as_double(), 32.0);
+}
+
+// -- compiler pipeline instrumentation -----------------------------------------
+
+const char* kBlurSource = R"(
+void blur(int n, int m, const float src[?][?], float dst[?][?]) {
+  #pragma acc parallel loop gang vector(64) dim((0:n, 0:m)(src, dst)) small(src, dst)
+  for (i = 1; i < n - 1; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < m - 1; k++) {
+      dst[i][k] = 0.25f * (src[i][k-1] + 2.0f * src[i][k] + src[i][k+1]);
+    }
+  }
+})";
+
+Data blur_data(int n, int m) {
+  Data data;
+  data.arrays.emplace("src", f32_array({{0, n}, {0, m}}));
+  data.arrays.emplace("dst", f32_array({{0, n}, {0, m}}));
+  fill_pattern(data.array("src"), 7);
+  data.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+  data.scalars.emplace("m", rt::ScalarValue::of_i32(m));
+  return data;
+}
+
+TEST(ObsCompiler, EmitsPipelineAndSafaraSpans) {
+  obs::Collector collector;
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+  compiler.compile(kBlurSource);
+
+  auto has_span = [&](const std::string& name) {
+    for (const auto& s : collector.tracer.spans()) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  for (const char* want : {"compile", "frontend.parse", "sema", "opt.safara",
+                           "safara.region", "safara.iteration", "codegen", "regalloc"}) {
+    EXPECT_TRUE(has_span(want)) << "missing span " << want;
+  }
+
+  // Every SAFARA iteration span carries the register-count attributes the
+  // acceptance criteria call for.
+  int iterations = 0;
+  for (const auto& s : collector.tracer.spans()) {
+    if (s.name != "safara.iteration") continue;
+    ++iterations;
+    for (const char* attr : {"iteration", "regs_reported", "register_budget",
+                             "regs_predicted_after"}) {
+      EXPECT_NE(arg_of(s, attr), nullptr) << "iteration span lacks " << attr;
+    }
+  }
+  EXPECT_GE(iterations, 1);
+  EXPECT_GE(collector.metrics.to_json().find("counters")->find("safara.iterations")->as_int(),
+            iterations);
+}
+
+TEST(ObsCompiler, MetricsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    obs::Collector collector;
+    driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+    compiler.compile(kBlurSource);
+    return collector.metrics.to_json().dump(2);
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ObsCompiler, MetricsReportRoundTripsThroughParser) {
+  obs::Collector collector;
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+  auto prog = compiler.compile(kBlurSource);
+  Data data = blur_data(64, 64);
+  run_sim(prog, data, vgpu::DeviceSpec::k20xm(), &collector);
+
+  const std::string text = collector.report().dump(2);
+  Value parsed;
+  std::string err;
+  ASSERT_TRUE(Value::parse(text, parsed, &err)) << err;
+  const Value* metrics = parsed.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Value* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const auto& [k, v] : counters->members()) {
+    EXPECT_TRUE(v.is_number()) << "counter " << k;
+  }
+  ASSERT_NE(counters->find("sim.launches"), nullptr);
+  const Value* sim = parsed.find("sim");
+  ASSERT_NE(sim, nullptr);
+  ASSERT_NE(sim->find("launches"), nullptr);
+}
+
+// -- simulator profiling -------------------------------------------------------
+
+TEST(ObsSim, CyclesIdenticalWithAndWithoutCollector) {
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses());
+  auto prog = compiler.compile(kBlurSource);
+
+  Data plain = blur_data(96, 96);
+  Data observed = plain.clone();
+  auto base_stats = run_sim(prog, plain);
+
+  obs::Collector collector;
+  auto obs_stats = run_sim(prog, observed, vgpu::DeviceSpec::k20xm(), &collector);
+
+  ASSERT_EQ(base_stats.size(), obs_stats.size());
+  for (std::size_t i = 0; i < base_stats.size(); ++i) {
+    EXPECT_EQ(base_stats[i].cycles, obs_stats[i].cycles) << "launch " << i;
+    EXPECT_EQ(base_stats[i].warp_instructions, obs_stats[i].warp_instructions);
+    EXPECT_EQ(base_stats[i].mem_transactions, obs_stats[i].mem_transactions);
+    EXPECT_EQ(base_stats[i].spill_accesses, obs_stats[i].spill_accesses);
+    EXPECT_EQ(base_stats[i].regs_per_thread, obs_stats[i].regs_per_thread);
+  }
+  // Observation must not perturb results either.
+  expect_arrays_near(plain.array("dst"), observed.array("dst"), 0.0, "dst");
+}
+
+TEST(ObsSim, ProfileAccountingIsSelfConsistent) {
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses());
+  auto prog = compiler.compile(kBlurSource);
+  Data data = blur_data(96, 96);
+  obs::Collector collector;
+  auto stats = run_sim(prog, data, vgpu::DeviceSpec::k20xm(), &collector);
+
+  ASSERT_EQ(collector.sim_profiles.size(), stats.size());
+  for (std::size_t i = 0; i < collector.sim_profiles.size(); ++i) {
+    const obs::KernelSimProfile& prof = collector.sim_profiles[i];
+    EXPECT_EQ(prof.launch_index, static_cast<int>(i));
+    ASSERT_FALSE(prof.sms.empty());
+
+    std::uint64_t issued = 0;
+    std::uint64_t blocks = 0;
+    for (const obs::SmProfile& sm : prof.sms) {
+      // Per-SM activity cannot exceed that SM's cycle count, and every SM
+      // plus its tail idle spans the launch exactly.
+      EXPECT_LE(sm.issue_cycles, sm.cycles) << "sm " << sm.sm;
+      EXPECT_EQ(sm.cycles + sm.stall_no_warp, stats[i].cycles) << "sm " << sm.sm;
+      issued += sm.issued_instructions;
+      blocks += sm.blocks_executed;
+    }
+    EXPECT_EQ(issued, stats[i].warp_instructions);
+    EXPECT_GT(blocks, 0u);
+
+    const obs::SmProfile totals = prof.totals();
+    EXPECT_EQ(totals.cycles, stats[i].cycles);
+    EXPECT_EQ(totals.issued_instructions, issued);
+
+    // The launch snapshot embedded in the profile matches the stats.
+    const Value* cycles = prof.launch_stats.find("cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(cycles->as_int()), stats[i].cycles);
+  }
+}
+
+}  // namespace
+}  // namespace safara::test

@@ -10,6 +10,7 @@
 
 #include "driver/compiler.hpp"
 #include "driver/reference.hpp"
+#include "obs/collector.hpp"
 #include "parse/parser.hpp"
 #include "rt/runtime.hpp"
 
@@ -36,7 +37,8 @@ inline driver::RefArgMap ref_args(Data& d) {
 /// simulated device; results are copied back into `data`.
 inline std::vector<vgpu::LaunchStats> run_sim(const driver::CompiledProgram& prog,
                                               Data& data,
-                                              vgpu::DeviceSpec spec = vgpu::DeviceSpec::k20xm()) {
+                                              vgpu::DeviceSpec spec = vgpu::DeviceSpec::k20xm(),
+                                              obs::Collector* collector = nullptr) {
   rt::Device dev(spec);
   rt::Runtime runtime(dev);
   std::map<std::string, rt::Buffer> buffers;
@@ -51,7 +53,7 @@ inline std::vector<vgpu::LaunchStats> run_sim(const driver::CompiledProgram& pro
 
   std::vector<vgpu::LaunchStats> stats;
   for (const driver::CompiledKernel& k : prog.kernels) {
-    stats.push_back(runtime.launch(k.kernel, k.alloc, k.plan, args));
+    stats.push_back(runtime.launch(k.kernel, k.alloc, k.plan, args, collector));
   }
   for (auto& [name, arr] : data.arrays) {
     dev.memory().copy_out(buffers.at(name).device_addr, arr.data.data(), arr.data.size());

@@ -7,7 +7,18 @@
 //   safcc file.acc --unroll 4              # enable the unrolling extension
 //   safcc file.acc --max-regs 64           # __launch_bounds__-style cap
 //   safcc file.acc --fn name               # choose a function
+//
+// Observability:
+//   safcc file.acc --trace-out=t.json      # Chrome trace-event span timeline
+//   safcc file.acc --metrics-out=m.json    # metrics/report JSON
+//   safcc file.acc --time-passes           # LLVM-style pass timing table
+//   safcc --workload 355.seismic --sim-profile --metrics-out=m.json
+//                                          # run a named workload on the
+//                                          # simulator with per-SM profiling
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -15,7 +26,9 @@
 
 #include "ast/printer.hpp"
 #include "driver/compiler.hpp"
+#include "obs/collector.hpp"
 #include "vir/vir.hpp"
+#include "workloads/harness.hpp"
 
 using namespace safara;
 
@@ -26,7 +39,47 @@ void usage() {
                "usage: safcc <file.acc> [--fn name] [--config base|small|small_dim|"
                "safara|safara_clauses|pgi]\n"
                "             [--emit-vir] [--emit-source] [--unroll N] [--max-regs N]\n"
-               "             [--verify-clauses]\n");
+               "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "             [--time-passes] [--workload NAME] [--sim-profile]\n");
+}
+
+/// Strict integer parsing for flag values: the whole token must be a number.
+/// (std::atoi silently turns "abc" into 0, which used to disable the flag.)
+int parse_int_flag(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+    std::fprintf(stderr, "safcc: %s expects an integer, got '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "safcc: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return out.good();
+}
+
+void print_sim_profile(const obs::Collector& collector) {
+  std::printf("\n---- simulator profile ----\n");
+  for (const obs::KernelSimProfile& p : collector.sim_profiles) {
+    obs::SmProfile t = p.totals();
+    std::printf("launch %d: %s\n", p.launch_index, p.kernel.c_str());
+    std::printf("  cycles %llu, issue cycles %llu, instructions %llu over %zu SM(s)\n",
+                static_cast<unsigned long long>(t.cycles),
+                static_cast<unsigned long long>(t.issue_cycles),
+                static_cast<unsigned long long>(t.issued_instructions), p.sms.size());
+    std::printf("  stalls: scoreboard %llu, memory %llu, no-warp (tail) %llu\n",
+                static_cast<unsigned long long>(t.stall_scoreboard),
+                static_cast<unsigned long long>(t.stall_memory),
+                static_cast<unsigned long long>(t.stall_no_warp));
+  }
 }
 
 }  // namespace
@@ -35,8 +88,13 @@ int main(int argc, char** argv) {
   std::string path;
   std::string fn_name;
   std::string config = "safara_clauses";
+  std::string workload_name;
+  std::string trace_out;
+  std::string metrics_out;
   bool emit_vir = false;
   bool emit_source = false;
+  bool time_passes = false;
+  bool sim_profile = false;
   int unroll = 0;
   int max_regs = 0;
   bool verify = false;
@@ -45,18 +103,44 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
+        std::fprintf(stderr, "safcc: missing value for '%s'\n", arg.c_str());
         usage();
         std::exit(2);
       }
       return argv[++i];
     };
-    if (arg == "--fn") fn_name = next();
-    else if (arg == "--config") config = next();
-    else if (arg == "--emit-vir") emit_vir = true;
+    // Accept both `--flag value` and `--flag=value` for valued options.
+    auto eat_value = [&](std::string_view flag, std::string* out) -> bool {
+      if (arg == flag) {
+        *out = next();
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+          arg[flag.size()] == '=') {
+        *out = arg.substr(flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (eat_value("--fn", &fn_name)) continue;
+    if (eat_value("--config", &config)) continue;
+    if (eat_value("--workload", &workload_name)) continue;
+    if (eat_value("--trace-out", &trace_out)) continue;
+    if (eat_value("--metrics-out", &metrics_out)) continue;
+    if (eat_value("--unroll", &value)) {
+      unroll = parse_int_flag("--unroll", value.c_str());
+      continue;
+    }
+    if (eat_value("--max-regs", &value)) {
+      max_regs = parse_int_flag("--max-regs", value.c_str());
+      continue;
+    }
+    if (arg == "--emit-vir") emit_vir = true;
     else if (arg == "--emit-source") emit_source = true;
-    else if (arg == "--unroll") unroll = std::atoi(next());
-    else if (arg == "--max-regs") max_regs = std::atoi(next());
     else if (arg == "--verify-clauses") verify = true;
+    else if (arg == "--time-passes") time_passes = true;
+    else if (arg == "--sim-profile") sim_profile = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -68,18 +152,17 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
-  if (path.empty()) {
+  if (path.empty() == workload_name.empty()) {
+    std::fprintf(stderr, "safcc: expected exactly one input (<file.acc> or --workload NAME)\n");
     usage();
     return 2;
   }
-
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "safcc: cannot open '%s'\n", path.c_str());
-    return 1;
+  if (sim_profile && workload_name.empty()) {
+    std::fprintf(stderr,
+                 "safcc: --sim-profile needs a runnable input; use --workload NAME "
+                 "(a file alone has no dataset to launch with)\n");
+    return 2;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
 
   driver::CompilerOptions opts;
   if (config == "base") opts = driver::CompilerOptions::openuh_base();
@@ -99,10 +182,48 @@ int main(int argc, char** argv) {
   if (max_regs > 0) opts.regalloc.max_registers = max_regs;
   if (verify) opts.verify_clauses = true;
 
-  driver::Compiler compiler(opts);
+  // One collector for the whole invocation: compilation spans, metrics, and
+  // (with --sim-profile) the simulator's per-SM breakdowns all land here.
+  obs::Collector collector;
+  const bool observing =
+      !trace_out.empty() || !metrics_out.empty() || time_passes || sim_profile;
+
   driver::CompiledProgram prog;
+  workloads::RunResult run_result;
+  bool ran_workload = false;
+  std::string input_label;
   try {
-    prog = compiler.compile(buf.str(), fn_name);
+    if (!workload_name.empty()) {
+      const workloads::Workload* w = workloads::find_workload(workload_name);
+      if (!w) {
+        std::fprintf(stderr, "safcc: unknown workload '%s'\n", workload_name.c_str());
+        std::fprintf(stderr, "       available:");
+        for (const workloads::Workload& cand : workloads::all_workloads()) {
+          std::fprintf(stderr, " %s", cand.name.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      input_label = w->name;
+      if (sim_profile) {
+        run_result = workloads::simulate(*w, opts, opts.device,
+                                         observing ? &collector : nullptr);
+        ran_workload = true;
+      }
+      driver::Compiler compiler(opts, ran_workload || !observing ? nullptr : &collector);
+      prog = compiler.compile(w->source, w->function);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "safcc: cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      input_label = path;
+      driver::Compiler compiler(opts, observing ? &collector : nullptr);
+      prog = compiler.compile(buf.str(), fn_name);
+    }
   } catch (const CompileError& e) {
     std::fprintf(stderr, "safcc: %s\n", e.what());
     return 1;
@@ -127,6 +248,11 @@ int main(int argc, char** argv) {
     }
     std::printf(")\n");
   }
+  if (ran_workload) {
+    std::printf("\nworkload %s: %llu cycles, checksum %.6g\n", input_label.c_str(),
+                static_cast<unsigned long long>(run_result.cycles), run_result.checksum);
+  }
+  if (sim_profile) print_sim_profile(collector);
   if (emit_source) {
     std::printf("\n---- post-optimization source ----\n%s",
                 ast::to_source(*prog.transformed).c_str());
@@ -136,6 +262,32 @@ int main(int argc, char** argv) {
       std::printf("\n---- %s ----\n%s", k.name.c_str(),
                   vir::to_string(k.kernel).c_str());
     }
+  }
+  if (time_passes) {
+    std::printf("\n%s", collector.tracer.time_report().c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!write_file(trace_out, collector.tracer.chrome_trace().dump(2) + "\n")) return 1;
+    std::printf("trace: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::json::Value doc = collector.report();
+    doc["input"] = obs::json::Value(input_label);
+    doc["config"] = obs::json::Value(config);
+    doc["safara"] = prog.safara.to_json();
+    obs::json::Value kernels = obs::json::Value::array();
+    for (const driver::CompiledKernel& k : prog.kernels) {
+      obs::json::Value kj = obs::json::Value::object();
+      kj["name"] = obs::json::Value(k.name);
+      kj["regs_used"] = obs::json::Value(k.alloc.regs_used);
+      kj["spill_bytes"] = obs::json::Value(k.alloc.spill_bytes);
+      kernels.push_back(std::move(kj));
+    }
+    doc["kernels"] = std::move(kernels);
+    if (ran_workload) doc["run"] = run_result.to_json();
+    if (!write_file(metrics_out, doc.dump(2) + "\n")) return 1;
+    std::printf("metrics: wrote %s\n", metrics_out.c_str());
   }
   return 0;
 }

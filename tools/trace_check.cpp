@@ -1,0 +1,132 @@
+// trace_check: validates the JSON artifacts the observability layer emits.
+//
+//   trace_check t.json                        # Chrome trace-event schema
+//   trace_check t.json --require-span NAME    # ...and demand >= 1 such span
+//   trace_check --metrics m.json              # metrics/report document
+//
+// Exit 0 when every file validates; 1 with a diagnostic otherwise. CI runs
+// this over the smoke-test output so a malformed emitter fails the build.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using safara::obs::json::Value;
+
+namespace {
+
+bool fail(const std::string& file, const std::string& why) {
+  std::fprintf(stderr, "trace_check: %s: %s\n", file.c_str(), why.c_str());
+  return false;
+}
+
+bool check_trace(const std::string& file, const Value& root,
+                 const std::vector<std::string>& required_spans) {
+  if (!root.is_object()) return fail(file, "top level is not an object");
+  const Value* events = root.find("traceEvents");
+  if (!events || !events->is_array()) {
+    return fail(file, "missing 'traceEvents' array");
+  }
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Value& e = events->at(i);
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) return fail(file, where + " is not an object");
+    const Value* name = e.find("name");
+    const Value* ph = e.find("ph");
+    const Value* ts = e.find("ts");
+    if (!name || !name->is_string()) return fail(file, where + " lacks string 'name'");
+    if (!ph || !ph->is_string()) return fail(file, where + " lacks string 'ph'");
+    if (!ts || !ts->is_number()) return fail(file, where + " lacks numeric 'ts'");
+    if (!e.find("pid") || !e.find("tid")) {
+      return fail(file, where + " lacks pid/tid");
+    }
+    if (ph->as_string() == "X") {
+      const Value* dur = e.find("dur");
+      if (!dur || !dur->is_number() || dur->as_double() < 0) {
+        return fail(file, where + " complete event lacks non-negative 'dur'");
+      }
+    }
+  }
+  for (const std::string& want : required_spans) {
+    bool found = false;
+    for (std::size_t i = 0; i < events->size() && !found; ++i) {
+      const Value* name = events->at(i).find("name");
+      found = name && name->is_string() && name->as_string() == want;
+    }
+    if (!found) return fail(file, "no span named '" + want + "'");
+  }
+  std::printf("trace_check: %s: ok (%zu events)\n", file.c_str(), events->size());
+  return true;
+}
+
+bool check_metrics(const std::string& file, const Value& root) {
+  if (!root.is_object()) return fail(file, "top level is not an object");
+  const Value* metrics = root.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    return fail(file, "missing 'metrics' object");
+  }
+  const Value* counters = metrics->find("counters");
+  const Value* gauges = metrics->find("gauges");
+  if (!counters || !counters->is_object()) return fail(file, "missing 'counters'");
+  if (!gauges || !gauges->is_object()) return fail(file, "missing 'gauges'");
+  for (const auto& [k, v] : counters->members()) {
+    if (!v.is_number()) return fail(file, "counter '" + k + "' is not numeric");
+  }
+  std::printf("trace_check: %s: ok (%zu counters, %zu gauges)\n", file.c_str(),
+              counters->size(), gauges->size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool metrics_mode = false;
+  std::vector<std::string> files;
+  std::vector<std::string> required_spans;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics_mode = true;
+    } else if (arg == "--require-span") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_check: --require-span needs a value\n");
+        return 2;
+      }
+      required_spans.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: trace_check [--metrics] [--require-span NAME] <file.json>...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "trace_check: no input files\n");
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      ok = fail(file, "cannot open");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Value root;
+    std::string err;
+    if (!Value::parse(buf.str(), root, &err)) {
+      ok = fail(file, "invalid JSON: " + err);
+      continue;
+    }
+    ok = (metrics_mode ? check_metrics(file, root)
+                       : check_trace(file, root, required_spans)) &&
+         ok;
+  }
+  return ok ? 0 : 1;
+}
