@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "vgpu/sim.hpp"
 #include "workloads/harness.hpp"
 
 namespace safara::bench {
@@ -78,6 +80,15 @@ inline std::map<std::string, workloads::RunResult> run_configs(
   return out;
 }
 
+/// Adds the host wall-clock timings of one config's run to a counter row
+/// (`compile_ms.<config>` / `sim_ms.<config>`), so BENCH_*.json tracks the
+/// compile+simulate speedup trajectory alongside the simulated metrics.
+inline void add_timings(std::map<std::string, double>& counters, const std::string& config,
+                        const workloads::RunResult& r) {
+  counters["compile_ms." + config] = r.compile_ms;
+  counters["sim_ms." + config] = r.sim_ms;
+}
+
 /// Accumulates every counter set registered by this binary so `--json FILE`
 /// can dump the whole table/figure as one machine-readable document — the
 /// substrate the perf-trajectory files (BENCH_*.json) are built from.
@@ -134,8 +145,9 @@ inline void register_counters(const std::string& name,
 }
 
 /// Shared main(): runs the table/figure generator, honours `--json FILE` /
-/// `--json=FILE` (stripped before google-benchmark sees the args), then hands
-/// the remaining flags to the standard benchmark runner.
+/// `--json=FILE` and `--sim-threads N` / `--sim-threads=N` (both stripped
+/// before google-benchmark sees the args), then hands the remaining flags to
+/// the standard benchmark runner.
 inline int bench_main(int argc, char** argv, const char* binary_name, void (*run)()) {
   std::string json_path;
   int out = 1;
@@ -146,6 +158,11 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       ++i;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--sim-threads" && i + 1 < argc) {
+      vgpu::set_sim_threads(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (arg.rfind("--sim-threads=", 0) == 0) {
+      vgpu::set_sim_threads(std::atoi(arg.c_str() + 14));
     } else {
       argv[out++] = argv[i];
     }

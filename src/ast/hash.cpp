@@ -1,0 +1,246 @@
+#include "ast/hash.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace safara::ast {
+
+namespace {
+
+// FNV-1a, 64-bit. Fed an unambiguous serialization: every node starts with a
+// kind tag, every string and vector is length-prefixed, and every optional
+// child emits a presence byte, so distinct trees yield distinct streams.
+class Hasher {
+ public:
+  std::uint64_t value() const { return h_; }
+
+  void byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  template <typename E>
+  void tag(E e) {
+    byte(static_cast<std::uint8_t>(e));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+  void present(const void* p) { byte(p ? 1 : 0); }
+
+  void expr(const Expr* e);
+  void stmt(const Stmt* s);
+  void block(const BlockStmt* b);
+  void directive(const AccDirective* d);
+  void param(const Param& p);
+  void function(const Function& fn);
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+void Hasher::expr(const Expr* e) {
+  present(e);
+  if (!e) return;
+  tag(e->kind);
+  switch (e->kind) {
+    case ExprKind::kIntLit:
+      i64(e->as<IntLit>().value);
+      break;
+    case ExprKind::kFloatLit:
+      f64(e->as<FloatLit>().value);
+      tag(e->type);  // distinguishes 1.0f from 1.0 (same bit pattern)
+      break;
+    case ExprKind::kVarRef:
+      str(e->as<VarRef>().name);
+      break;
+    case ExprKind::kArrayRef: {
+      const auto& a = e->as<ArrayRef>();
+      str(a.name);
+      u64(a.indices.size());
+      for (const ExprPtr& idx : a.indices) expr(idx.get());
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = e->as<Unary>();
+      tag(u.op);
+      expr(u.operand.get());
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = e->as<Binary>();
+      tag(b.op);
+      expr(b.lhs.get());
+      expr(b.rhs.get());
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto& c = e->as<Call>();
+      str(c.callee);
+      u64(c.args.size());
+      for (const ExprPtr& a : c.args) expr(a.get());
+      break;
+    }
+    case ExprKind::kCast:
+      tag(e->type);  // the conversion target is structural
+      expr(e->as<Cast>().operand.get());
+      break;
+  }
+}
+
+void Hasher::block(const BlockStmt* b) {
+  present(b);
+  if (!b) return;
+  u64(b->stmts.size());
+  for (const StmtPtr& s : b->stmts) stmt(s.get());
+}
+
+void Hasher::directive(const AccDirective* d) {
+  present(d);
+  if (!d) return;
+  tag(d->kind);
+  byte(d->seq ? 1 : 0);
+  byte(d->independent ? 1 : 0);
+  byte(d->has_gang ? 1 : 0);
+  expr(d->gang_size.get());
+  byte(d->has_vector ? 1 : 0);
+  expr(d->vector_size.get());
+  byte(d->has_worker ? 1 : 0);
+  i64(d->collapse);
+  u64(d->privates.size());
+  for (const std::string& p : d->privates) str(p);
+  u64(d->reductions.size());
+  for (const ReductionClause& r : d->reductions) {
+    tag(r.op);
+    str(r.var);
+  }
+  u64(d->copy.size());
+  for (const std::string& v : d->copy) str(v);
+  u64(d->copyin.size());
+  for (const std::string& v : d->copyin) str(v);
+  u64(d->copyout.size());
+  for (const std::string& v : d->copyout) str(v);
+  u64(d->dim_groups.size());
+  for (const DimGroup& g : d->dim_groups) {
+    u64(g.bounds.size());
+    for (const DimGroup::Bound& b : g.bounds) {
+      expr(b.lb.get());
+      expr(b.len.get());
+    }
+    u64(g.arrays.size());
+    for (const std::string& a : g.arrays) str(a);
+  }
+  u64(d->small_arrays.size());
+  for (const std::string& a : d->small_arrays) str(a);
+}
+
+void Hasher::stmt(const Stmt* s) {
+  present(s);
+  if (!s) return;
+  tag(s->kind);
+  switch (s->kind) {
+    case StmtKind::kBlock: {
+      const auto& b = s->as<BlockStmt>();
+      u64(b.stmts.size());
+      for (const StmtPtr& child : b.stmts) stmt(child.get());
+      break;
+    }
+    case StmtKind::kDecl: {
+      const auto& d = s->as<DeclStmt>();
+      tag(d.decl_type);
+      str(d.name);
+      expr(d.init.get());
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = s->as<AssignStmt>();
+      tag(a.op);
+      expr(a.lhs.get());
+      expr(a.rhs.get());
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& f = s->as<ForStmt>();
+      str(f.iv_name);
+      byte(f.declares_iv ? 1 : 0);
+      tag(f.iv_type);
+      expr(f.init.get());
+      tag(f.cmp);
+      expr(f.bound.get());
+      i64(f.step);
+      directive(f.directive.get());
+      block(f.body.get());
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& i = s->as<IfStmt>();
+      expr(i.cond.get());
+      block(i.then_block.get());
+      block(i.else_block.get());
+      break;
+    }
+    case StmtKind::kReturn:
+      break;
+  }
+}
+
+void Hasher::param(const Param& p) {
+  tag(p.elem);
+  str(p.name);
+  byte(p.is_const ? 1 : 0);
+  tag(p.decl_kind);
+  u64(p.extents.size());
+  for (const ExprPtr& e : p.extents) expr(e.get());
+}
+
+void Hasher::function(const Function& fn) {
+  tag(fn.ret);
+  str(fn.name);
+  u64(fn.params.size());
+  for (const Param& p : fn.params) param(p);
+  block(fn.body.get());
+}
+
+}  // namespace
+
+std::uint64_t hash(const Expr& e) {
+  Hasher h;
+  h.expr(&e);
+  return h.value();
+}
+
+std::uint64_t hash(const Stmt& s) {
+  Hasher h;
+  h.stmt(&s);
+  return h.value();
+}
+
+std::uint64_t hash(const AccDirective& d) {
+  Hasher h;
+  h.directive(&d);
+  return h.value();
+}
+
+std::uint64_t hash(const Param& p) {
+  Hasher h;
+  h.param(p);
+  return h.value();
+}
+
+std::uint64_t hash(const Function& fn) {
+  Hasher h;
+  h.function(fn);
+  return h.value();
+}
+
+}  // namespace safara::ast

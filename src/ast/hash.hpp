@@ -1,0 +1,30 @@
+// Canonical structural hashing of AST nodes.
+//
+// The hash covers exactly the syntactic content that determines compilation:
+// node kinds, operators, names, literal bit patterns, declared types, loop
+// shapes, directive clauses, and parameter declarations. It deliberately
+// excludes source locations, resolved sema::Symbol pointers, and sema-derived
+// expression types (other than those fixed at construction — literals and
+// cast targets), so a reparsed or cloned function hashes the same as the
+// original and a directive mutation changes the hash iff it changes what the
+// compiler would see.
+//
+// Two functions with equal hashes are treated as identical compilation inputs
+// by the SAFARA feedback cache (src/driver/compiler.cpp); the hash is FNV-1a
+// over an unambiguous (tag + length prefixed) serialization, so accidental
+// collisions are the usual 64-bit-hash risk, not a structural ambiguity.
+#pragma once
+
+#include <cstdint>
+
+#include "ast/decl.hpp"
+
+namespace safara::ast {
+
+std::uint64_t hash(const Expr& e);
+std::uint64_t hash(const Stmt& s);
+std::uint64_t hash(const AccDirective& d);
+std::uint64_t hash(const Param& p);
+std::uint64_t hash(const Function& fn);
+
+}  // namespace safara::ast

@@ -1,9 +1,68 @@
 #include "driver/compiler.hpp"
 
+#include <mutex>
+#include <unordered_map>
+
+#include "ast/hash.hpp"
 #include "parse/parser.hpp"
 #include "sema/sema.hpp"
 
 namespace safara::driver {
+
+namespace {
+
+// Process-wide memo of SAFARA feedback compiles. The SAFARA loop repeatedly
+// asks "how many registers does this mutated region use?", and converged or
+// re-visited mutations (including identical iteration-0 regions across
+// ablation configurations) keep asking about identical ASTs — the answer is
+// a pure function of the key, so it is shared across Compiler instances.
+struct FeedbackKey {
+  std::uint64_t fn_hash = 0;   // canonical ast::hash of the mutated function
+  std::uint64_t options = 0;   // injective encoding of codegen+regalloc opts
+  int region = 0;
+
+  bool operator==(const FeedbackKey& o) const {
+    return fn_hash == o.fn_hash && options == o.options && region == o.region;
+  }
+};
+
+struct FeedbackKeyHash {
+  std::size_t operator()(const FeedbackKey& k) const {
+    std::uint64_t h = k.fn_hash;
+    h ^= k.options + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(k.region) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::mutex g_feedback_cache_mu;
+std::unordered_map<FeedbackKey, int, FeedbackKeyHash> g_feedback_cache;
+
+// Everything besides the AST that the feedback pipeline's answer depends on.
+// SafaraOptions are deliberately excluded: they steer which mutations get
+// *tried*, not what a given mutated AST compiles to.
+std::uint64_t feedback_options_fingerprint(const codegen::CodegenOptions& cg,
+                                           const regalloc::AllocatorOptions& ra) {
+  std::uint64_t bits = 0;
+  bits |= cg.honor_dim ? 1u : 0u;
+  bits |= cg.honor_small ? 2u : 0u;
+  bits |= cg.licm ? 4u : 0u;
+  bits |= cg.cse_loads_within_stmt ? 8u : 0u;
+  bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.max_registers)) << 8;
+  return bits;
+}
+
+}  // namespace
+
+void clear_safara_feedback_cache() {
+  std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
+  g_feedback_cache.clear();
+}
+
+std::size_t safara_feedback_cache_size() {
+  std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
+  return g_feedback_cache.size();
+}
 
 CompilerOptions CompilerOptions::openuh_base() { return CompilerOptions{}; }
 
@@ -128,8 +187,27 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     sopts.latency = opts_.device.lat;
     sopts.max_registers = std::min(sopts.max_registers, opts_.device.max_registers_per_thread);
     const codegen::CodegenOptions cg = codegen_options();
+    const std::uint64_t opts_fp = feedback_options_fingerprint(cg, opts_.regalloc);
     auto feedback = [&](ast::Function& f, int region_index) -> int {
       obs::ScopedSpan fb_span(tracer, "safara.feedback_compile", "safara");
+      FeedbackKey key;
+      if (opts_.safara_feedback_cache) {
+        key.fn_hash = ast::hash(f);
+        key.options = opts_fp;
+        key.region = region_index;
+        std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
+        auto it = g_feedback_cache.find(key);
+        if (it != g_feedback_cache.end()) {
+          fb_span.set_arg("cache", obs::json::Value("hit"));
+          fb_span.set_arg("regs_used", obs::json::Value(it->second));
+          if (collector_) collector_->metrics.add("safara.feedback_cache_hits");
+          return it->second;
+        }
+      }
+      if (opts_.safara_feedback_cache) {
+        fb_span.set_arg("cache", obs::json::Value("miss"));
+        if (collector_) collector_->metrics.add("safara.feedback_cache_misses");
+      }
       DiagnosticEngine fb_diags;
       sema::Sema fb_sema(fb_diags);
       auto fb_info = fb_sema.analyze(f);
@@ -144,6 +222,10 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
         throw CompileError("SAFARA feedback codegen failed:\n" + fb_diags.render());
       }
       regalloc::AllocationResult alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+      if (opts_.safara_feedback_cache) {
+        std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
+        g_feedback_cache.emplace(key, alloc.regs_used);
+      }
       fb_span.set_arg("regs_used", obs::json::Value(alloc.regs_used));
       if (collector_) collector_->metrics.add("safara.feedback_compiles");
       return alloc.regs_used;

@@ -40,6 +40,13 @@ struct CompilerOptions {
   /// record the runtime checks that select between them (the two-version
   /// scheme sketched at the end of Section IV).
   bool verify_clauses = false;
+  /// Memoize SAFARA feedback compiles in a process-wide cache keyed by the
+  /// canonical hash of the post-mutation function (ast/hash.hpp), the region
+  /// index, and the codegen/regalloc option fingerprint. A hit returns the
+  /// recorded ptxas-sim register count without re-running sema/codegen/
+  /// regalloc; because that pipeline is deterministic, cached and uncached
+  /// runs produce identical SafaraReports (guarded by tests).
+  bool safara_feedback_cache = true;
   opt::SafaraOptions safara;
   opt::CarrKennedyOptions carr_kennedy;
   opt::UnrollOptions unroll;
@@ -96,6 +103,13 @@ struct CompiledProgram {
   /// asked to verify clauses); kernels pair up by index.
   std::unique_ptr<CompiledProgram> fallback;
 };
+
+/// Drops every entry of the process-wide SAFARA feedback-compile cache.
+/// Tests that assert cold-cache behavior (or byte-identical metrics across
+/// repeated in-process compiles) call this between runs.
+void clear_safara_feedback_cache();
+/// Number of (function-hash, region, options) entries currently memoized.
+std::size_t safara_feedback_cache_size();
 
 class Compiler {
  public:

@@ -33,6 +33,47 @@ obs::json::Value SafaraReport::to_json() const {
   return v;
 }
 
+namespace {
+
+// Counts offload regions with a plain syntactic walk: a region is a ForStmt
+// whose directive opens an offload construct, and regions cannot nest (sema
+// rejects that), so the walk does not descend into offload bodies. This is
+// exactly sema's discovery order/count without paying a full analysis.
+void count_offload_regions(const ast::BlockStmt& block, std::size_t& count);
+
+void count_offload_regions(const ast::Stmt& s, std::size_t& count) {
+  switch (s.kind) {
+    case ast::StmtKind::kBlock:
+      count_offload_regions(s.as<ast::BlockStmt>(), count);
+      break;
+    case ast::StmtKind::kFor: {
+      const auto& f = s.as<ast::ForStmt>();
+      if (f.directive && f.directive->is_offload()) {
+        ++count;
+        return;
+      }
+      if (f.body) count_offload_regions(*f.body, count);
+      break;
+    }
+    case ast::StmtKind::kIf: {
+      const auto& i = s.as<ast::IfStmt>();
+      if (i.then_block) count_offload_regions(*i.then_block, count);
+      if (i.else_block) count_offload_regions(*i.else_block, count);
+      break;
+    }
+    case ast::StmtKind::kDecl:
+    case ast::StmtKind::kAssign:
+    case ast::StmtKind::kReturn:
+      break;
+  }
+}
+
+void count_offload_regions(const ast::BlockStmt& block, std::size_t& count) {
+  for (const ast::StmtPtr& s : block.stmts) count_offload_regions(*s, count);
+}
+
+}  // namespace
+
 SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
                         const SafaraOptions& opts, DiagnosticEngine& diags,
                         obs::Collector* collector) {
@@ -41,13 +82,10 @@ SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
   SrNameGen names;
   obs::Tracer* tracer = obs::tracer_of(collector);
 
-  // The region count is fixed by the source; discover it once.
-  std::size_t num_regions;
-  {
-    sema::Sema sema(diags);
-    auto info = sema.analyze(fn);
-    num_regions = info->regions.size();
-  }
+  // The region count is fixed by the source; a syntactic walk discovers it
+  // without the full sema analysis this pass formerly ran (and threw away).
+  std::size_t num_regions = 0;
+  if (fn.body) count_offload_regions(*fn.body, num_regions);
 
   for (std::size_t r = 0; r < num_regions; ++r) {
     SafaraRegionReport rr;
@@ -66,6 +104,7 @@ SafaraReport run_safara(ast::Function& fn, const RegisterFeedback& feedback,
       const int regs = feedback(fn, static_cast<int>(r));
       // ...so re-analyze immediately afterwards to bind the AST to symbols
       // that stay alive (owned by `info`) for the rest of this iteration.
+      if (collector) collector->metrics.add("safara.sema_reanalyses");
       sema::Sema sema(diags);
       auto info = sema.analyze(fn);
       if (!diags.ok() || r >= info->regions.size()) break;

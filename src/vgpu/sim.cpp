@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "support/thread_pool.hpp"
 #include "vgpu/cache.hpp"
 #include "vir/liveness.hpp"
 
@@ -81,13 +87,100 @@ struct ResidentBlock {
   int warps_left = 0;
 };
 
+// Per-instruction facts that depend only on (kernel, allocation, device) —
+// decoded once per launch instead of re-derived on every warp issue. The
+// scoreboard walk and spill bookkeeping in the hot step() path read this flat
+// table; the timing it produces is identical to recomputing from the Instr.
+struct DecodedInstr {
+  std::uint32_t uses[3] = {0, 0, 0};  // register operands, in a/b/c order
+  std::uint8_t num_uses = 0;
+  bool writes_dst = false;
+  bool dst_spilled = false;
+  std::uint16_t spill_uses = 0;   // operand reads that hit a spilled vreg
+  std::int32_t spill_extra = 0;   // local-memory latency those reads add
+  std::int32_t exec_latency = 0;  // static issue latency for ALU/SFU-class ops
+};
+
+struct DecodedKernel {
+  std::vector<DecodedInstr> code;
+  bool has_atomics = false;
+};
+
+DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
+                     const DeviceSpec& spec) {
+  const LatencyModel& lat = spec.lat;
+  DecodedKernel dk;
+  dk.code.reserve(k.code.size());
+  for (const Instr& in : k.code) {
+    DecodedInstr d;
+    vir::for_each_use(in, [&](std::uint32_t r) {
+      d.uses[d.num_uses++] = r;
+      if (alloc.spilled[r]) {
+        d.spill_extra += lat.local_mem;
+        ++d.spill_uses;
+      }
+    });
+    d.writes_dst = vir::has_dst(in.op) && in.dst != vir::kNoReg;
+    d.dst_spilled = d.writes_dst && alloc.spilled[in.dst];
+    switch (in.op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kRem:
+      case Opcode::kMin:
+      case Opcode::kMax: {
+        const bool is_int = in.type == VType::kI32 || in.type == VType::kI64;
+        int l = lat.alu;
+        if ((in.op == Opcode::kDiv || in.op == Opcode::kRem) && is_int) l = lat.int_div;
+        if (in.op == Opcode::kMul && in.type == VType::kI64) l = lat.imul64;
+        if (in.op == Opcode::kDiv && !is_int) l = lat.sfu;
+        d.exec_latency = l;
+        break;
+      }
+      case Opcode::kSqrt:
+      case Opcode::kRsqrt:
+      case Opcode::kExp:
+      case Opcode::kLog:
+      case Opcode::kSin:
+      case Opcode::kCos:
+      case Opcode::kPow:
+      case Opcode::kFloor:
+      case Opcode::kCeil:
+        d.exec_latency = lat.sfu;
+        break;
+      default:
+        d.exec_latency = lat.alu;  // memory/control ops compute theirs dynamically
+        break;
+    }
+    if (in.op == Opcode::kAtomAdd) dk.has_atomics = true;
+    dk.code.push_back(d);
+  }
+  return dk;
+}
+
+// Records which 4-byte global-memory granules one SM touches; used only by
+// the debug-mode overlap checker's sequential shadow pass.
+struct AccessTracker {
+  std::unordered_set<std::uint64_t> reads;
+  std::unordered_set<std::uint64_t> writes;
+
+  static void note(std::unordered_set<std::uint64_t>& set, std::uint64_t addr, int bytes) {
+    set.insert(addr >> 2);
+    const std::uint64_t last = addr + static_cast<std::uint64_t>(bytes) - 1;
+    if ((last >> 2) != (addr >> 2)) set.insert(last >> 2);
+  }
+};
+
 class SmSimulator {
  public:
-  SmSimulator(const Kernel& kernel, const regalloc::AllocationResult& alloc,
-              const DeviceSpec& spec, DeviceMemory& mem,
-              const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
-              LaunchStats& stats, obs::SmProfile* prof = nullptr)
+  SmSimulator(const Kernel& kernel, const DecodedKernel& dk,
+              const regalloc::AllocationResult& alloc, const DeviceSpec& spec,
+              DeviceMemory& mem, const std::vector<std::uint64_t>& params,
+              const LaunchConfig& cfg, LaunchStats& stats, obs::SmProfile* prof = nullptr,
+              AccessTracker* tracker = nullptr)
       : k_(kernel),
+        dk_(dk),
         alloc_(alloc),
         spec_(spec),
         mem_(mem),
@@ -95,6 +188,7 @@ class SmSimulator {
         cfg_(cfg),
         stats_(stats),
         prof_(prof),
+        tracker_(tracker),
         ro_cache_(spec.ro_cache_bytes, spec.ro_cache_line, spec.ro_cache_ways) {}
 
   /// Runs the given linear block indices to completion; returns SM cycles.
@@ -235,16 +329,18 @@ class SmSimulator {
     }
 
     const Instr& in = k_.code[static_cast<std::size_t>(w.pc)];
+    const DecodedInstr& d = dk_.code[static_cast<std::size_t>(w.pc)];
 
-    // Operand scoreboard.
+    // Operand scoreboard (reads the pre-decoded operand list).
     std::int64_t ready = cycle_;
     std::uint32_t blocking_reg = vir::kNoReg;
-    vir::for_each_use(in, [&](std::uint32_t r) {
+    for (std::uint8_t u = 0; u < d.num_uses; ++u) {
+      const std::uint32_t r = d.uses[u];
       if (w.reg_ready[r] > ready) {
         ready = w.reg_ready[r];
         blocking_reg = r;
       }
-    });
+    }
     if (ready > cycle_) {
       w.ready_cycle = ready;
       if (prof_) {
@@ -256,22 +352,17 @@ class SmSimulator {
     }
 
     // Spill traffic: reads of spilled vregs are local-memory loads.
-    int extra_latency = 0;
-    vir::for_each_use(in, [&](std::uint32_t r) {
-      if (alloc_.spilled[r]) {
-        extra_latency += spec_.lat.local_mem;
-        ++stats_.spill_accesses;
-      }
-    });
+    stats_.spill_accesses += d.spill_uses;
 
     ++stats_.warp_instructions;
-    execute(w, in, extra_latency);
+    execute(w, in, d, static_cast<int>(d.spill_extra));
     return true;
   }
 
   void set_result(Warp& w, const Instr& in, int latency, bool mem_result = false) {
-    if (vir::has_dst(in.op) && in.dst != vir::kNoReg) {
-      if (alloc_.spilled[in.dst]) {
+    const DecodedInstr& d = dk_.code[static_cast<std::size_t>(w.pc)];
+    if (d.writes_dst) {
+      if (d.dst_spilled) {
         latency += spec_.lat.local_mem;
         ++stats_.spill_accesses;
         mem_result = true;  // the result arrives from local memory
@@ -463,6 +554,7 @@ class SmSimulator {
   }
 
   std::uint64_t load_lane(std::uint64_t addr, VType t) {
+    if (tracker_) AccessTracker::note(tracker_->reads, addr, vir::size_of(t));
     switch (t) {
       case VType::kI32: return from_i32(mem_.load<std::int32_t>(addr));
       case VType::kI64: return from_i64(mem_.load<std::int64_t>(addr));
@@ -474,6 +566,7 @@ class SmSimulator {
   }
 
   void store_lane(std::uint64_t addr, VType t, std::uint64_t v) {
+    if (tracker_) AccessTracker::note(tracker_->writes, addr, vir::size_of(t));
     switch (t) {
       case VType::kI32: mem_.store<std::int32_t>(addr, as_i32(v)); break;
       case VType::kI64: mem_.store<std::int64_t>(addr, as_i64(v)); break;
@@ -485,7 +578,7 @@ class SmSimulator {
 
   // -- execution ----------------------------------------------------------------
 
-  void execute(Warp& w, const Instr& in, int extra_latency) {
+  void execute(Warp& w, const Instr& in, const DecodedInstr& d, int extra_latency) {
     const LatencyModel& lat = spec_.lat;
     switch (in.op) {
       case Opcode::kMovImmI: {
@@ -517,12 +610,7 @@ class SmSimulator {
         for_active(w, [&](int lane) {
           reg(w, in.dst, lane) = arith(in.op, in.type, reg(w, in.a, lane), reg(w, in.b, lane));
         });
-        int l = lat.alu;
-        bool is_int = in.type == VType::kI32 || in.type == VType::kI64;
-        if ((in.op == Opcode::kDiv || in.op == Opcode::kRem) && is_int) l = lat.int_div;
-        if (in.op == Opcode::kMul && in.type == VType::kI64) l = lat.imul64;
-        if (in.op == Opcode::kDiv && !is_int) l = lat.sfu;
-        set_result(w, in, l + extra_latency);
+        set_result(w, in, static_cast<int>(d.exec_latency) + extra_latency);
         return;
       }
       case Opcode::kNeg:
@@ -545,7 +633,7 @@ class SmSimulator {
           reg(w, in.dst, lane) = unary_fn(in.op, in.type, reg(w, in.a, lane),
                                           in.b == vir::kNoReg ? 0 : reg(w, in.b, lane));
         });
-        set_result(w, in, lat.sfu + extra_latency);
+        set_result(w, in, static_cast<int>(d.exec_latency) + extra_latency);
         return;
       case Opcode::kSetLt:
       case Opcode::kSetLe:
@@ -734,6 +822,7 @@ class SmSimulator {
   }
 
   const Kernel& k_;
+  const DecodedKernel& dk_;
   const regalloc::AllocationResult& alloc_;
   const DeviceSpec& spec_;
   DeviceMemory& mem_;
@@ -741,6 +830,7 @@ class SmSimulator {
   const LaunchConfig& cfg_;
   LaunchStats& stats_;
   obs::SmProfile* prof_;
+  AccessTracker* tracker_;
   CacheModel ro_cache_;
   std::uint64_t ro_hits_seen_ = 0;
   std::uint64_t ro_misses_seen_ = 0;
@@ -753,7 +843,96 @@ class SmSimulator {
   std::int64_t mem_free_ = 0;
 };
 
+// -- host threading state ------------------------------------------------------
+
+int g_sim_threads_override = 0;  // 0 = use the environment/hardware default
+OverlapCheckMode g_overlap_mode = OverlapCheckMode::kAuto;
+
+int default_sim_threads() {
+  if (const char* env = std::getenv("SAFARA_SIM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+bool overlap_check_enabled() {
+  switch (g_overlap_mode) {
+    case OverlapCheckMode::kOff: return false;
+    case OverlapCheckMode::kOn: return true;
+    case OverlapCheckMode::kAuto: break;
+  }
+  if (const char* env = std::getenv("SAFARA_SIM_CHECK_OVERLAP")) {
+    return env[0] != '\0' && env[0] != '0';
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+// One SM's slice of a launch: its block list plus private result storage.
+// Counters accumulate into `stats` (zero-initialized) and are merged into the
+// launch-wide LaunchStats in SM order afterwards — uint64 addition makes that
+// merge bit-identical to the seed's shared-accumulator sequential loop.
+struct SmWork {
+  int sm = 0;
+  std::vector<std::int64_t> blocks;
+  LaunchStats stats;
+  obs::SmProfile prof;
+  std::uint64_t cycles = 0;
+};
+
+/// The debug-mode guard for the SM-independence assumption: simulates the
+/// launch sequentially against a scratch copy of device memory, recording the
+/// 4-byte granules each SM reads and writes, and reports whether any SM's
+/// writes overlap another SM's reads or writes. Conservative: a `false`
+/// verdict (including a shadow-pass exception) just forces the sequential
+/// path, which reproduces seed semantics exactly.
+bool sm_writes_disjoint(const Kernel& kernel, const DecodedKernel& dk,
+                        const regalloc::AllocationResult& alloc, const DeviceSpec& spec,
+                        const DeviceMemory& mem, const std::vector<std::uint64_t>& params,
+                        const LaunchConfig& cfg, const std::vector<SmWork>& work,
+                        int blocks_per_sm) {
+  DeviceMemory shadow = mem;
+  std::vector<AccessTracker> trackers(work.size());
+  try {
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      LaunchStats scratch;
+      SmSimulator sim(kernel, dk, alloc, spec, shadow, params, cfg, scratch,
+                      /*prof=*/nullptr, &trackers[i]);
+      sim.run(work[i].blocks, blocks_per_sm);
+    }
+  } catch (...) {
+    return false;  // let the sequential run surface the error with seed semantics
+  }
+  std::unordered_map<std::uint64_t, std::size_t> writer;
+  for (std::size_t i = 0; i < trackers.size(); ++i) {
+    for (std::uint64_t g : trackers[i].writes) {
+      auto [it, inserted] = writer.emplace(g, i);
+      if (!inserted && it->second != i) return false;
+    }
+  }
+  for (std::size_t i = 0; i < trackers.size(); ++i) {
+    for (std::uint64_t g : trackers[i].reads) {
+      auto it = writer.find(g);
+      if (it != writer.end() && it->second != i) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+void set_sim_threads(int n) { g_sim_threads_override = n > 0 ? n : 0; }
+
+int sim_threads() {
+  return g_sim_threads_override > 0 ? g_sim_threads_override : default_sim_threads();
+}
+
+void set_sim_overlap_check(OverlapCheckMode mode) { g_overlap_mode = mode; }
 
 obs::json::Value LaunchStats::to_json() const {
   obs::json::Value v = obs::json::Value::object();
@@ -793,22 +972,70 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
   obs::KernelSimProfile* kprof =
       collector ? &collector->begin_kernel_profile(kernel.name) : nullptr;
 
+  const DecodedKernel dk = decode(kernel, alloc, spec);
+
   // Static round-robin distribution of blocks over SMs (documented
-  // simplification; SMs are independent so they can be simulated in turn).
+  // simplification); empty SMs are skipped, matching the seed loop.
   const std::int64_t total = cfg.total_blocks();
-  std::uint64_t max_cycles = 0;
+  std::vector<SmWork> work;
   for (int sm = 0; sm < spec.num_sms; ++sm) {
     std::vector<std::int64_t> mine;
     for (std::int64_t b = sm; b < total; b += spec.num_sms) mine.push_back(b);
     if (mine.empty()) continue;
-    obs::SmProfile sm_prof;
-    sm_prof.sm = sm;
-    SmSimulator sim(kernel, alloc, spec, mem, params, cfg, stats,
-                    kprof ? &sm_prof : nullptr);
-    max_cycles = std::max(max_cycles, sim.run(mine, blocks_per_sm));
-    if (kprof) kprof->sms.push_back(sm_prof);
+    SmWork wk;
+    wk.sm = sm;
+    wk.blocks = std::move(mine);
+    wk.prof.sm = sm;
+    work.push_back(std::move(wk));
   }
-  stats.cycles = max_cycles;
+
+  // SMs are architecturally independent, so each one can be simulated on its
+  // own host thread against private LaunchStats/SmProfile storage. Kernels
+  // with atomics are the sanctioned exception — cross-SM read-modify-write
+  // order matters — so they always take the sequential path. The debug-mode
+  // overlap checker guards the independence assumption for everything else.
+  const int threads = sim_threads();
+  bool parallel = threads > 1 && work.size() > 1 && !dk.has_atomics;
+  bool overlap_fallback = false;
+  if (parallel && overlap_check_enabled() &&
+      !sm_writes_disjoint(kernel, dk, alloc, spec, mem, params, cfg, work, blocks_per_sm)) {
+    parallel = false;
+    overlap_fallback = true;
+    std::fprintf(stderr,
+                 "safara: sim.launch(%s): cross-SM memory overlap detected; "
+                 "falling back to sequential simulation\n",
+                 kernel.name.c_str());
+  }
+
+  auto run_one = [&](std::int64_t i) {
+    SmWork& wk = work[static_cast<std::size_t>(i)];
+    SmSimulator sim(kernel, dk, alloc, spec, mem, params, cfg, wk.stats,
+                    kprof ? &wk.prof : nullptr);
+    wk.cycles = sim.run(wk.blocks, blocks_per_sm);
+  };
+  if (parallel) {
+    support::ThreadPool::shared().parallel_for(
+        threads, static_cast<std::int64_t>(work.size()), run_one);
+  } else {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(work.size()); ++i) run_one(i);
+  }
+
+  // Deterministic merge, in SM order. Every mutated LaunchStats field is an
+  // additive uint64 counter (cycles is a max), so the merged totals are
+  // bit-identical to the seed's single shared accumulator for any thread
+  // count, including 1.
+  for (SmWork& wk : work) {
+    stats.cycles = std::max(stats.cycles, wk.cycles);
+    stats.warp_instructions += wk.stats.warp_instructions;
+    stats.mem_transactions += wk.stats.mem_transactions;
+    stats.global_loads += wk.stats.global_loads;
+    stats.global_stores += wk.stats.global_stores;
+    stats.ro_hits += wk.stats.ro_hits;
+    stats.ro_misses += wk.stats.ro_misses;
+    stats.atomics += wk.stats.atomics;
+    stats.spill_accesses += wk.stats.spill_accesses;
+    if (kprof) kprof->sms.push_back(std::move(wk.prof));
+  }
 
   if (collector) {
     // An SM that drains early sits with no resident warp until the slowest
@@ -825,9 +1052,13 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
                            static_cast<std::int64_t>(stats.mem_transactions));
     collector->metrics.add("sim.spill_accesses",
                            static_cast<std::int64_t>(stats.spill_accesses));
+    if (parallel) collector->metrics.add("sim.parallel_launches");
+    if (overlap_fallback) collector->metrics.add("sim.overlap_fallbacks");
     span.set_arg("cycles", obs::json::Value(stats.cycles));
     span.set_arg("regs_per_thread", obs::json::Value(stats.regs_per_thread));
     span.set_arg("occupancy", obs::json::Value(stats.occupancy));
+    span.set_arg("sim_threads", obs::json::Value(parallel ? threads : 1));
+    if (overlap_fallback) span.set_arg("overlap_fallback", obs::json::Value(true));
   }
   return stats;
 }

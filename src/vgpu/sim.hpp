@@ -59,6 +59,36 @@ struct LaunchStats {
   obs::json::Value to_json() const;
 };
 
+// -- host threading knobs ------------------------------------------------------
+//
+// SMs are architecturally independent, so the simulator can run each SM's
+// block list on its own host thread. Every per-SM counter and profile is
+// accumulated privately and merged in SM order afterwards, so results are
+// bit-identical for any thread count (guarded by tests/test_sim.cpp).
+// Kernels containing atomics always run sequentially: cross-SM atomics are
+// the one sanctioned form of inter-block sharing, and their sequential order
+// is part of the deterministic results contract.
+
+/// Overrides the simulator worker-thread count for subsequent launches.
+/// `n <= 0` restores the default: SAFARA_SIM_THREADS if set, otherwise
+/// std::thread::hardware_concurrency(). A count of 1 reproduces the exact
+/// sequential seed schedule (no pool involvement at all).
+void set_sim_threads(int n);
+/// The thread count the next launch will use (always >= 1).
+int sim_threads();
+
+/// Arms the cross-SM memory-overlap checker that guards the SM-independence
+/// assumption: before a parallel launch, the kernel is first simulated
+/// sequentially against a scratch copy of device memory, recording each SM's
+/// read/write sets; if one SM writes memory another SM touches, the real run
+/// falls back to sequential with a `sim.overlap_fallbacks` diagnostic.
+enum class OverlapCheckMode : std::uint8_t {
+  kAuto,  // on when SAFARA_SIM_CHECK_OVERLAP=1 or in assert-enabled builds
+  kOff,
+  kOn,
+};
+void set_sim_overlap_check(OverlapCheckMode mode);
+
 /// Runs `kernel` to completion. `params` holds one raw 8-byte slot per kernel
 /// formal (already type-punned by the host runtime). Functional effects land
 /// in `mem`; the return value carries the timing statistics.
@@ -66,7 +96,7 @@ struct LaunchStats {
 /// When `collector` is non-null the simulator additionally records a
 /// per-kernel, per-SM cycle/stall profile into it. Profiling is purely
 /// observational: cycle counts and functional results are identical with and
-/// without a collector attached.
+/// without a collector attached — and identical for any `sim_threads()`.
 LaunchStats launch(const vir::Kernel& kernel, const regalloc::AllocationResult& alloc,
                    const DeviceSpec& spec, DeviceMemory& mem,
                    const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,

@@ -1,6 +1,7 @@
 #include "workloads/harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "parse/parser.hpp"
 #include "rt/runtime.hpp"
@@ -44,10 +45,17 @@ obs::json::Value RunResult::to_json() const {
 
 RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
                    const vgpu::DeviceSpec& spec, obs::Collector* collector) {
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+
   obs::ScopedSpan span(obs::tracer_of(collector), "workload.simulate", "harness");
   span.set_arg("workload", obs::json::Value(w.name));
   driver::Compiler compiler(opts, collector);
+  const Clock::time_point compile_start = Clock::now();
   driver::CompiledProgram prog = compiler.compile(w.source, w.function);
+  const double compile_ms = ms_since(compile_start);
 
   Dataset data = w.make_dataset();
   rt::Device dev(spec);
@@ -64,7 +72,9 @@ RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
   for (auto& [name, sv] : data.scalars) args.emplace(name, sv);
 
   RunResult result;
+  result.compile_ms = compile_ms;
   result.kernels.resize(prog.kernels.size());
+  const Clock::time_point sim_start = Clock::now();
   for (int step = 0; step < w.time_steps; ++step) {
     for (std::size_t k = 0; k < prog.kernels.size(); ++k) {
       const driver::CompiledKernel& ck = prog.kernels[k];
@@ -85,6 +95,7 @@ RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
       km.cycles += stats.cycles;
     }
   }
+  result.sim_ms = ms_since(sim_start);
 
   for (auto& [name, arr] : data.arrays) {
     dev.memory().copy_out(buffers.at(name).device_addr, arr.data.data(), arr.data.size());

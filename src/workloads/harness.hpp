@@ -31,6 +31,12 @@ struct RunResult {
   double checksum = 0.0;
   std::vector<KernelMetrics> kernels;
 
+  /// Host wall-clock spent compiling / simulating, for the bench harness's
+  /// speedup tracking. Deliberately excluded from to_json(): tool output
+  /// (e.g. safcc --metrics-out) stays byte-identical across runs.
+  double compile_ms = 0.0;
+  double sim_ms = 0.0;
+
   obs::json::Value to_json() const;
 };
 

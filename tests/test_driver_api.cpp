@@ -183,5 +183,49 @@ TEST(WorkloadStructure, SafaraAloneCrushesSeismicOccupancy) {
   EXPECT_LT(clauses.cycles, base.cycles);  // and the recovery
 }
 
+// -- SAFARA feedback-compile cache --------------------------------------------
+
+TEST(FeedbackCache, CachedAndUncachedCompilesProduceIdenticalReports) {
+  // The cache memoizes a deterministic pipeline, so it must change no
+  // SafaraReport field — on any workload.
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    auto report = [&](bool cache) {
+      driver::clear_safara_feedback_cache();
+      driver::CompilerOptions opts = driver::CompilerOptions::openuh_safara_clauses();
+      opts.safara_feedback_cache = cache;
+      driver::Compiler c(opts);
+      return c.compile(w.source, w.function).safara.to_json().dump(2);
+    };
+    EXPECT_EQ(report(false), report(true));
+  }
+}
+
+TEST(FeedbackCache, RepeatCompilesHitTheCacheWithoutChangingResults) {
+  driver::clear_safara_feedback_cache();
+  const workloads::Workload* w = workloads::find_workload("355.seismic");
+  obs::Collector collector;
+  driver::Compiler c(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+  driver::CompiledProgram first = c.compile(w->source, w->function);
+  EXPECT_GT(driver::safara_feedback_cache_size(), 0u);
+  driver::CompiledProgram second = c.compile(w->source, w->function);
+  EXPECT_EQ(first.safara.to_json().dump(2), second.safara.to_json().dump(2));
+
+  const obs::json::Value metrics = collector.metrics.to_json();
+  const auto* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* hits = counters->find("safara.feedback_cache_hits");
+  ASSERT_NE(hits, nullptr) << "second compile should replay feedback from the cache";
+  EXPECT_GT(hits->as_int(), 0);
+  const auto* misses = counters->find("safara.feedback_cache_misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->as_int(), 0);  // the first compile populated the cache
+  // The satellite metric for the removed throwaway sema pass: each SAFARA
+  // iteration re-analyzes once, and nothing else should.
+  const auto* reanalyses = counters->find("safara.sema_reanalyses");
+  ASSERT_NE(reanalyses, nullptr);
+  EXPECT_EQ(reanalyses->as_int(), counters->find("safara.iterations")->as_int());
+}
+
 }  // namespace
 }  // namespace safara::test

@@ -245,6 +245,10 @@ TEST(ObsCompiler, EmitsPipelineAndSafaraSpans) {
 
 TEST(ObsCompiler, MetricsDeterministicAcrossRuns) {
   auto run_once = [] {
+    // The feedback cache is process-wide, so a second compile of the same
+    // source would see hits where the first saw misses; start each run cold
+    // to compare like with like.
+    driver::clear_safara_feedback_cache();
     obs::Collector collector;
     driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
     compiler.compile(kBlurSource);

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "tests_common.hpp"
 #include "vgpu/cache.hpp"
 #include "vgpu/occupancy.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/workloads.hpp"
 
 namespace safara::test {
 namespace {
@@ -388,6 +391,120 @@ void f(int n, const float *x, float *y) {
   auto s1 = run_kernel(unit, d1);
   auto s2 = run_kernel(scat, d2);
   EXPECT_GT(s2[0].cycles, s1[0].cycles * 3);
+}
+
+// -- parallel-simulation determinism ------------------------------------------
+//
+// The contract of vgpu::set_sim_threads: for any thread count, every launch
+// produces bit-identical LaunchStats, per-SM profiles, and device memory.
+
+/// Restores the simulator threading knobs when a test exits (even on failure).
+struct SimThreadGuard {
+  ~SimThreadGuard() {
+    vgpu::set_sim_threads(0);
+    vgpu::set_sim_overlap_check(vgpu::OverlapCheckMode::kAuto);
+  }
+};
+
+struct SimSnapshot {
+  std::string result;    // RunResult::to_json — merged LaunchStats, all fields
+  std::string profiles;  // Collector::sim_to_json — per-SM profiles per launch
+  double checksum = 0.0;
+};
+
+SimSnapshot snapshot_workload(const workloads::Workload& w, int threads) {
+  vgpu::set_sim_threads(threads);
+  obs::Collector collector;
+  workloads::RunResult r = workloads::simulate(
+      w, driver::CompilerOptions::openuh_safara_clauses(), vgpu::DeviceSpec::k20xm(),
+      &collector);
+  SimSnapshot s;
+  s.result = r.to_json().dump(2);
+  s.profiles = collector.sim_to_json().dump(2);
+  s.checksum = r.checksum;
+  return s;
+}
+
+TEST(SimDeterminism, AllWorkloadsBitIdenticalAcrossThreadCounts) {
+  SimThreadGuard guard;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int wide = std::max(4, hw);  // thread counts above the core count are valid
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    const SimSnapshot seq = snapshot_workload(w, 1);
+    for (int threads : {2, wide}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const SimSnapshot par = snapshot_workload(w, threads);
+      EXPECT_EQ(seq.result, par.result);
+      EXPECT_EQ(seq.profiles, par.profiles);
+      EXPECT_EQ(seq.checksum, par.checksum);  // exact: same bits, not "close"
+    }
+  }
+}
+
+TEST(SimDeterminism, OverlappingWritesFallBackToSequential) {
+  // Every thread writes y[0], so blocks on different SMs share a written
+  // granule: the overlap checker must veto the parallel path and the launch
+  // must still produce the sequential schedule's exact result.
+  const char* src = R"(
+void f(int n, const float *x, float *y) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    y[0] = x[i];
+  }
+})";
+  SimThreadGuard guard;
+  auto run_once = [&](int threads, obs::Collector* collector) {
+    vgpu::set_sim_threads(threads);
+    Data data;
+    data.arrays.emplace("x", f32_array({{0, 4096}}));
+    data.arrays.emplace("y", f32_array({{0, 4}}));
+    fill_pattern(data.array("x"), 7);
+    data.scalars.emplace("n", rt::ScalarValue::of_i32(4096));
+    driver::Compiler compiler(driver::CompilerOptions::openuh_base());
+    auto prog = compiler.compile(src);
+    auto stats = run_sim(prog, data, vgpu::DeviceSpec::k20xm(), collector);
+    return std::make_pair(stats[0].cycles, data.array("y").get(0));
+  };
+  vgpu::set_sim_overlap_check(vgpu::OverlapCheckMode::kOn);
+  const auto seq = run_once(1, nullptr);
+  obs::Collector collector;
+  const auto par = run_once(4, &collector);
+  EXPECT_EQ(seq.first, par.first);
+  EXPECT_EQ(seq.second, par.second);
+  const auto* fallbacks =
+      collector.metrics.to_json().find("counters")->find("sim.overlap_fallbacks");
+  ASSERT_NE(fallbacks, nullptr) << "expected the overlap checker to trip";
+  EXPECT_GE(fallbacks->as_int(), 1);
+}
+
+TEST(SimDeterminism, AtomicKernelsRunSequentiallyAtAnyThreadCount) {
+  // Atomic read-modify-write order across SMs is part of the results
+  // contract, so kernels with atomics must bypass the parallel path entirely
+  // and reproduce the sequential bits exactly.
+  const char* src = R"(
+void f(int n, const float *x, float *sum) {
+  #pragma acc parallel loop gang vector(128)
+  for (i = 0; i < n; i++) {
+    sum[0] += x[i];
+  }
+})";
+  SimThreadGuard guard;
+  auto run_once = [&](int threads) {
+    vgpu::set_sim_threads(threads);
+    Data data;
+    data.arrays.emplace("x", f32_array({{0, 5000}}));
+    data.arrays.emplace("sum", f32_array({{0, 1}}));
+    fill_pattern(data.array("x"), 3);
+    data.scalars.emplace("n", rt::ScalarValue::of_i32(5000));
+    driver::Compiler compiler(driver::CompilerOptions::openuh_base());
+    auto prog = compiler.compile(src);
+    run_sim(prog, data);
+    return data.array("sum").get(0);
+  };
+  const double seq = run_once(1);
+  const double par = run_once(8);
+  EXPECT_EQ(seq, par);  // exact: floating-point order must not change
 }
 
 }  // namespace

@@ -2,10 +2,16 @@
 // memory, and the host-side launch-expression evaluator.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "parse/parser.hpp"
 #include "rt/host_eval.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_util.hpp"
+#include "support/thread_pool.hpp"
 #include "vgpu/memory.hpp"
 
 namespace safara {
@@ -161,6 +167,48 @@ TEST(HostEval, MissingScalarThrows) {
   rt::ArgMap args;
   args.emplace("n", rt::ScalarValue::of_i32(1));
   EXPECT_THROW(eval("n + m", args), std::runtime_error);
+}
+
+// -- thread pool ---------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(3);
+  for (int n : {0, 1, 7, 1000}) {
+    std::vector<std::atomic<int>> seen(static_cast<std::size_t>(n));
+    pool.parallel_for(4, n, [&](std::int64_t i) {
+      seen[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SingleParticipantRunsInline) {
+  // max_participants == 1 must not touch the workers: results are produced
+  // on the calling thread, in index order.
+  support::ThreadPool pool(3);
+  std::vector<std::int64_t> order;
+  pool.parallel_for(1, 5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsAndPoolSurvives) {
+  support::ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    try {
+      pool.parallel_for(4, 100, [&](std::int64_t i) {
+        if (i == 13 || i == 60) throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "expected the exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 13");
+    }
+    // The pool must stay usable after a throwing job.
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(4, 10, [&](std::int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 45);
+  }
 }
 
 }  // namespace

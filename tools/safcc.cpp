@@ -40,7 +40,8 @@ void usage() {
                "safara|safara_clauses|pgi]\n"
                "             [--emit-vir] [--emit-source] [--unroll N] [--max-regs N]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
-               "             [--time-passes] [--workload NAME] [--sim-profile]\n");
+               "             [--time-passes] [--workload NAME] [--sim-profile]\n"
+               "             [--sim-threads N]\n");
 }
 
 /// Strict integer parsing for flag values: the whole token must be a number.
@@ -130,6 +131,10 @@ int main(int argc, char** argv) {
     if (eat_value("--metrics-out", &metrics_out)) continue;
     if (eat_value("--unroll", &value)) {
       unroll = parse_int_flag("--unroll", value.c_str());
+      continue;
+    }
+    if (eat_value("--sim-threads", &value)) {
+      vgpu::set_sim_threads(parse_int_flag("--sim-threads", value.c_str()));
       continue;
     }
     if (eat_value("--max-regs", &value)) {
