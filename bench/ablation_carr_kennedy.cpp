@@ -49,9 +49,12 @@ void run() {
   driver::CompilerOptions ck = driver::CompilerOptions::openuh_base();
   ck.enable_carr_kennedy = true;
 
-  auto base = workloads::simulate(w, driver::CompilerOptions::openuh_base());
-  auto ck_res = workloads::simulate(w, ck);
-  auto saf = workloads::simulate(w, driver::CompilerOptions::openuh_safara());
+  auto grid = run_grid(w, {{"base", driver::CompilerOptions::openuh_base()},
+                           {"ck", ck},
+                           {"safara", driver::CompilerOptions::openuh_safara()}});
+  const workloads::RunResult& base = grid.at("base");
+  const workloads::RunResult& ck_res = grid.at("ck");
+  const workloads::RunResult& saf = grid.at("safara");
 
   // Count the serialized loops via the compiler report.
   driver::Compiler ck_compiler(ck);

@@ -68,9 +68,12 @@ void run() {
   driver::CompilerOptions count_only = with_model;
   count_only.safara.use_cost_model = false;
 
-  auto base = workloads::simulate(w, driver::CompilerOptions::openuh_base());
-  auto lxc = workloads::simulate(w, with_model);
-  auto cnt = workloads::simulate(w, count_only);
+  auto grid = run_grid(w, {{"base", driver::CompilerOptions::openuh_base()},
+                           {"lxc", with_model},
+                           {"count", count_only}});
+  const workloads::RunResult& base = grid.at("base");
+  const workloads::RunResult& lxc = grid.at("lxc");
+  const workloads::RunResult& cnt = grid.at("count");
 
   TablePrinter table({"Selection", "cycles", "speedup", "loads"}, 16);
   table.print_header("Cost-model ablation: L x C vs reference-count selection");

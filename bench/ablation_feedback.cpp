@@ -72,7 +72,15 @@ void run() {
   const int base_regs = base_prog.kernels[0].alloc.regs_used;
   const int budget = base_regs + 20;  // generous: iterations limited by visibility, not budget
 
-  auto base = workloads::simulate(w, driver::CompilerOptions::openuh_small_dim());
+  std::vector<NamedConfig> configs = {{"base", driver::CompilerOptions::openuh_small_dim()}};
+  for (int iters : {1, 2, 4, 8}) {
+    driver::CompilerOptions opts = driver::CompilerOptions::openuh_safara_clauses();
+    opts.safara.max_registers = budget;
+    opts.safara.max_iterations = iters;
+    configs.push_back({"iters" + std::to_string(iters), opts});
+  }
+  auto grid = run_grid(w, configs);
+  const workloads::RunResult& base = grid.at("base");
 
   TablePrinter table({"max iters", "groups", "final regs", "cycles", "speedup"}, 14);
   table.print_header("Feedback ablation: SAFARA iterations under a tight budget");
@@ -83,7 +91,7 @@ void run() {
     driver::CompilerOptions opts = driver::CompilerOptions::openuh_safara_clauses();
     opts.safara.max_registers = budget;
     opts.safara.max_iterations = iters;
-    auto res = workloads::simulate(w, opts);
+    const workloads::RunResult& res = grid.at("iters" + std::to_string(iters));
 
     driver::Compiler compiler(opts);
     auto prog = compiler.compile(w.source, w.function);

@@ -10,28 +10,22 @@ namespace {
 void run() {
   const workloads::Workload* w = workloads::find_workload("355.seismic");
 
-  struct Row {
-    const char* name;
-    driver::CompilerOptions opts;
-  };
-  std::vector<Row> rows;
+  std::vector<NamedConfig> rows;
   rows.push_back({"small+dim", driver::CompilerOptions::openuh_small_dim()});
   rows.push_back({"small+dim+SAFARA", driver::CompilerOptions::openuh_safara_clauses()});
   for (int factor : {2, 4}) {
     driver::CompilerOptions o = driver::CompilerOptions::openuh_safara_clauses();
     o.enable_unroll = true;
     o.unroll.factor = factor;
-    static std::string names[2];
-    std::string& label = names[factor == 2 ? 0 : 1];
-    label = "  + unroll x" + std::to_string(factor);
-    rows.push_back({label.c_str(), o});
+    rows.push_back({"  + unroll x" + std::to_string(factor), o});
   }
+  auto grid = run_grid(*w, rows);
 
   TablePrinter table({"config", "cycles", "speedup", "regs", "occupancy", "loads"}, 16);
   table.print_header("Unroll ablation on 355.seismic (baseline: small+dim)");
   std::uint64_t base_cycles = 0;
-  for (const Row& row : rows) {
-    workloads::RunResult r = workloads::simulate(*w, row.opts);
+  for (const NamedConfig& row : rows) {
+    const workloads::RunResult& r = grid.at(row.name);
     if (base_cycles == 0) base_cycles = r.cycles;
     double speedup = double(base_cycles) / double(r.cycles);
     table.print_row({row.name, std::to_string(r.cycles), fmt(speedup),

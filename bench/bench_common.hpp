@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "driver/eval_grid.hpp"
 #include "obs/json.hpp"
 #include "vgpu/sim.hpp"
 #include "workloads/harness.hpp"
@@ -70,14 +72,39 @@ inline std::string fmt(double v, int precision = 2) {
   return buf;
 }
 
-/// Runs one workload under every listed config, caching results by name.
-inline std::map<std::string, workloads::RunResult> run_configs(
-    const workloads::Workload& w, const std::vector<NamedConfig>& configs) {
-  std::map<std::string, workloads::RunResult> out;
-  for (const NamedConfig& c : configs) {
-    out.emplace(c.name, workloads::simulate(w, c.options));
+// Forward declaration: run_grid records the parallelism it used in the sink.
+inline void note_grid_parallelism(int parallelism);
+
+/// Evaluates every (workload × config) cell of a figure/table as one grid of
+/// independent compile+simulate jobs on the shared thread pool (see
+/// driver::eval_grid for the thread-budget contract). Results come back in
+/// deterministic row-major order — one map per workload, keyed by config
+/// name, in the workloads' given order — regardless of the parallelism.
+inline std::vector<std::map<std::string, workloads::RunResult>> run_grid(
+    const std::vector<const workloads::Workload*>& ws,
+    const std::vector<NamedConfig>& configs) {
+  const std::size_t nc = configs.size();
+  std::vector<workloads::RunResult> flat(ws.size() * nc);
+  const std::int64_t cells = static_cast<std::int64_t>(flat.size());
+  note_grid_parallelism(driver::grid_parallelism(cells));
+  driver::eval_grid(cells, [&](std::int64_t i) {
+    const std::size_t wi = static_cast<std::size_t>(i) / nc;
+    const std::size_t ci = static_cast<std::size_t>(i) % nc;
+    flat[static_cast<std::size_t>(i)] = workloads::simulate(*ws[wi], configs[ci].options);
+  });
+  std::vector<std::map<std::string, workloads::RunResult>> out(ws.size());
+  for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      out[wi].emplace(configs[ci].name, std::move(flat[wi * nc + ci]));
+    }
   }
   return out;
+}
+
+/// Single-workload grid (config sweeps, ablations).
+inline std::map<std::string, workloads::RunResult> run_grid(
+    const workloads::Workload& w, const std::vector<NamedConfig>& configs) {
+  return std::move(run_grid(std::vector<const workloads::Workload*>{&w}, configs)[0]);
 }
 
 /// Adds the host wall-clock timings of one config's run to a counter row
@@ -103,7 +130,16 @@ class JsonSink {
     rows_.emplace_back(name, counters);
   }
 
-  /// Writes {"benchmark": ..., "rows": [{"name":..., counters...}]}.
+  /// The grid parallelism the binary's run_grid calls actually used (max over
+  /// calls; 1 for binaries that never build a grid). Stamped into every row
+  /// so baseline files are self-describing.
+  void note_grid_parallelism(int parallelism) {
+    grid_parallelism_ = std::max(grid_parallelism_, parallelism);
+  }
+
+  /// Writes {"benchmark": ..., "rows": [{"name":..., counters...}]}; every
+  /// row carries the dispatch engine, grid parallelism, and sim thread count
+  /// it was produced under.
   bool write(const std::string& path, const std::string& binary_name) const {
     obs::json::Value doc = obs::json::Value::object();
     doc["benchmark"] = obs::json::Value(binary_name);
@@ -111,6 +147,10 @@ class JsonSink {
     for (const auto& [name, counters] : rows_) {
       obs::json::Value row = obs::json::Value::object();
       row["name"] = obs::json::Value(name);
+      row["dispatch"] = obs::json::Value(vgpu::to_string(vgpu::sim_dispatch()));
+      row["grid_parallelism"] = obs::json::Value(static_cast<double>(grid_parallelism_));
+      row["sim_threads"] = obs::json::Value(
+          static_cast<double>(grid_parallelism_ > 1 ? 1 : vgpu::sim_threads()));
       for (const auto& [key, value] : counters) row[key] = obs::json::Value(value);
       rows.push_back(std::move(row));
     }
@@ -126,7 +166,12 @@ class JsonSink {
 
  private:
   std::vector<std::pair<std::string, std::map<std::string, double>>> rows_;
+  int grid_parallelism_ = 1;
 };
+
+inline void note_grid_parallelism(int parallelism) {
+  JsonSink::instance().note_grid_parallelism(parallelism);
+}
 
 /// Registers a google-benchmark entry that reports a precomputed metric set
 /// as counters (the heavy simulation ran once, up front), and mirrors the
@@ -144,12 +189,20 @@ inline void register_counters(const std::string& name,
   })->Iterations(1);
 }
 
-/// Shared main(): runs the table/figure generator, honours `--json FILE` /
-/// `--json=FILE` and `--sim-threads N` / `--sim-threads=N` (both stripped
-/// before google-benchmark sees the args), then hands the remaining flags to
-/// the standard benchmark runner.
+/// Shared main(): runs the table/figure generator, honours `--json FILE`,
+/// `--sim-threads N`, `--grid-threads N`, and `--sim-dispatch {super,ref}`
+/// (each also in `--flag=value` form; all stripped before google-benchmark
+/// sees the args), then hands the remaining flags to the standard runner.
 inline int bench_main(int argc, char** argv, const char* binary_name, void (*run)()) {
   std::string json_path;
+  auto set_dispatch = [](const char* text) {
+    vgpu::SimDispatch d;
+    if (!vgpu::parse_sim_dispatch(text, d)) {
+      std::fprintf(stderr, "bench: --sim-dispatch expects 'super' or 'ref', got '%s'\n", text);
+      std::exit(2);
+    }
+    vgpu::set_sim_dispatch(d);
+  };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -163,6 +216,16 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       ++i;
     } else if (arg.rfind("--sim-threads=", 0) == 0) {
       vgpu::set_sim_threads(std::atoi(arg.c_str() + 14));
+    } else if (arg == "--grid-threads" && i + 1 < argc) {
+      driver::set_grid_threads(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (arg.rfind("--grid-threads=", 0) == 0) {
+      driver::set_grid_threads(std::atoi(arg.c_str() + 15));
+    } else if (arg == "--sim-dispatch" && i + 1 < argc) {
+      set_dispatch(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--sim-dispatch=", 0) == 0) {
+      set_dispatch(arg.c_str() + 15);
     } else {
       argv[out++] = argv[i];
     }

@@ -13,11 +13,16 @@ void run() {
                       "occ b->s"},
                      14);
   table.print_header("Figure 7: SPEC speedup with SAFARA only (vs OpenUH base)");
-  for (const workloads::Workload* w : workloads::spec_suite()) {
-    workloads::RunResult base =
-        workloads::simulate(*w, driver::CompilerOptions::openuh_base());
-    workloads::RunResult saf =
-        workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
+  const std::vector<NamedConfig> configs = {
+      {"base", driver::CompilerOptions::openuh_base()},
+      {"safara", driver::CompilerOptions::openuh_safara()},
+  };
+  const std::vector<const workloads::Workload*> ws = workloads::spec_suite();
+  auto grid = run_grid(ws, configs);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const workloads::Workload* w = ws[i];
+    const workloads::RunResult& base = grid[i].at("base");
+    const workloads::RunResult& saf = grid[i].at("safara");
     double speedup = double(base.cycles) / double(saf.cycles);
     table.print_row({w->name, std::to_string(base.cycles), std::to_string(saf.cycles),
                      fmt(speedup),

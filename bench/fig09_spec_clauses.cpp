@@ -13,11 +13,20 @@ void run() {
                       "regs s+d+S"},
                      14);
   table.print_header("Figure 9: SPEC speedups: small / small+dim / small+dim+SAFARA");
-  for (const workloads::Workload* w : workloads::spec_suite()) {
-    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
-    auto small = workloads::simulate(*w, driver::CompilerOptions::openuh_small());
-    auto dim = workloads::simulate(*w, driver::CompilerOptions::openuh_small_dim());
-    auto all = workloads::simulate(*w, driver::CompilerOptions::openuh_safara_clauses());
+  const std::vector<NamedConfig> configs = {
+      {"base", driver::CompilerOptions::openuh_base()},
+      {"small", driver::CompilerOptions::openuh_small()},
+      {"small_dim", driver::CompilerOptions::openuh_small_dim()},
+      {"small_dim_safara", driver::CompilerOptions::openuh_safara_clauses()},
+  };
+  const std::vector<const workloads::Workload*> ws = workloads::spec_suite();
+  auto grid = run_grid(ws, configs);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const workloads::Workload* w = ws[i];
+    const auto& base = grid[i].at("base");
+    const auto& small = grid[i].at("small");
+    const auto& dim = grid[i].at("small_dim");
+    const auto& all = grid[i].at("small_dim_safara");
     double s1 = double(base.cycles) / double(small.cycles);
     double s2 = double(base.cycles) / double(dim.cycles);
     double s3 = double(base.cycles) / double(all.cycles);

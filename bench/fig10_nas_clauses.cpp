@@ -10,15 +10,22 @@ void run() {
   TablePrinter table({"Benchmark", "small", "SAFARA", "SAFARA+small", "regs base"},
                      14);
   table.print_header("Figure 10: NAS speedups: small / SAFARA / SAFARA+small");
-  for (const workloads::Workload* w : workloads::nas_suite()) {
-    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
-    auto small = workloads::simulate(*w, driver::CompilerOptions::openuh_small());
-    auto saf = workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
-
-    driver::CompilerOptions saf_small = driver::CompilerOptions::openuh_safara();
-    saf_small.honor_small = true;
-    auto both = workloads::simulate(*w, saf_small);
-
+  driver::CompilerOptions saf_small = driver::CompilerOptions::openuh_safara();
+  saf_small.honor_small = true;
+  const std::vector<NamedConfig> configs = {
+      {"base", driver::CompilerOptions::openuh_base()},
+      {"small", driver::CompilerOptions::openuh_small()},
+      {"safara", driver::CompilerOptions::openuh_safara()},
+      {"safara_small", saf_small},
+  };
+  const std::vector<const workloads::Workload*> ws = workloads::nas_suite();
+  auto grid = run_grid(ws, configs);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const workloads::Workload* w = ws[i];
+    const auto& base = grid[i].at("base");
+    const auto& small = grid[i].at("small");
+    const auto& saf = grid[i].at("safara");
+    const auto& both = grid[i].at("safara_small");
     double s1 = double(base.cycles) / double(small.cycles);
     double s2 = double(base.cycles) / double(saf.cycles);
     double s3 = double(base.cycles) / double(both.cycles);

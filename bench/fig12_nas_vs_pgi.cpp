@@ -11,13 +11,22 @@ void run() {
   TablePrinter table({"Benchmark", "OpenUH", "OpenUH+SAF", "OpenUH+S+cls", "PGI"}, 14);
   table.print_header(
       "Figure 12: NAS normalized time (lower is better), OpenUH vs PGI-like");
-  for (const workloads::Workload* w : workloads::nas_suite()) {
-    auto base = workloads::simulate(*w, driver::CompilerOptions::openuh_base());
-    auto saf = workloads::simulate(*w, driver::CompilerOptions::openuh_safara());
-    driver::CompilerOptions saf_small = driver::CompilerOptions::openuh_safara();
-    saf_small.honor_small = true;
-    auto cls = workloads::simulate(*w, saf_small);
-    auto pgi = workloads::simulate(*w, driver::CompilerOptions::pgi_like());
+  driver::CompilerOptions saf_small = driver::CompilerOptions::openuh_safara();
+  saf_small.honor_small = true;
+  const std::vector<NamedConfig> configs = {
+      {"openuh_base", driver::CompilerOptions::openuh_base()},
+      {"openuh_safara", driver::CompilerOptions::openuh_safara()},
+      {"openuh_safara_small", saf_small},
+      {"pgi", driver::CompilerOptions::pgi_like()},
+  };
+  const std::vector<const workloads::Workload*> ws = workloads::nas_suite();
+  auto grid = run_grid(ws, configs);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const workloads::Workload* w = ws[i];
+    const auto& base = grid[i].at("openuh_base");
+    const auto& saf = grid[i].at("openuh_safara");
+    const auto& cls = grid[i].at("openuh_safara_small");
+    const auto& pgi = grid[i].at("pgi");
     double denom = double(std::max(base.cycles, pgi.cycles));
     double n_base = double(base.cycles) / denom;
     double n_saf = double(saf.cycles) / denom;

@@ -61,10 +61,15 @@ void run() {
 
   TablePrinter table({"reg limit", "regs used", "spill B", "occupancy", "cycles"}, 12);
   table.print_header("Occupancy sweep: per-thread register limit vs performance");
+  std::vector<NamedConfig> configs;
   for (int limit : {255, 168, 128, 96, 64, 48, 32, 24}) {
     driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
     opts.regalloc.max_registers = limit;
-    auto res = workloads::simulate(w, opts);
+    configs.push_back({"limit" + std::to_string(limit), opts});
+  }
+  auto grid = run_grid(w, configs);
+  for (int limit : {255, 168, 128, 96, 64, 48, 32, 24}) {
+    const workloads::RunResult& res = grid.at("limit" + std::to_string(limit));
     table.print_row({std::to_string(limit), std::to_string(res.kernels[0].regs),
                      std::to_string(res.kernels[0].spill_bytes),
                      fmt(res.min_occupancy, 3), std::to_string(res.cycles)});

@@ -1,0 +1,59 @@
+#include "driver/eval_grid.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/thread_pool.hpp"
+#include "vgpu/sim.hpp"
+
+namespace safara::driver {
+namespace {
+
+int g_grid_threads_override = 0;
+
+int default_grid_threads() {
+  if (const char* env = std::getenv("SAFARA_GRID_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return vgpu::sim_threads();
+}
+
+}  // namespace
+
+void set_grid_threads(int n) { g_grid_threads_override = n > 0 ? n : 0; }
+
+int grid_threads() {
+  return g_grid_threads_override > 0 ? g_grid_threads_override : default_grid_threads();
+}
+
+int grid_parallelism(std::int64_t cells) {
+  const std::int64_t budget = grid_threads();
+  return static_cast<int>(std::min(std::max<std::int64_t>(cells, 1), budget));
+}
+
+void eval_grid(std::int64_t cells, const std::function<void(std::int64_t)>& cell_fn,
+               obs::Collector* collector) {
+  const int par = grid_parallelism(cells);
+  if (collector) {
+    collector->metrics.add("grid.cells", cells);
+    collector->metrics.set("grid.parallelism", par);
+  }
+  if (par <= 1) {
+    for (std::int64_t i = 0; i < cells; ++i) cell_fn(i);
+    return;
+  }
+  // The grid owns the whole budget while it runs: pin the inner simulator to
+  // one thread (restored afterwards, even on a throwing cell).
+  const int prev_sim_threads = vgpu::sim_threads();
+  vgpu::set_sim_threads(1);
+  try {
+    support::ThreadPool::shared().parallel_for(par, cells, cell_fn);
+  } catch (...) {
+    vgpu::set_sim_threads(prev_sim_threads);
+    throw;
+  }
+  vgpu::set_sim_threads(prev_sim_threads);
+}
+
+}  // namespace safara::driver

@@ -1,0 +1,43 @@
+// Parallel evaluation grid: schedules independent compile+simulate cells
+// (workload × config sweeps, register-limit sweeps, ...) on the shared host
+// thread pool.
+//
+// Thread-budget sharing: the grid and the simulator draw from one budget.
+// When the resolved grid parallelism exceeds 1, each cell's simulator is
+// pinned to sim_threads = 1 for the duration of the grid — outer × inner
+// never oversubscribes the machine (and the pool, which is not reentrant,
+// is only ever entered from one level). A grid that resolves to a single
+// lane leaves the inner SM parallelism untouched.
+//
+// Determinism contract: cell_fn(i) must write only to index-private state;
+// callers merge in index order afterwards. Cells may run in any order and
+// interleaving, but each index runs exactly once — the same contract
+// support::ThreadPool::parallel_for gives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/collector.hpp"
+
+namespace safara::driver {
+
+/// Overrides the grid thread budget for subsequent eval_grid calls.
+/// `n <= 0` restores the default: SAFARA_GRID_THREADS if set, otherwise
+/// vgpu::sim_threads() (so one knob sizes the whole evaluation pipeline).
+void set_grid_threads(int n);
+/// The budget the next eval_grid will use (always >= 1).
+int grid_threads();
+
+/// The outer parallelism a grid of `cells` jobs will actually use:
+/// min(max(cells, 1), grid_threads()).
+int grid_parallelism(std::int64_t cells);
+
+/// Runs cell_fn(i) for every i in [0, cells): sequentially in index order
+/// when the resolved parallelism is 1, otherwise on the shared pool with the
+/// inner simulator pinned to one thread. When `collector` is non-null,
+/// records the `grid.cells` counter and `grid.parallelism` gauge.
+void eval_grid(std::int64_t cells, const std::function<void(std::int64_t)>& cell_fn,
+               obs::Collector* collector = nullptr);
+
+}  // namespace safara::driver

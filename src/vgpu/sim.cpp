@@ -58,6 +58,164 @@ std::uint64_t from_i32(std::int32_t v) {
 }
 std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
 
+// -- pure functional semantics -------------------------------------------------
+//
+// Shared by the per-instruction reference interpreter and the superblock bulk
+// executor; keeping a single definition is what makes "bit-identical results
+// between dispatch engines" a structural property rather than a test outcome.
+
+std::uint64_t arith(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+  switch (t) {
+    case VType::kI32: {
+      std::int32_t a = as_i32(av), b = as_i32(bv);
+      std::int32_t r = 0;
+      switch (op) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kDiv: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b); break;
+        case Opcode::kRem: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b); break;
+        case Opcode::kMin: r = std::min(a, b); break;
+        case Opcode::kMax: r = std::max(a, b); break;
+        default: break;
+      }
+      return from_i32(r);
+    }
+    case VType::kI64: {
+      std::int64_t a = as_i64(av), b = as_i64(bv);
+      std::int64_t r = 0;
+      switch (op) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kDiv: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? a : a / b); break;
+        case Opcode::kRem: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? 0 : a % b); break;
+        case Opcode::kMin: r = std::min(a, b); break;
+        case Opcode::kMax: r = std::max(a, b); break;
+        default: break;
+      }
+      return from_i64(r);
+    }
+    case VType::kF32: {
+      float a = as_f32(av), b = as_f32(bv);
+      float r = 0;
+      switch (op) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kDiv: r = a / b; break;
+        case Opcode::kMin: r = std::fmin(a, b); break;
+        case Opcode::kMax: r = std::fmax(a, b); break;
+        default: break;
+      }
+      return from_f32(r);
+    }
+    case VType::kF64: {
+      double a = as_f64(av), b = as_f64(bv);
+      double r = 0;
+      switch (op) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kDiv: r = a / b; break;
+        case Opcode::kMin: r = std::fmin(a, b); break;
+        case Opcode::kMax: r = std::fmax(a, b); break;
+        default: break;
+      }
+      return from_f64(r);
+    }
+    case VType::kPred:
+      break;
+  }
+  return 0;
+}
+
+std::uint64_t unary_fn(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+  auto apply = [&](double a, double b) -> double {
+    switch (op) {
+      case Opcode::kNeg: return -a;
+      case Opcode::kAbs: return std::fabs(a);
+      case Opcode::kSqrt: return std::sqrt(a);
+      case Opcode::kRsqrt: return 1.0 / std::sqrt(a);
+      case Opcode::kExp: return std::exp(a);
+      case Opcode::kLog: return std::log(a);
+      case Opcode::kSin: return std::sin(a);
+      case Opcode::kCos: return std::cos(a);
+      case Opcode::kPow: return std::pow(a, b);
+      case Opcode::kFloor: return std::floor(a);
+      case Opcode::kCeil: return std::ceil(a);
+      default: return 0;
+    }
+  };
+  switch (t) {
+    case VType::kI32: {
+      if (op == Opcode::kNeg) return from_i32(-as_i32(av));
+      if (op == Opcode::kAbs) return from_i32(std::abs(as_i32(av)));
+      return from_i32(static_cast<std::int32_t>(apply(as_i32(av), as_i32(bv))));
+    }
+    case VType::kI64: {
+      if (op == Opcode::kNeg) return from_i64(-as_i64(av));
+      if (op == Opcode::kAbs) return from_i64(std::llabs(as_i64(av)));
+      return from_i64(static_cast<std::int64_t>(apply(static_cast<double>(as_i64(av)),
+                                                      static_cast<double>(as_i64(bv)))));
+    }
+    case VType::kF32:
+      return from_f32(static_cast<float>(apply(as_f32(av), as_f32(bv))));
+    case VType::kF64:
+      return from_f64(apply(as_f64(av), as_f64(bv)));
+    case VType::kPred:
+      break;
+  }
+  return 0;
+}
+
+bool compare(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
+  auto cmp = [&](auto a, auto b) -> bool {
+    switch (op) {
+      case Opcode::kSetLt: return a < b;
+      case Opcode::kSetLe: return a <= b;
+      case Opcode::kSetGt: return a > b;
+      case Opcode::kSetGe: return a >= b;
+      case Opcode::kSetEq: return a == b;
+      case Opcode::kSetNe: return a != b;
+      default: return false;
+    }
+  };
+  switch (t) {
+    case VType::kI32: return cmp(as_i32(av), as_i32(bv));
+    case VType::kI64: return cmp(as_i64(av), as_i64(bv));
+    case VType::kF32: return cmp(as_f32(av), as_f32(bv));
+    case VType::kF64: return cmp(as_f64(av), as_f64(bv));
+    case VType::kPred: return cmp(av & 1, bv & 1);
+  }
+  return false;
+}
+
+std::uint64_t convert(VType to, VType from, std::uint64_t v) {
+  double d = 0;
+  std::int64_t i = 0;
+  bool src_float = from == VType::kF32 || from == VType::kF64;
+  if (from == VType::kF32) d = as_f32(v);
+  if (from == VType::kF64) d = as_f64(v);
+  if (from == VType::kI32) i = as_i32(v);
+  if (from == VType::kI64) i = as_i64(v);
+  if (from == VType::kPred) i = static_cast<std::int64_t>(v & 1);
+  switch (to) {
+    case VType::kI32:
+      return from_i32(src_float ? static_cast<std::int32_t>(d)
+                                : static_cast<std::int32_t>(i));
+    case VType::kI64:
+      return from_i64(src_float ? static_cast<std::int64_t>(d) : i);
+    case VType::kF32:
+      return from_f32(src_float ? static_cast<float>(d) : static_cast<float>(i));
+    case VType::kF64:
+      return from_f64(src_float ? d : static_cast<double>(i));
+    case VType::kPred:
+      return (src_float ? d != 0.0 : i != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
 struct SimtEntry {
   std::int32_t reconv_pc = 0;
   std::int32_t other_pc = 0;
@@ -80,12 +238,47 @@ struct Warp {
   std::vector<std::int64_t> reg_ready;  // nvregs
   std::vector<std::uint8_t> reg_from_mem;  // nvregs; profiling only
   std::vector<SimtEntry> stack;
+
+  // Superblock drain state: when sb_next >= 0 the warp has bulk-executed a
+  // superblock and is replaying its issue slots one micro-op per cycle.
+  std::int32_t sb_next = -1;
+  std::int32_t sb_end = 0;
+  // Conservative superset of this warp's in-flight destination registers,
+  // folded to 64 bits (bit r & 63); pending_until is the high-water mark of
+  // every reg_ready ever written, so `cycle >= pending_until` proves the mask
+  // can be cleared. Stale bits only cause a fallback to per-instruction
+  // stepping, never a wrong result.
+  std::uint64_t pending_mask = 0;
+  std::int64_t pending_until = 0;
 };
 
 struct ResidentBlock {
   int coords[3] = {0, 0, 0};
   int warps_left = 0;
 };
+
+std::uint64_t special_value(int code, const ResidentBlock& rb, const LaunchConfig& cfg,
+                            const DeviceSpec& spec, int warp_in_block, int lane) {
+  const int t = warp_in_block * spec.warp_size + lane;
+  const int tid[3] = {t % cfg.block[0], (t / cfg.block[0]) % cfg.block[1],
+                      t / (cfg.block[0] * cfg.block[1])};
+  std::int32_t v = 0;
+  switch (static_cast<SpecialReg>(code)) {
+    case SpecialReg::kTidX: v = tid[0]; break;
+    case SpecialReg::kTidY: v = tid[1]; break;
+    case SpecialReg::kTidZ: v = tid[2]; break;
+    case SpecialReg::kCtaidX: v = rb.coords[0]; break;
+    case SpecialReg::kCtaidY: v = rb.coords[1]; break;
+    case SpecialReg::kCtaidZ: v = rb.coords[2]; break;
+    case SpecialReg::kNtidX: v = cfg.block[0]; break;
+    case SpecialReg::kNtidY: v = cfg.block[1]; break;
+    case SpecialReg::kNtidZ: v = cfg.block[2]; break;
+    case SpecialReg::kNctaidX: v = cfg.grid[0]; break;
+    case SpecialReg::kNctaidY: v = cfg.grid[1]; break;
+    case SpecialReg::kNctaidZ: v = cfg.grid[2]; break;
+  }
+  return from_i32(v);
+}
 
 // Per-instruction facts that depend only on (kernel, allocation, device) —
 // decoded once per launch instead of re-derived on every warp issue. The
@@ -101,13 +294,118 @@ struct DecodedInstr {
   std::int32_t exec_latency = 0;  // static issue latency for ALU/SFU-class ops
 };
 
+// One issue slot of a superblock: everything the drain loop needs to replay
+// the reference interpreter's timing for an already-bulk-executed instruction.
+struct MicroOp {
+  std::uint32_t dst = vir::kNoReg;
+  std::int32_t latency = 0;        // static result latency incl. spill costs
+  std::uint32_t internal[3] = {0, 0, 0};  // operands produced earlier in-block
+  std::uint8_t n_internal = 0;
+  std::uint8_t dst_from_mem = 0;   // spilled dst: result arrives from local mem
+};
+
+// A straight-line run of fusable instructions [begin, end): no memory ops, no
+// atomics, no control flow, and no label target after `begin` (labels carry
+// both branch targets and reconvergence points, which must be observed at the
+// per-instruction level).
+struct Superblock {
+  std::int32_t begin = 0;
+  std::int32_t end = 0;
+  std::uint64_t read_mask = 0;   // upward-exposed external reads, bit r & 63
+  std::uint64_t write_mask = 0;  // every register the block writes, bit r & 63
+  std::uint32_t spill_accesses = 0;  // aggregate spill traffic of the block
+  // Unique upward-exposed read registers, as [ext_begin, ext_end) into
+  // DecodedKernel::ext_pool — the precise readiness check used when the
+  // pending mask is stale or aliased.
+  std::uint32_t ext_begin = 0;
+  std::uint32_t ext_end = 0;
+};
+
 struct DecodedKernel {
   std::vector<DecodedInstr> code;
   bool has_atomics = false;
+
+  // Superblock tables (built only under SimDispatch::kSuper).
+  bool super = false;
+  std::vector<MicroOp> micro;          // parallel to code; valid inside blocks
+  std::vector<Superblock> blocks;
+  std::vector<std::int32_t> block_of;  // pc -> block index if block head, else -1
+  std::vector<std::uint32_t> ext_pool;  // Superblock::ext_begin/ext_end storage
 };
 
+void build_superblocks(const Kernel& k, const DeviceSpec& spec, DecodedKernel& dk) {
+  const std::size_t n = k.code.size();
+  dk.micro.assign(n, MicroOp{});
+  dk.block_of.assign(n, -1);
+
+  std::vector<std::uint8_t> barrier(n, 0);  // terminator or label target
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    barrier[pc] = superblock_op_info(k.code[pc].op, k.code[pc].type, spec).terminator;
+  }
+  std::vector<std::uint8_t> is_head_barrier = barrier;  // label targets break blocks
+  for (std::int32_t t : k.labels) {
+    if (t >= 0 && static_cast<std::size_t>(t) < n) is_head_barrier[static_cast<std::size_t>(t)] = 1;
+  }
+
+  // Generation-stamped "written / read earlier in this block" scratch.
+  std::vector<std::int32_t> written_gen(k.num_vregs(), -1);
+  std::vector<std::int32_t> ext_gen(k.num_vregs(), -1);
+
+  std::size_t i = 0;
+  while (i < n) {
+    if (barrier[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && !is_head_barrier[j]) ++j;
+    if (j - i >= 2) {
+      const std::int32_t gen = static_cast<std::int32_t>(dk.blocks.size());
+      Superblock b;
+      b.begin = static_cast<std::int32_t>(i);
+      b.end = static_cast<std::int32_t>(j);
+      b.ext_begin = static_cast<std::uint32_t>(dk.ext_pool.size());
+      for (std::size_t pc = i; pc < j; ++pc) {
+        const Instr& in = k.code[pc];
+        const DecodedInstr& d = dk.code[pc];
+        MicroOp m;
+        for (std::uint8_t u = 0; u < d.num_uses; ++u) {
+          const std::uint32_t r = d.uses[u];
+          if (written_gen[r] == gen) {
+            m.internal[m.n_internal++] = r;
+          } else {
+            b.read_mask |= 1ull << (r & 63);
+            if (ext_gen[r] != gen) {
+              ext_gen[r] = gen;
+              dk.ext_pool.push_back(r);
+            }
+          }
+        }
+        b.spill_accesses += d.spill_uses;
+        m.latency = d.exec_latency + d.spill_extra;
+        if (d.writes_dst) {
+          m.dst = in.dst;
+          if (d.dst_spilled) {
+            m.latency += spec.lat.local_mem;
+            m.dst_from_mem = 1;
+            ++b.spill_accesses;
+          }
+          written_gen[in.dst] = gen;
+          b.write_mask |= 1ull << (in.dst & 63);
+        }
+        dk.micro[pc] = m;
+      }
+      b.ext_end = static_cast<std::uint32_t>(dk.ext_pool.size());
+      dk.block_of[i] = gen;
+      dk.blocks.push_back(b);
+    }
+    i = j;
+  }
+  dk.super = !dk.blocks.empty();
+}
+
 DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
-                     const DeviceSpec& spec) {
+                     const DeviceSpec& spec, bool build_super) {
   const LatencyModel& lat = spec.lat;
   DecodedKernel dk;
   dk.code.reserve(k.code.size());
@@ -122,40 +420,14 @@ DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
     });
     d.writes_dst = vir::has_dst(in.op) && in.dst != vir::kNoReg;
     d.dst_spilled = d.writes_dst && alloc.spilled[in.dst];
-    switch (in.op) {
-      case Opcode::kAdd:
-      case Opcode::kSub:
-      case Opcode::kMul:
-      case Opcode::kDiv:
-      case Opcode::kRem:
-      case Opcode::kMin:
-      case Opcode::kMax: {
-        const bool is_int = in.type == VType::kI32 || in.type == VType::kI64;
-        int l = lat.alu;
-        if ((in.op == Opcode::kDiv || in.op == Opcode::kRem) && is_int) l = lat.int_div;
-        if (in.op == Opcode::kMul && in.type == VType::kI64) l = lat.imul64;
-        if (in.op == Opcode::kDiv && !is_int) l = lat.sfu;
-        d.exec_latency = l;
-        break;
-      }
-      case Opcode::kSqrt:
-      case Opcode::kRsqrt:
-      case Opcode::kExp:
-      case Opcode::kLog:
-      case Opcode::kSin:
-      case Opcode::kCos:
-      case Opcode::kPow:
-      case Opcode::kFloor:
-      case Opcode::kCeil:
-        d.exec_latency = lat.sfu;
-        break;
-      default:
-        d.exec_latency = lat.alu;  // memory/control ops compute theirs dynamically
-        break;
-    }
+    // Memory/control ops compute their latency dynamically; the static class
+    // recorded here for them (lat.alu) is never read.
+    const SuperblockOpInfo info = superblock_op_info(in.op, in.type, spec);
+    d.exec_latency = info.terminator ? lat.alu : info.latency;
     if (in.op == Opcode::kAtomAdd) dk.has_atomics = true;
     dk.code.push_back(d);
   }
+  if (build_super) build_superblocks(k, spec, dk);
   return dk;
 }
 
@@ -191,6 +463,9 @@ class SmSimulator {
         tracker_(tracker),
         ro_cache_(spec.ro_cache_bytes, spec.ro_cache_line, spec.ro_cache_ways) {}
 
+  /// Dynamic count of superblocks retired through the fast path.
+  std::uint64_t superblock_retires() const { return superblock_retires_; }
+
   /// Runs the given linear block indices to completion; returns SM cycles.
   std::uint64_t run(const std::vector<std::int64_t>& block_ids, int blocks_per_sm) {
     pending_ = block_ids;
@@ -202,11 +477,24 @@ class SmSimulator {
     std::size_t rr = 0;
     while (!warps_.empty()) {
       int issued = 0;
+      int finished_now = 0;
       const std::size_t n = warps_.size();
+      std::size_t idx = rr % n;
+      // The scan reads the contiguous ready-cycle mirror and only touches a
+      // Warp it can actually step; stalled warps (the common case) cost one
+      // in-cache compare instead of a pointer chase.
       for (std::size_t scan = 0; scan < n && issued < spec_.schedulers_per_sm; ++scan) {
-        Warp& w = *warps_[(rr + scan) % n];
-        if (w.finished || w.ready_cycle > cycle_) continue;
-        if (step(w)) ++issued;
+        if (ready_mirror_[idx] <= cycle_) {
+          Warp& w = *warps_[idx];
+          if (step(w)) ++issued;
+          if (w.finished) {
+            ready_mirror_[idx] = kFinishedMirror;
+            ++finished_now;
+          } else {
+            ready_mirror_[idx] = w.ready_cycle;
+          }
+        }
+        if (++idx == n) idx = 0;
       }
       ++rr;
       // Account issued instructions before the empty-SM break below: the
@@ -215,15 +503,19 @@ class SmSimulator {
       if (prof_ && issued > 0) {
         prof_->issued_instructions += static_cast<std::uint64_t>(issued);
       }
-      retire_finished();
+      // Warps only finish inside step(), so most cycles have nothing to
+      // retire and can skip the walk entirely.
+      if (finished_now > 0) retire_finished();
       if (warps_.empty()) break;
       if (issued == 0) {
+        // retire_finished just ran, so every resident warp is unfinished and
+        // its mirror entry is its true ready cycle.
         std::int64_t next = std::numeric_limits<std::int64_t>::max();
         const Warp* blocker = nullptr;
-        for (auto& wp : warps_) {
-          if (!wp->finished && wp->ready_cycle < next) {
-            next = wp->ready_cycle;
-            blocker = wp.get();
+        for (std::size_t i = 0; i < warps_.size(); ++i) {
+          if (ready_mirror_[i] < next) {
+            next = ready_mirror_[i];
+            blocker = warps_[i].get();
           }
         }
         const std::int64_t target = std::max(cycle_ + 1, next);
@@ -272,6 +564,7 @@ class SmSimulator {
       if (prof_) w->reg_from_mem.assign(k_.num_vregs(), 0);
       w->ready_cycle = cycle_;
       warps_.push_back(std::move(w));
+      ready_mirror_.push_back(cycle_);
     }
     if (prof_) {
       ++prof_->blocks_executed;
@@ -282,12 +575,13 @@ class SmSimulator {
 
   void retire_finished() {
     for (std::size_t i = 0; i < warps_.size();) {
-      if (!warps_[i]->finished) {
+      if (ready_mirror_[i] != kFinishedMirror) {
         ++i;
         continue;
       }
       int bi = warps_[i]->block_index;
       warps_.erase(warps_.begin() + static_cast<std::ptrdiff_t>(i));
+      ready_mirror_.erase(ready_mirror_.begin() + static_cast<std::ptrdiff_t>(i));
       if (--blocks_[static_cast<std::size_t>(bi)].warps_left == 0 &&
           next_pending_ < pending_.size()) {
         admit_block();
@@ -311,6 +605,11 @@ class SmSimulator {
   /// Executes one instruction (or performs a reconvergence action).
   /// Returns true if an issue slot was consumed.
   bool step(Warp& w) {
+    // A warp mid-superblock only drains issue slots; no fetch, no scoreboard.
+    if (w.sb_next >= 0) {
+      drain_issue(w);
+      return true;
+    }
     // Reconvergence: act before fetching.
     while (!w.stack.empty() && w.pc == w.stack.back().reconv_pc) {
       SimtEntry& e = w.stack.back();
@@ -326,6 +625,22 @@ class SmSimulator {
     if (w.pc >= static_cast<std::int32_t>(k_.code.size())) {
       w.finished = true;
       return false;
+    }
+
+    // Superblock dispatch: if the pc heads a block whose external reads and
+    // writes are all retired, execute the whole block functionally now and
+    // switch the warp into drain mode. A failed mask test (including aliasing
+    // false positives) just falls through to the per-instruction reference
+    // path, which is always correct.
+    if (dk_.super) {
+      const std::int32_t bi = dk_.block_of[static_cast<std::size_t>(w.pc)];
+      if (bi >= 0) {
+        const Superblock& b = dk_.blocks[static_cast<std::size_t>(bi)];
+        if (block_ready(w, b)) {
+          enter_block(w, b);
+          return true;
+        }
+      }
     }
 
     const Instr& in = k_.code[static_cast<std::size_t>(w.pc)];
@@ -367,12 +682,398 @@ class SmSimulator {
         ++stats_.spill_accesses;
         mem_result = true;  // the result arrives from local memory
       }
-      w.reg_ready[in.dst] = cycle_ + latency;
+      const std::int64_t t = cycle_ + latency;
+      w.reg_ready[in.dst] = t;
+      w.pending_mask |= 1ull << (in.dst & 63);
+      if (t > w.pending_until) w.pending_until = t;
       if (prof_) w.reg_from_mem[in.dst] = mem_result ? 1 : 0;
     }
     w.ready_cycle = cycle_ + 1;
     if (prof_) w.wait_reason = kWaitPipeline;
     w.pc += 1;
+  }
+
+  // -- superblock dispatch ------------------------------------------------------
+
+  /// Block-entry readiness. Fast accept: once every write this warp ever
+  /// issued has retired (`pending_until` watermark) the pending mask is
+  /// provably clearable; otherwise two bitmask AND tests prove no in-flight
+  /// destination aliases a register the block reads or writes. When the mask
+  /// is stale or aliased, fall back to the precise bounded check — only the
+  /// upward-exposed external reads are correctness-relevant (an in-flight
+  /// write the block overwrites follows the same WAW-overwrite rule as the
+  /// reference interpreter, and register values are published at issue time
+  /// in both engines).
+  bool block_ready(Warp& w, const Superblock& b) {
+    if (cycle_ >= w.pending_until) {
+      w.pending_mask = 0;
+      return true;
+    }
+    if ((w.pending_mask & b.read_mask) == 0 && (w.pending_mask & b.write_mask) == 0) {
+      return true;
+    }
+    for (std::uint32_t e = b.ext_begin; e < b.ext_end; ++e) {
+      if (w.reg_ready[dk_.ext_pool[e]] > cycle_) return false;
+    }
+    return true;
+  }
+
+  /// Retires a ready superblock in one dispatch: all functional effects happen
+  /// now (register values are warp-private and the active mask cannot change
+  /// inside a block, so they are timing-independent), and the per-cycle issue
+  /// slots are replayed from the micro-op table by drain_issue.
+  void enter_block(Warp& w, const Superblock& b) {
+    bulk_execute(w, b);
+    stats_.warp_instructions += static_cast<std::uint64_t>(b.end - b.begin);
+    stats_.spill_accesses += b.spill_accesses;
+    ++superblock_retires_;
+    w.sb_next = b.begin;
+    w.sb_end = b.end;
+    w.pc = b.end;
+    drain_issue(w);  // the first instruction issues on this step's slot
+  }
+
+  /// Issues one already-executed micro-op: publish its destination latency,
+  /// then compute when the next in-block instruction can issue. Only internal
+  /// dependences can block it — every external read was proven retired by the
+  /// entry mask test and this warp issues nothing else while draining — and
+  /// the strict-max scan over operands in a/b/c order reproduces the reference
+  /// interpreter's blocking-register selection exactly.
+  void drain_issue(Warp& w) {
+    const MicroOp& m = dk_.micro[static_cast<std::size_t>(w.sb_next)];
+    if (m.dst != vir::kNoReg) {
+      const std::int64_t t = cycle_ + m.latency;
+      w.reg_ready[m.dst] = t;
+      w.pending_mask |= 1ull << (m.dst & 63);
+      if (t > w.pending_until) w.pending_until = t;
+      if (prof_) w.reg_from_mem[m.dst] = m.dst_from_mem;
+    }
+    if (++w.sb_next == w.sb_end) {
+      w.sb_next = -1;
+      w.ready_cycle = cycle_ + 1;
+      if (prof_) w.wait_reason = kWaitPipeline;
+      return;
+    }
+    const MicroOp& next = dk_.micro[static_cast<std::size_t>(w.sb_next)];
+    std::int64_t ready = cycle_ + 1;
+    std::uint32_t blocking_reg = vir::kNoReg;
+    for (std::uint8_t u = 0; u < next.n_internal; ++u) {
+      const std::uint32_t r = next.internal[u];
+      if (w.reg_ready[r] > ready) {
+        ready = w.reg_ready[r];
+        blocking_reg = r;
+      }
+    }
+    w.ready_cycle = ready;
+    if (prof_) {
+      w.wait_reason = blocking_reg == vir::kNoReg
+                          ? kWaitPipeline
+                          : (w.reg_from_mem[blocking_reg] ? kWaitMemory : kWaitScoreboard);
+    }
+  }
+
+  /// Runs `fn` over the active lanes, with a dedicated branch-free loop for
+  /// the (dominant) full-mask case.
+  template <typename Fn>
+  static void for_lanes(std::uint32_t active, Fn&& fn) {
+    if (active == 0xffffffffu) {
+      for (int l = 0; l < 32; ++l) fn(l);
+    } else {
+      for (int l = 0; l < 32; ++l) {
+        if (active & (1u << l)) fn(l);
+      }
+    }
+  }
+
+  /// Typed lane loops for binary arithmetic with the op/type dispatch hoisted
+  /// out of the lane loop, written with the exact same scalar expressions as
+  /// arith() so results stay bit-identical.
+  static void bulk_arith(Opcode op, VType t, std::uint32_t m, std::uint64_t* dst,
+                         const std::uint64_t* a, const std::uint64_t* b) {
+    switch (t) {
+      case VType::kF32:
+        switch (op) {
+          case Opcode::kAdd:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(as_f32(a[l]) + as_f32(b[l])); });
+            return;
+          case Opcode::kSub:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(as_f32(a[l]) - as_f32(b[l])); });
+            return;
+          case Opcode::kMul:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(as_f32(a[l]) * as_f32(b[l])); });
+            return;
+          case Opcode::kDiv:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(as_f32(a[l]) / as_f32(b[l])); });
+            return;
+          case Opcode::kMin:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(std::fmin(as_f32(a[l]), as_f32(b[l]))); });
+            return;
+          case Opcode::kMax:
+            for_lanes(m, [&](int l) { dst[l] = from_f32(std::fmax(as_f32(a[l]), as_f32(b[l]))); });
+            return;
+          default:
+            break;
+        }
+        break;
+      case VType::kF64:
+        switch (op) {
+          case Opcode::kAdd:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(as_f64(a[l]) + as_f64(b[l])); });
+            return;
+          case Opcode::kSub:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(as_f64(a[l]) - as_f64(b[l])); });
+            return;
+          case Opcode::kMul:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(as_f64(a[l]) * as_f64(b[l])); });
+            return;
+          case Opcode::kDiv:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(as_f64(a[l]) / as_f64(b[l])); });
+            return;
+          case Opcode::kMin:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(std::fmin(as_f64(a[l]), as_f64(b[l]))); });
+            return;
+          case Opcode::kMax:
+            for_lanes(m, [&](int l) { dst[l] = from_f64(std::fmax(as_f64(a[l]), as_f64(b[l]))); });
+            return;
+          default:
+            break;
+        }
+        break;
+      case VType::kI32:
+        switch (op) {
+          case Opcode::kAdd:
+            for_lanes(m, [&](int l) { dst[l] = from_i32(as_i32(a[l]) + as_i32(b[l])); });
+            return;
+          case Opcode::kSub:
+            for_lanes(m, [&](int l) { dst[l] = from_i32(as_i32(a[l]) - as_i32(b[l])); });
+            return;
+          case Opcode::kMul:
+            for_lanes(m, [&](int l) { dst[l] = from_i32(as_i32(a[l]) * as_i32(b[l])); });
+            return;
+          case Opcode::kMin:
+            for_lanes(m, [&](int l) { dst[l] = from_i32(std::min(as_i32(a[l]), as_i32(b[l]))); });
+            return;
+          case Opcode::kMax:
+            for_lanes(m, [&](int l) { dst[l] = from_i32(std::max(as_i32(a[l]), as_i32(b[l]))); });
+            return;
+          default:
+            break;
+        }
+        break;
+      case VType::kI64:
+        switch (op) {
+          case Opcode::kAdd:
+            for_lanes(m, [&](int l) { dst[l] = from_i64(as_i64(a[l]) + as_i64(b[l])); });
+            return;
+          case Opcode::kSub:
+            for_lanes(m, [&](int l) { dst[l] = from_i64(as_i64(a[l]) - as_i64(b[l])); });
+            return;
+          case Opcode::kMul:
+            for_lanes(m, [&](int l) { dst[l] = from_i64(as_i64(a[l]) * as_i64(b[l])); });
+            return;
+          case Opcode::kMin:
+            for_lanes(m, [&](int l) { dst[l] = from_i64(std::min(as_i64(a[l]), as_i64(b[l]))); });
+            return;
+          case Opcode::kMax:
+            for_lanes(m, [&](int l) { dst[l] = from_i64(std::max(as_i64(a[l]), as_i64(b[l]))); });
+            return;
+          default:
+            break;
+        }
+        break;
+      case VType::kPred:
+        break;
+    }
+    // Int division/remainder (the zero/overflow-guarded expressions) and any
+    // degenerate (op, type) pair: defer to the scalar reference helper.
+    for_lanes(m, [&](int l) { dst[l] = arith(op, t, a[l], b[l]); });
+  }
+
+  /// Comparison lane loops with the predicate hoisted out of the loop; the
+  /// `as` projection fixes the operand type exactly as compare() does.
+  template <typename As>
+  static void compare_lanes(Opcode op, std::uint32_t m, std::uint64_t* dst,
+                            const std::uint64_t* a, const std::uint64_t* b, As as) {
+    switch (op) {
+      case Opcode::kSetLt:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) < as(b[l]) ? 1 : 0; });
+        return;
+      case Opcode::kSetLe:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) <= as(b[l]) ? 1 : 0; });
+        return;
+      case Opcode::kSetGt:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) > as(b[l]) ? 1 : 0; });
+        return;
+      case Opcode::kSetGe:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) >= as(b[l]) ? 1 : 0; });
+        return;
+      case Opcode::kSetEq:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) == as(b[l]) ? 1 : 0; });
+        return;
+      case Opcode::kSetNe:
+        for_lanes(m, [&](int l) { dst[l] = as(a[l]) != as(b[l]) ? 1 : 0; });
+        return;
+      default:
+        return;
+    }
+  }
+
+  static void bulk_compare(Opcode op, VType t, std::uint32_t m, std::uint64_t* dst,
+                           const std::uint64_t* a, const std::uint64_t* b) {
+    switch (t) {
+      case VType::kI32:
+        compare_lanes(op, m, dst, a, b, [](std::uint64_t v) { return as_i32(v); });
+        return;
+      case VType::kI64:
+        compare_lanes(op, m, dst, a, b, [](std::uint64_t v) { return as_i64(v); });
+        return;
+      case VType::kF32:
+        compare_lanes(op, m, dst, a, b, [](std::uint64_t v) { return as_f32(v); });
+        return;
+      case VType::kF64:
+        compare_lanes(op, m, dst, a, b, [](std::uint64_t v) { return as_f64(v); });
+        return;
+      case VType::kPred:
+        compare_lanes(op, m, dst, a, b, [](std::uint64_t v) { return v & 1; });
+        return;
+    }
+  }
+
+  /// Executes every instruction of a superblock functionally, in program
+  /// order. Safe at block-entry time: the registers are warp-private, the
+  /// active mask cannot change inside a block (no control flow), and no
+  /// fusable op touches memory — so the values are independent of the issue
+  /// cycles the drain later assigns.
+  void bulk_execute(Warp& w, const Superblock& b) {
+    const bool full = w.active == 0xffffffffu;
+    for (std::int32_t pc = b.begin; pc < b.end; ++pc) {
+      const Instr& in = k_.code[static_cast<std::size_t>(pc)];
+      std::uint64_t* dst = &w.regs[static_cast<std::size_t>(in.dst) * 32];
+      switch (in.op) {
+        case Opcode::kMovImmI: {
+          const std::uint64_t v = in.type == VType::kI32
+                                      ? from_i32(static_cast<std::int32_t>(in.imm))
+                                      : from_i64(in.imm);
+          if (full) {
+            for (int l = 0; l < 32; ++l) dst[l] = v;
+          } else {
+            for_active(w, [&](int lane) { dst[lane] = v; });
+          }
+          break;
+        }
+        case Opcode::kMovImmF: {
+          const std::uint64_t v = in.type == VType::kF32
+                                      ? from_f32(static_cast<float>(in.fimm))
+                                      : from_f64(in.fimm);
+          if (full) {
+            for (int l = 0; l < 32; ++l) dst[l] = v;
+          } else {
+            for_active(w, [&](int lane) { dst[lane] = v; });
+          }
+          break;
+        }
+        case Opcode::kMov: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          if (full) {
+            std::memcpy(dst, a, 32 * sizeof(std::uint64_t));
+          } else {
+            for_active(w, [&](int lane) { dst[lane] = a[lane]; });
+          }
+          break;
+        }
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kDiv:
+        case Opcode::kRem:
+        case Opcode::kMin:
+        case Opcode::kMax: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb = &w.regs[static_cast<std::size_t>(in.b) * 32];
+          bulk_arith(in.op, in.type, w.active, dst, a, bb);
+          break;
+        }
+        case Opcode::kNeg:
+        case Opcode::kAbs:
+        case Opcode::kSqrt:
+        case Opcode::kRsqrt:
+        case Opcode::kExp:
+        case Opcode::kLog:
+        case Opcode::kSin:
+        case Opcode::kCos:
+        case Opcode::kPow:
+        case Opcode::kFloor:
+        case Opcode::kCeil: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb =
+              in.b == vir::kNoReg ? nullptr : &w.regs[static_cast<std::size_t>(in.b) * 32];
+          for_active(w, [&](int lane) {
+            dst[lane] = unary_fn(in.op, in.type, a[lane], bb ? bb[lane] : 0);
+          });
+          break;
+        }
+        case Opcode::kSetLt:
+        case Opcode::kSetLe:
+        case Opcode::kSetGt:
+        case Opcode::kSetGe:
+        case Opcode::kSetEq:
+        case Opcode::kSetNe: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb = &w.regs[static_cast<std::size_t>(in.b) * 32];
+          bulk_compare(in.op, in.type, w.active, dst, a, bb);
+          break;
+        }
+        case Opcode::kPredAnd: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb = &w.regs[static_cast<std::size_t>(in.b) * 32];
+          for_lanes(w.active, [&](int lane) { dst[lane] = (a[lane] & bb[lane]) & 1; });
+          break;
+        }
+        case Opcode::kPredOr: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb = &w.regs[static_cast<std::size_t>(in.b) * 32];
+          for_lanes(w.active, [&](int lane) { dst[lane] = (a[lane] | bb[lane]) & 1; });
+          break;
+        }
+        case Opcode::kPredNot: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          for_lanes(w.active, [&](int lane) { dst[lane] = (~a[lane]) & 1; });
+          break;
+        }
+        case Opcode::kSelp: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const std::uint64_t* bb = &w.regs[static_cast<std::size_t>(in.b) * 32];
+          const std::uint64_t* c = &w.regs[static_cast<std::size_t>(in.c) * 32];
+          for_lanes(w.active, [&](int lane) { dst[lane] = (c[lane] & 1) ? a[lane] : bb[lane]; });
+          break;
+        }
+        case Opcode::kCvt: {
+          const std::uint64_t* a = &w.regs[static_cast<std::size_t>(in.a) * 32];
+          const VType from = k_.vreg_types[in.a];
+          for_lanes(w.active, [&](int lane) { dst[lane] = convert(in.type, from, a[lane]); });
+          break;
+        }
+        case Opcode::kLdParam: {
+          const std::uint64_t v = params_[static_cast<std::size_t>(in.imm)];
+          if (full) {
+            for (int l = 0; l < 32; ++l) dst[l] = v;
+          } else {
+            for_active(w, [&](int lane) { dst[lane] = v; });
+          }
+          break;
+        }
+        case Opcode::kMovSpecial: {
+          const int code = static_cast<int>(in.imm);
+          const ResidentBlock& rb = blocks_[static_cast<std::size_t>(w.block_index)];
+          for_active(w, [&](int lane) {
+            dst[lane] = special_value(code, rb, cfg_, spec_, w.warp_in_block, lane);
+          });
+          break;
+        }
+        default:
+          break;  // terminators never appear inside a superblock
+      }
+    }
   }
 
   // -- functional helpers -----------------------------------------------------
@@ -384,173 +1085,38 @@ class SmSimulator {
     }
   }
 
-  std::uint64_t arith(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
-    switch (t) {
-      case VType::kI32: {
-        std::int32_t a = as_i32(av), b = as_i32(bv);
-        std::int32_t r = 0;
-        switch (op) {
-          case Opcode::kAdd: r = a + b; break;
-          case Opcode::kSub: r = a - b; break;
-          case Opcode::kMul: r = a * b; break;
-          case Opcode::kDiv: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b); break;
-          case Opcode::kRem: r = b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b); break;
-          case Opcode::kMin: r = std::min(a, b); break;
-          case Opcode::kMax: r = std::max(a, b); break;
-          default: break;
-        }
-        return from_i32(r);
-      }
-      case VType::kI64: {
-        std::int64_t a = as_i64(av), b = as_i64(bv);
-        std::int64_t r = 0;
-        switch (op) {
-          case Opcode::kAdd: r = a + b; break;
-          case Opcode::kSub: r = a - b; break;
-          case Opcode::kMul: r = a * b; break;
-          case Opcode::kDiv: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? a : a / b); break;
-          case Opcode::kRem: r = b == 0 ? 0 : (a == INT64_MIN && b == -1 ? 0 : a % b); break;
-          case Opcode::kMin: r = std::min(a, b); break;
-          case Opcode::kMax: r = std::max(a, b); break;
-          default: break;
-        }
-        return from_i64(r);
-      }
-      case VType::kF32: {
-        float a = as_f32(av), b = as_f32(bv);
-        float r = 0;
-        switch (op) {
-          case Opcode::kAdd: r = a + b; break;
-          case Opcode::kSub: r = a - b; break;
-          case Opcode::kMul: r = a * b; break;
-          case Opcode::kDiv: r = a / b; break;
-          case Opcode::kMin: r = std::fmin(a, b); break;
-          case Opcode::kMax: r = std::fmax(a, b); break;
-          default: break;
-        }
-        return from_f32(r);
-      }
-      case VType::kF64: {
-        double a = as_f64(av), b = as_f64(bv);
-        double r = 0;
-        switch (op) {
-          case Opcode::kAdd: r = a + b; break;
-          case Opcode::kSub: r = a - b; break;
-          case Opcode::kMul: r = a * b; break;
-          case Opcode::kDiv: r = a / b; break;
-          case Opcode::kMin: r = std::fmin(a, b); break;
-          case Opcode::kMax: r = std::fmax(a, b); break;
-          default: break;
-        }
-        return from_f64(r);
-      }
-      case VType::kPred:
-        break;
-    }
-    return 0;
-  }
-
-  std::uint64_t unary_fn(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
-    auto apply = [&](double a, double b) -> double {
-      switch (op) {
-        case Opcode::kNeg: return -a;
-        case Opcode::kAbs: return std::fabs(a);
-        case Opcode::kSqrt: return std::sqrt(a);
-        case Opcode::kRsqrt: return 1.0 / std::sqrt(a);
-        case Opcode::kExp: return std::exp(a);
-        case Opcode::kLog: return std::log(a);
-        case Opcode::kSin: return std::sin(a);
-        case Opcode::kCos: return std::cos(a);
-        case Opcode::kPow: return std::pow(a, b);
-        case Opcode::kFloor: return std::floor(a);
-        case Opcode::kCeil: return std::ceil(a);
-        default: return 0;
-      }
-    };
-    switch (t) {
-      case VType::kI32: {
-        if (op == Opcode::kNeg) return from_i32(-as_i32(av));
-        if (op == Opcode::kAbs) return from_i32(std::abs(as_i32(av)));
-        return from_i32(static_cast<std::int32_t>(apply(as_i32(av), as_i32(bv))));
-      }
-      case VType::kI64: {
-        if (op == Opcode::kNeg) return from_i64(-as_i64(av));
-        if (op == Opcode::kAbs) return from_i64(std::llabs(as_i64(av)));
-        return from_i64(static_cast<std::int64_t>(apply(static_cast<double>(as_i64(av)),
-                                                        static_cast<double>(as_i64(bv)))));
-      }
-      case VType::kF32:
-        return from_f32(static_cast<float>(apply(as_f32(av), as_f32(bv))));
-      case VType::kF64:
-        return from_f64(apply(as_f64(av), as_f64(bv)));
-      case VType::kPred:
-        break;
-    }
-    return 0;
-  }
-
-  bool compare(Opcode op, VType t, std::uint64_t av, std::uint64_t bv) {
-    auto cmp = [&](auto a, auto b) -> bool {
-      switch (op) {
-        case Opcode::kSetLt: return a < b;
-        case Opcode::kSetLe: return a <= b;
-        case Opcode::kSetGt: return a > b;
-        case Opcode::kSetGe: return a >= b;
-        case Opcode::kSetEq: return a == b;
-        case Opcode::kSetNe: return a != b;
-        default: return false;
-      }
-    };
-    switch (t) {
-      case VType::kI32: return cmp(as_i32(av), as_i32(bv));
-      case VType::kI64: return cmp(as_i64(av), as_i64(bv));
-      case VType::kF32: return cmp(as_f32(av), as_f32(bv));
-      case VType::kF64: return cmp(as_f64(av), as_f64(bv));
-      case VType::kPred: return cmp(av & 1, bv & 1);
-    }
-    return false;
-  }
-
-  std::uint64_t convert(VType to, VType from, std::uint64_t v) {
-    double d = 0;
-    std::int64_t i = 0;
-    bool src_float = from == VType::kF32 || from == VType::kF64;
-    if (from == VType::kF32) d = as_f32(v);
-    if (from == VType::kF64) d = as_f64(v);
-    if (from == VType::kI32) i = as_i32(v);
-    if (from == VType::kI64) i = as_i64(v);
-    if (from == VType::kPred) i = static_cast<std::int64_t>(v & 1);
-    switch (to) {
-      case VType::kI32:
-        return from_i32(src_float ? static_cast<std::int32_t>(d)
-                                  : static_cast<std::int32_t>(i));
-      case VType::kI64:
-        return from_i64(src_float ? static_cast<std::int64_t>(d) : i);
-      case VType::kF32:
-        return from_f32(src_float ? static_cast<float>(d) : static_cast<float>(i));
-      case VType::kF64:
-        return from_f64(src_float ? d : static_cast<double>(i));
-      case VType::kPred:
-        return (src_float ? d != 0.0 : i != 0) ? 1 : 0;
-    }
-    return 0;
-  }
-
   // -- memory -----------------------------------------------------------------
+
+  /// Distinct-value accumulator for the per-warp coalescing sets (segments,
+  /// cache lines): at most 64 entries, almost always 1-2 distinct values, so
+  /// a linear scan beats a node-allocating std::set on every access pattern
+  /// the simulator sees. Yields exactly the distinct count/values a set would.
+  struct DistinctSet {
+    std::uint64_t vals[64];
+    int n = 0;
+
+    void insert(std::uint64_t v) {
+      for (int i = 0; i < n; ++i) {
+        if (vals[i] == v) return;
+      }
+      vals[n++] = v;
+    }
+    void sort() { std::sort(vals, vals + n); }
+  };
 
   /// Number of `memory_segment`-byte transactions the active lanes generate.
   int count_transactions(Warp& w, std::uint32_t addr_reg, int access_bytes) {
-    std::set<std::uint64_t> segments;
+    DistinctSet segments;
+    const std::uint64_t seg = static_cast<std::uint64_t>(spec_.memory_segment);
     for_active(w, [&](int lane) {
       std::uint64_t addr = reg(w, addr_reg, lane);
-      std::uint64_t seg = static_cast<std::uint64_t>(spec_.memory_segment);
       segments.insert(addr / seg);
       // An access straddling a segment boundary costs a second transaction.
       if ((addr % seg) + static_cast<std::uint64_t>(access_bytes) > seg) {
         segments.insert(addr / seg + 1);
       }
     });
-    return static_cast<int>(segments.size());
+    return segments.n;
   }
 
   std::uint64_t load_lane(std::uint64_t addr, VType t) {
@@ -573,6 +1139,61 @@ class SmSimulator {
       case VType::kF32: mem_.store<float>(addr, as_f32(v)); break;
       case VType::kF64: mem_.store<double>(addr, as_f64(v)); break;
       case VType::kPred: mem_.store<std::uint8_t>(addr, v & 1); break;
+    }
+  }
+
+  /// Warp-wide load/store with the type dispatch (and the access-tracker
+  /// check) hoisted out of the lane loop; lane semantics — including the
+  /// per-lane bounds check — are exactly load_lane/store_lane's.
+  void bulk_load(Warp& w, std::uint32_t dst_reg, std::uint32_t addr_reg, VType t) {
+    std::uint64_t* dst = &w.regs[static_cast<std::size_t>(dst_reg) * 32];
+    const std::uint64_t* ap = &w.regs[static_cast<std::size_t>(addr_reg) * 32];
+    if (tracker_) {
+      for_lanes(w.active, [&](int l) { dst[l] = load_lane(ap[l], t); });
+      return;
+    }
+    switch (t) {
+      case VType::kI32:
+        for_lanes(w.active, [&](int l) { dst[l] = from_i32(mem_.load<std::int32_t>(ap[l])); });
+        return;
+      case VType::kI64:
+        for_lanes(w.active, [&](int l) { dst[l] = from_i64(mem_.load<std::int64_t>(ap[l])); });
+        return;
+      case VType::kF32:
+        for_lanes(w.active, [&](int l) { dst[l] = from_f32(mem_.load<float>(ap[l])); });
+        return;
+      case VType::kF64:
+        for_lanes(w.active, [&](int l) { dst[l] = from_f64(mem_.load<double>(ap[l])); });
+        return;
+      case VType::kPred:
+        for_lanes(w.active, [&](int l) { dst[l] = mem_.load<std::uint8_t>(ap[l]) & 1; });
+        return;
+    }
+  }
+
+  void bulk_store(Warp& w, std::uint32_t addr_reg, std::uint32_t val_reg, VType t) {
+    const std::uint64_t* ap = &w.regs[static_cast<std::size_t>(addr_reg) * 32];
+    const std::uint64_t* vp = &w.regs[static_cast<std::size_t>(val_reg) * 32];
+    if (tracker_) {
+      for_lanes(w.active, [&](int l) { store_lane(ap[l], t, vp[l]); });
+      return;
+    }
+    switch (t) {
+      case VType::kI32:
+        for_lanes(w.active, [&](int l) { mem_.store<std::int32_t>(ap[l], as_i32(vp[l])); });
+        return;
+      case VType::kI64:
+        for_lanes(w.active, [&](int l) { mem_.store<std::int64_t>(ap[l], as_i64(vp[l])); });
+        return;
+      case VType::kF32:
+        for_lanes(w.active, [&](int l) { mem_.store<float>(ap[l], as_f32(vp[l])); });
+        return;
+      case VType::kF64:
+        for_lanes(w.active, [&](int l) { mem_.store<double>(ap[l], as_f64(vp[l])); });
+        return;
+      case VType::kPred:
+        for_lanes(w.active, [&](int l) { mem_.store<std::uint8_t>(ap[l], vp[l] & 1); });
+        return;
     }
   }
 
@@ -686,25 +1307,7 @@ class SmSimulator {
         const int code = static_cast<int>(in.imm);
         const ResidentBlock& rb = blocks_[static_cast<std::size_t>(w.block_index)];
         for_active(w, [&](int lane) {
-          int t = w.warp_in_block * spec_.warp_size + lane;
-          int tid[3] = {t % cfg_.block[0], (t / cfg_.block[0]) % cfg_.block[1],
-                        t / (cfg_.block[0] * cfg_.block[1])};
-          std::int32_t v = 0;
-          switch (static_cast<SpecialReg>(code)) {
-            case SpecialReg::kTidX: v = tid[0]; break;
-            case SpecialReg::kTidY: v = tid[1]; break;
-            case SpecialReg::kTidZ: v = tid[2]; break;
-            case SpecialReg::kCtaidX: v = rb.coords[0]; break;
-            case SpecialReg::kCtaidY: v = rb.coords[1]; break;
-            case SpecialReg::kCtaidZ: v = rb.coords[2]; break;
-            case SpecialReg::kNtidX: v = cfg_.block[0]; break;
-            case SpecialReg::kNtidY: v = cfg_.block[1]; break;
-            case SpecialReg::kNtidZ: v = cfg_.block[2]; break;
-            case SpecialReg::kNctaidX: v = cfg_.grid[0]; break;
-            case SpecialReg::kNctaidY: v = cfg_.grid[1]; break;
-            case SpecialReg::kNctaidZ: v = cfg_.grid[2]; break;
-          }
-          reg(w, in.dst, lane) = from_i32(v);
+          reg(w, in.dst, lane) = special_value(code, rb, cfg_, spec_, w.warp_in_block, lane);
         });
         set_result(w, in, lat.alu + extra_latency);
         return;
@@ -717,14 +1320,18 @@ class SmSimulator {
         int latency;
         if (in.flags & Instr::kFlagReadOnly) {
           // Probe the RO cache per line; hits bypass the memory pipeline,
-          // misses queue on it like ordinary global traffic.
+          // misses queue on it like ordinary global traffic. Lines probe in
+          // ascending order — the iteration order the original std::set gave —
+          // because probe order feeds the cache's replacement state.
           int miss_lines = 0;
-          std::set<std::uint64_t> lines;
+          DistinctSet lines;
           for_active(w, [&](int lane) {
             lines.insert(reg(w, in.a, lane) / static_cast<std::uint64_t>(spec_.ro_cache_line));
           });
-          for (std::uint64_t line : lines) {
-            if (!ro_cache_.access(line * static_cast<std::uint64_t>(spec_.ro_cache_line))) {
+          lines.sort();
+          for (int li = 0; li < lines.n; ++li) {
+            if (!ro_cache_.access(lines.vals[li] *
+                                  static_cast<std::uint64_t>(spec_.ro_cache_line))) {
               ++miss_lines;
             }
           }
@@ -741,9 +1348,7 @@ class SmSimulator {
           std::int64_t wait = mem_occupy(ntx);
           latency = static_cast<int>(wait) + lat.global_base + ntx * lat.tx_cycles;
         }
-        for_active(w, [&](int lane) {
-          reg(w, in.dst, lane) = load_lane(reg(w, in.a, lane), in.type);
-        });
+        bulk_load(w, in.dst, in.a, in.type);
         set_result(w, in, latency + extra_latency, /*mem_result=*/true);
         return;
       }
@@ -753,9 +1358,7 @@ class SmSimulator {
         stats_.mem_transactions += static_cast<std::uint64_t>(ntx);
         ++stats_.global_stores;
         mem_occupy(ntx);  // stores consume bandwidth but don't stall the warp
-        for_active(w, [&](int lane) {
-          store_lane(reg(w, in.a, lane), in.type, reg(w, in.b, lane));
-        });
+        bulk_store(w, in.a, in.b, in.type);
         w.ready_cycle = cycle_ + lat.store_issue + extra_latency;
         if (prof_) w.wait_reason = kWaitMemory;
         w.pc += 1;
@@ -834,11 +1437,17 @@ class SmSimulator {
   CacheModel ro_cache_;
   std::uint64_t ro_hits_seen_ = 0;
   std::uint64_t ro_misses_seen_ = 0;
+  std::uint64_t superblock_retires_ = 0;
+
+  static constexpr std::int64_t kFinishedMirror = std::numeric_limits<std::int64_t>::max();
 
   std::vector<std::int64_t> pending_;
   std::size_t next_pending_ = 0;
   std::vector<ResidentBlock> blocks_;
   std::vector<std::unique_ptr<Warp>> warps_;
+  // ready_mirror_[i] mirrors warps_[i]->ready_cycle (kFinishedMirror once
+  // finished) so the per-cycle scheduler scan stays in contiguous memory.
+  std::vector<std::int64_t> ready_mirror_;
   std::int64_t cycle_ = 0;
   std::int64_t mem_free_ = 0;
 };
@@ -847,6 +1456,7 @@ class SmSimulator {
 
 int g_sim_threads_override = 0;  // 0 = use the environment/hardware default
 OverlapCheckMode g_overlap_mode = OverlapCheckMode::kAuto;
+int g_sim_dispatch_override = -1;  // -1 = use the environment/default
 
 int default_sim_threads() {
   if (const char* env = std::getenv("SAFARA_SIM_THREADS")) {
@@ -855,6 +1465,14 @@ int default_sim_threads() {
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+SimDispatch default_sim_dispatch() {
+  if (const char* env = std::getenv("SAFARA_SIM_DISPATCH")) {
+    SimDispatch d;
+    if (parse_sim_dispatch(env, d)) return d;
+  }
+  return SimDispatch::kSuper;
 }
 
 bool overlap_check_enabled() {
@@ -883,6 +1501,7 @@ struct SmWork {
   LaunchStats stats;
   obs::SmProfile prof;
   std::uint64_t cycles = 0;
+  std::uint64_t sb_retires = 0;
 };
 
 /// The debug-mode guard for the SM-independence assumption: simulates the
@@ -934,6 +1553,75 @@ int sim_threads() {
 
 void set_sim_overlap_check(OverlapCheckMode mode) { g_overlap_mode = mode; }
 
+void set_sim_dispatch(SimDispatch d) { g_sim_dispatch_override = static_cast<int>(d); }
+
+void reset_sim_dispatch() { g_sim_dispatch_override = -1; }
+
+SimDispatch sim_dispatch() {
+  return g_sim_dispatch_override >= 0 ? static_cast<SimDispatch>(g_sim_dispatch_override)
+                                      : default_sim_dispatch();
+}
+
+bool parse_sim_dispatch(std::string_view text, SimDispatch& out) {
+  if (text == "super") {
+    out = SimDispatch::kSuper;
+    return true;
+  }
+  if (text == "ref") {
+    out = SimDispatch::kRef;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(SimDispatch d) {
+  return d == SimDispatch::kRef ? "ref" : "super";
+}
+
+SuperblockOpInfo superblock_op_info(vir::Opcode op, vir::VType type, const DeviceSpec& spec) {
+  const LatencyModel& lat = spec.lat;
+  SuperblockOpInfo info;
+  switch (op) {
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal:
+    case Opcode::kAtomAdd:
+    case Opcode::kBra:
+    case Opcode::kCbr:
+    case Opcode::kExit:
+      info.terminator = true;
+      return info;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kMin:
+    case Opcode::kMax: {
+      const bool is_int = type == VType::kI32 || type == VType::kI64;
+      int l = lat.alu;
+      if ((op == Opcode::kDiv || op == Opcode::kRem) && is_int) l = lat.int_div;
+      if (op == Opcode::kMul && type == VType::kI64) l = lat.imul64;
+      if (op == Opcode::kDiv && !is_int) l = lat.sfu;
+      info.latency = l;
+      return info;
+    }
+    case Opcode::kSqrt:
+    case Opcode::kRsqrt:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kSin:
+    case Opcode::kCos:
+    case Opcode::kPow:
+    case Opcode::kFloor:
+    case Opcode::kCeil:
+      info.latency = lat.sfu;
+      return info;
+    default:
+      info.latency = lat.alu;
+      return info;
+  }
+}
+
 obs::json::Value LaunchStats::to_json() const {
   obs::json::Value v = obs::json::Value::object();
   v["cycles"] = obs::json::Value(cycles);
@@ -972,7 +1660,8 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
   obs::KernelSimProfile* kprof =
       collector ? &collector->begin_kernel_profile(kernel.name) : nullptr;
 
-  const DecodedKernel dk = decode(kernel, alloc, spec);
+  const SimDispatch dispatch = sim_dispatch();
+  const DecodedKernel dk = decode(kernel, alloc, spec, dispatch == SimDispatch::kSuper);
 
   // Static round-robin distribution of blocks over SMs (documented
   // simplification); empty SMs are skipped, matching the seed loop.
@@ -1012,6 +1701,7 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
     SmSimulator sim(kernel, dk, alloc, spec, mem, params, cfg, wk.stats,
                     kprof ? &wk.prof : nullptr);
     wk.cycles = sim.run(wk.blocks, blocks_per_sm);
+    wk.sb_retires = sim.superblock_retires();
   };
   if (parallel) {
     support::ThreadPool::shared().parallel_for(
@@ -1024,6 +1714,9 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
   // additive uint64 counter (cycles is a max), so the merged totals are
   // bit-identical to the seed's single shared accumulator for any thread
   // count, including 1.
+  // Superblock fast-path diagnostics live outside LaunchStats/SmProfile so
+  // both dispatch engines produce bit-identical stats and profiles.
+  std::uint64_t sb_retires = 0;
   for (SmWork& wk : work) {
     stats.cycles = std::max(stats.cycles, wk.cycles);
     stats.warp_instructions += wk.stats.warp_instructions;
@@ -1034,6 +1727,7 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
     stats.ro_misses += wk.stats.ro_misses;
     stats.atomics += wk.stats.atomics;
     stats.spill_accesses += wk.stats.spill_accesses;
+    sb_retires += wk.sb_retires;
     if (kprof) kprof->sms.push_back(std::move(wk.prof));
   }
 
@@ -1054,6 +1748,11 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
                            static_cast<std::int64_t>(stats.spill_accesses));
     if (parallel) collector->metrics.add("sim.parallel_launches");
     if (overlap_fallback) collector->metrics.add("sim.overlap_fallbacks");
+    if (dispatch == SimDispatch::kSuper) {
+      collector->metrics.add("sim.superblocks", static_cast<std::int64_t>(dk.blocks.size()));
+      collector->metrics.add("sim.superblock_retires", static_cast<std::int64_t>(sb_retires));
+    }
+    span.set_arg("dispatch", obs::json::Value(to_string(dispatch)));
     span.set_arg("cycles", obs::json::Value(stats.cycles));
     span.set_arg("regs_per_thread", obs::json::Value(stats.regs_per_thread));
     span.set_arg("occupancy", obs::json::Value(stats.occupancy));

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "obs/collector.hpp"
 #include "regalloc/regalloc.hpp"
@@ -88,6 +89,47 @@ enum class OverlapCheckMode : std::uint8_t {
   kOn,
 };
 void set_sim_overlap_check(OverlapCheckMode mode);
+
+// -- dispatch engine -----------------------------------------------------------
+//
+// The interpreter has two dispatch engines that are required to produce
+// bit-identical LaunchStats, per-SM profiles, and functional results:
+//
+//  - kSuper (default): at decode time the instruction stream is partitioned
+//    into straight-line superblocks (broken at memory ops, atomics, control
+//    flow, and every label target); a ready block executes functionally in one
+//    bulk dispatch and its issue slots drain cycle-exactly from a precomputed
+//    micro-op table. Block readiness is two 64-bit bitmask AND tests instead
+//    of a per-instruction scoreboard walk.
+//  - kRef: the original per-instruction interpreter, kept as the reference
+//    semantics (and the fallback whenever a block is not provably ready).
+
+enum class SimDispatch : std::uint8_t {
+  kSuper,
+  kRef,
+};
+
+/// Overrides the dispatch engine for subsequent launches.
+void set_sim_dispatch(SimDispatch d);
+/// Clears any override: SAFARA_SIM_DISPATCH={super,ref} if set, else kSuper.
+void reset_sim_dispatch();
+/// The engine the next launch will use.
+SimDispatch sim_dispatch();
+
+/// Parses "super" / "ref" (as accepted by SAFARA_SIM_DISPATCH and the
+/// --sim-dispatch flags). Returns false and leaves `out` untouched otherwise.
+bool parse_sim_dispatch(std::string_view text, SimDispatch& out);
+const char* to_string(SimDispatch d);
+
+/// Static classification of one opcode by the superblock builder. Every
+/// vir::Opcode is either a block terminator (memory, atomic, control flow) or
+/// fusable with a positive static result latency; tests/test_superblock.cpp
+/// asserts the classification is total.
+struct SuperblockOpInfo {
+  bool terminator = false;
+  int latency = 0;  // static result latency of fusable ops (spill cost excluded)
+};
+SuperblockOpInfo superblock_op_info(vir::Opcode op, vir::VType type, const DeviceSpec& spec);
 
 /// Runs `kernel` to completion. `params` holds one raw 8-byte slot per kernel
 /// formal (already type-punned by the host runtime). Functional effects land

@@ -1,0 +1,221 @@
+// Superblock dispatch engine tests: the static opcode classification the
+// block builder relies on, bit-identity between the superblock fast path and
+// the per-instruction reference interpreter (for every workload, at one and
+// many host threads), the fast path's own metrics, and determinism of the
+// parallel evaluation grid that fans workload x config cells out over the
+// shared thread pool.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/eval_grid.hpp"
+#include "tests_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace safara::test {
+namespace {
+
+using vgpu::SimDispatch;
+
+/// Restores every simulator/grid knob a test may override, even on failure.
+struct DispatchGuard {
+  ~DispatchGuard() {
+    vgpu::reset_sim_dispatch();
+    vgpu::set_sim_threads(0);
+    driver::set_grid_threads(0);
+  }
+};
+
+// -- opcode classification ----------------------------------------------------
+
+bool is_terminator_opcode(vir::Opcode op) {
+  switch (op) {
+    case vir::Opcode::kLdGlobal:
+    case vir::Opcode::kStGlobal:
+    case vir::Opcode::kAtomAdd:
+    case vir::Opcode::kBra:
+    case vir::Opcode::kCbr:
+    case vir::Opcode::kExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(SuperblockClassification, EveryOpcodeIsTerminatorOrFusable) {
+  // The block builder must have an opinion about every opcode x type pair:
+  // ops with side effects or control transfer end a block; everything else
+  // fuses and must carry a positive static result latency (the block's
+  // aggregate cost is the sum of these).
+  const vgpu::DeviceSpec spec = vgpu::DeviceSpec::k20xm();
+  for (int o = 0; o <= static_cast<int>(vir::Opcode::kExit); ++o) {
+    const auto op = static_cast<vir::Opcode>(o);
+    for (vir::VType t : {vir::VType::kI32, vir::VType::kI64, vir::VType::kF32,
+                         vir::VType::kF64, vir::VType::kPred}) {
+      SCOPED_TRACE(std::string(vir::to_string(op)) + " / " + vir::to_string(t));
+      const vgpu::SuperblockOpInfo info = vgpu::superblock_op_info(op, t, spec);
+      if (is_terminator_opcode(op)) {
+        EXPECT_TRUE(info.terminator);
+      } else {
+        EXPECT_FALSE(info.terminator);
+        EXPECT_GT(info.latency, 0);
+      }
+    }
+  }
+}
+
+// -- bit-identity between the two dispatch engines ----------------------------
+
+struct SimSnapshot {
+  std::string result;    // RunResult::to_json — merged LaunchStats, all fields
+  std::string profiles;  // Collector::sim_to_json — per-SM profiles per launch
+  double checksum = 0.0;
+};
+
+SimSnapshot snapshot_workload(const workloads::Workload& w, SimDispatch dispatch,
+                              int threads) {
+  vgpu::set_sim_dispatch(dispatch);
+  vgpu::set_sim_threads(threads);
+  obs::Collector collector;
+  workloads::RunResult r = workloads::simulate(
+      w, driver::CompilerOptions::openuh_safara_clauses(), vgpu::DeviceSpec::k20xm(),
+      &collector);
+  SimSnapshot s;
+  s.result = r.to_json().dump(2);
+  s.profiles = collector.sim_to_json().dump(2);
+  s.checksum = r.checksum;
+  return s;
+}
+
+TEST(SuperblockDispatch, AllWorkloadsBitIdenticalToReference) {
+  // The contract from sim.hpp: kSuper is a pure dispatch optimization. Stats,
+  // per-SM profiles, and output checksums must match the per-instruction
+  // reference interpreter bit for bit — for every workload, sequentially and
+  // with the SM loop spread over host threads.
+  DispatchGuard guard;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int wide = std::max(4, hw);
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    SCOPED_TRACE(w.name);
+    const SimSnapshot ref = snapshot_workload(w, SimDispatch::kRef, 1);
+    for (int threads : {1, wide}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const SimSnapshot super = snapshot_workload(w, SimDispatch::kSuper, threads);
+      EXPECT_EQ(ref.result, super.result);
+      EXPECT_EQ(ref.profiles, super.profiles);
+      EXPECT_EQ(ref.checksum, super.checksum);  // exact: same bits, not "close"
+    }
+  }
+}
+
+TEST(SuperblockDispatch, FastPathMetricsOnlyUnderSuper) {
+  DispatchGuard guard;
+  const workloads::Workload* w = workloads::find_workload("355.seismic");
+  ASSERT_NE(w, nullptr);
+
+  vgpu::set_sim_dispatch(SimDispatch::kSuper);
+  obs::Collector with_super;
+  workloads::simulate(*w, driver::CompilerOptions::openuh_safara_clauses(),
+                      vgpu::DeviceSpec::k20xm(), &with_super);
+  const auto& super_counters = with_super.metrics.counters();
+  ASSERT_TRUE(super_counters.count("sim.superblocks"));
+  ASSERT_TRUE(super_counters.count("sim.superblock_retires"));
+  EXPECT_GT(super_counters.at("sim.superblocks"), 0);
+  EXPECT_GT(super_counters.at("sim.superblock_retires"), 0);
+
+  vgpu::set_sim_dispatch(SimDispatch::kRef);
+  obs::Collector with_ref;
+  workloads::simulate(*w, driver::CompilerOptions::openuh_safara_clauses(),
+                      vgpu::DeviceSpec::k20xm(), &with_ref);
+  const auto& ref_counters = with_ref.metrics.counters();
+  EXPECT_FALSE(ref_counters.count("sim.superblock_retires"))
+      << "reference interpreter must not touch the fast path";
+}
+
+TEST(SuperblockDispatch, ParseAndEnvNamesRoundTrip) {
+  SimDispatch d = SimDispatch::kRef;
+  EXPECT_TRUE(vgpu::parse_sim_dispatch("super", d));
+  EXPECT_EQ(d, SimDispatch::kSuper);
+  EXPECT_TRUE(vgpu::parse_sim_dispatch("ref", d));
+  EXPECT_EQ(d, SimDispatch::kRef);
+  EXPECT_FALSE(vgpu::parse_sim_dispatch("fast", d));
+  EXPECT_EQ(d, SimDispatch::kRef);  // failed parse leaves the value untouched
+  EXPECT_STREQ(vgpu::to_string(SimDispatch::kSuper), "super");
+  EXPECT_STREQ(vgpu::to_string(SimDispatch::kRef), "ref");
+}
+
+// -- parallel evaluation grid -------------------------------------------------
+
+TEST(EvalGrid, ParallelismRespectsBudgetAndCellCount) {
+  DispatchGuard guard;
+  driver::set_grid_threads(8);
+  EXPECT_EQ(driver::grid_parallelism(3), 3);    // never more lanes than cells
+  EXPECT_EQ(driver::grid_parallelism(100), 8);  // capped by the thread budget
+  driver::set_grid_threads(1);
+  EXPECT_EQ(driver::grid_parallelism(100), 1);
+  driver::set_grid_threads(0);  // back to SAFARA_GRID_THREADS / sim_threads()
+}
+
+TEST(EvalGrid, CellResultsBitIdenticalAcrossParallelism) {
+  // The grid contract: cell results depend only on the cell index, never on
+  // how many cells run concurrently. Simulate a small workload x config grid
+  // serially and with four lanes and require byte-identical rows.
+  DispatchGuard guard;
+  std::vector<const workloads::Workload*> ws = {workloads::find_workload("352.ep"),
+                                                workloads::find_workload("354.cg")};
+  ASSERT_NE(ws[0], nullptr);
+  ASSERT_NE(ws[1], nullptr);
+  std::vector<driver::CompilerOptions> configs = {
+      driver::CompilerOptions::openuh_base(),
+      driver::CompilerOptions::openuh_safara_clauses()};
+
+  auto run_grid_once = [&](int grid_threads) {
+    driver::set_grid_threads(grid_threads);
+    const std::int64_t cells = static_cast<std::int64_t>(ws.size() * configs.size());
+    std::vector<std::string> rows(cells);
+    driver::eval_grid(cells, [&](std::int64_t i) {
+      const workloads::Workload& w = *ws[static_cast<std::size_t>(i) / configs.size()];
+      const driver::CompilerOptions& opts = configs[static_cast<std::size_t>(i) % configs.size()];
+      rows[i] = workloads::simulate(w, opts).to_json().dump(2);
+    });
+    return rows;
+  };
+
+  const std::vector<std::string> serial = run_grid_once(1);
+  const std::vector<std::string> parallel = run_grid_once(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+TEST(EvalGrid, RestoresInnerSimThreadsAfterParallelRun) {
+  // Parallel grids pin the per-launch SM parallelism to one thread for the
+  // duration of the fan-out (ThreadPool::parallel_for is not reentrant); the
+  // previous setting must come back afterwards, lanes or no lanes.
+  DispatchGuard guard;
+  vgpu::set_sim_threads(3);
+  driver::set_grid_threads(4);
+  driver::eval_grid(4, [](std::int64_t) {});
+  EXPECT_EQ(vgpu::sim_threads(), 3);
+}
+
+TEST(EvalGrid, RecordsGridMetrics) {
+  DispatchGuard guard;
+  driver::set_grid_threads(2);
+  obs::Collector collector;
+  driver::eval_grid(6, [](std::int64_t) {}, &collector);
+  const auto& counters = collector.metrics.counters();
+  ASSERT_TRUE(counters.count("grid.cells"));
+  EXPECT_EQ(counters.at("grid.cells"), 6);
+  const auto& gauges = collector.metrics.gauges();
+  ASSERT_TRUE(gauges.count("grid.parallelism"));
+  EXPECT_EQ(gauges.at("grid.parallelism"), 2);
+}
+
+}  // namespace
+}  // namespace safara::test

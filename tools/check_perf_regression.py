@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench --json documents.
+
+Compares the host wall-clock simulation time (the sum of every `sim_ms.*`
+counter over all rows) of a current run against a committed baseline:
+
+    check_perf_regression.py baseline.json current.json [--max-regression 0.25]
+
+Exits 1 when the current total exceeds the baseline total by more than the
+tolerance. The tolerance is deliberately generous: shared CI runners are
+noisy and differ from the machine that produced the baseline, so the gate is
+meant to catch algorithmic regressions (the interpreter losing its fast
+path, a pass going quadratic), not percent-level drift.
+
+Refresh the baseline after intentional perf changes:
+
+    ./build/bench/fig11_spec_vs_pgi --json bench/baselines/fig11_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def total_sim_ms(doc):
+    total = 0.0
+    cells = 0
+    for row in doc.get("rows", []):
+        for key, value in row.items():
+            if key.startswith("sim_ms."):
+                total += float(value)
+                cells += 1
+    return total, cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown over the baseline (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_ms, base_cells = total_sim_ms(baseline)
+    cur_ms, cur_cells = total_sim_ms(current)
+    if base_cells == 0 or base_ms <= 0.0:
+        print(f"check_perf_regression: baseline '{args.baseline}' has no sim_ms counters")
+        return 1
+    if cur_cells != base_cells:
+        print(
+            f"check_perf_regression: cell count changed "
+            f"({base_cells} baseline vs {cur_cells} current); "
+            f"refresh the baseline alongside the bench change"
+        )
+        return 1
+
+    ratio = cur_ms / base_ms
+    limit = 1.0 + args.max_regression
+    print(
+        f"sim_ms total: baseline {base_ms:.1f} ms, current {cur_ms:.1f} ms "
+        f"({ratio:.3f}x, limit {limit:.2f}x, {cur_cells} cells)"
+    )
+    for name, doc in (("baseline", baseline), ("current", current)):
+        rows = doc.get("rows", [])
+        if rows:
+            meta = rows[0]
+            print(
+                f"  {name}: dispatch={meta.get('dispatch', '?')} "
+                f"grid_parallelism={meta.get('grid_parallelism', '?')} "
+                f"sim_threads={meta.get('sim_threads', '?')}"
+            )
+    if ratio > limit:
+        print(f"FAIL: simulation wall-clock regressed beyond {args.max_regression:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

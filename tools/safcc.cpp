@@ -41,7 +41,7 @@ void usage() {
                "             [--emit-vir] [--emit-source] [--unroll N] [--max-regs N]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
                "             [--time-passes] [--workload NAME] [--sim-profile]\n"
-               "             [--sim-threads N]\n");
+               "             [--sim-threads N] [--sim-dispatch super|ref] [--sim-compare]\n");
 }
 
 /// Strict integer parsing for flag values: the whole token must be a number.
@@ -83,6 +83,96 @@ void print_sim_profile(const obs::Collector& collector) {
   }
 }
 
+// -- --sim-compare: field-level cross-check of the two dispatch engines ------
+
+/// Everything the determinism contract covers, as one JSON document: the
+/// workload's RunResult (cycles, stats, checksum, per-kernel metrics), every
+/// per-SM simulator profile, and the sim.* metrics. The superblock counters
+/// are the fast path's own bookkeeping (always zero under ref) and are the
+/// one sanctioned difference, so they are excluded.
+obs::json::Value compare_doc(const workloads::RunResult& r, const obs::Collector& c) {
+  obs::json::Value doc = obs::json::Value::object();
+  doc["run"] = r.to_json();
+  obs::json::Value profiles = obs::json::Value::array();
+  for (const obs::KernelSimProfile& p : c.sim_profiles) profiles.push_back(p.to_json());
+  doc["profiles"] = std::move(profiles);
+  obs::json::Value metrics = obs::json::Value::object();
+  for (const auto& [name, v] : c.metrics.counters()) {
+    if (name.rfind("sim.", 0) == 0 && name.rfind("sim.superblock", 0) != 0) {
+      metrics[name] = obs::json::Value(v);
+    }
+  }
+  doc["sim_metrics"] = std::move(metrics);
+  return doc;
+}
+
+/// Recursive structural diff; each divergence is one "path: super=X ref=Y"
+/// line.
+void diff_json(const obs::json::Value& a, const obs::json::Value& b, const std::string& path,
+               std::vector<std::string>& out) {
+  using obs::json::Value;
+  const std::string label = path.empty() ? "<root>" : path;
+  if (a.kind() != b.kind()) {
+    out.push_back(label + ": super=" + a.dump() + " ref=" + b.dump());
+    return;
+  }
+  if (a.is_object()) {
+    for (const auto& [key, av] : a.members()) {
+      const std::string sub = path.empty() ? key : path + "." + key;
+      const Value* bv = b.find(key);
+      if (!bv) out.push_back(sub + ": super=" + av.dump() + " ref=<absent>");
+      else diff_json(av, *bv, sub, out);
+    }
+    for (const auto& [key, bv] : b.members()) {
+      if (!a.find(key)) {
+        out.push_back((path.empty() ? key : path + "." + key) + ": super=<absent> ref=" +
+                      bv.dump());
+      }
+    }
+    return;
+  }
+  if (a.is_array()) {
+    if (a.size() != b.size()) {
+      out.push_back(label + ".length: super=" + std::to_string(a.size()) +
+                    " ref=" + std::to_string(b.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff_json(a.at(i), b.at(i), label + "[" + std::to_string(i) + "]", out);
+    }
+    return;
+  }
+  if (a.dump() != b.dump()) {
+    out.push_back(label + ": super=" + a.dump() + " ref=" + b.dump());
+  }
+}
+
+/// Runs the workload once per dispatch engine and hard-fails (exit 1) on any
+/// divergence in stats, profiles, or checksums.
+int run_sim_compare(const workloads::Workload& w, const driver::CompilerOptions& opts) {
+  obs::Collector c_super;
+  vgpu::set_sim_dispatch(vgpu::SimDispatch::kSuper);
+  workloads::RunResult r_super = workloads::simulate(w, opts, opts.device, &c_super);
+  obs::Collector c_ref;
+  vgpu::set_sim_dispatch(vgpu::SimDispatch::kRef);
+  workloads::RunResult r_ref = workloads::simulate(w, opts, opts.device, &c_ref);
+  vgpu::reset_sim_dispatch();
+
+  std::vector<std::string> diffs;
+  diff_json(compare_doc(r_super, c_super), compare_doc(r_ref, c_ref), "", diffs);
+  if (!diffs.empty()) {
+    std::fprintf(stderr, "sim-compare: %s: %zu field(s) diverge between dispatch engines:\n",
+                 w.name.c_str(), diffs.size());
+    for (const std::string& d : diffs) std::fprintf(stderr, "  %s\n", d.c_str());
+    return 1;
+  }
+  std::printf("sim-compare: %s: super and ref dispatch agree "
+              "(%llu cycles, checksum %.6g, %zu launch profile(s))\n",
+              w.name.c_str(), static_cast<unsigned long long>(r_super.cycles),
+              r_super.checksum, c_super.sim_profiles.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +186,7 @@ int main(int argc, char** argv) {
   bool emit_source = false;
   bool time_passes = false;
   bool sim_profile = false;
+  bool sim_compare = false;
   int unroll = 0;
   int max_regs = 0;
   bool verify = false;
@@ -137,6 +228,16 @@ int main(int argc, char** argv) {
       vgpu::set_sim_threads(parse_int_flag("--sim-threads", value.c_str()));
       continue;
     }
+    if (eat_value("--sim-dispatch", &value)) {
+      vgpu::SimDispatch d;
+      if (!vgpu::parse_sim_dispatch(value, d)) {
+        std::fprintf(stderr, "safcc: --sim-dispatch expects 'super' or 'ref', got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      vgpu::set_sim_dispatch(d);
+      continue;
+    }
     if (eat_value("--max-regs", &value)) {
       max_regs = parse_int_flag("--max-regs", value.c_str());
       continue;
@@ -146,6 +247,7 @@ int main(int argc, char** argv) {
     else if (arg == "--verify-clauses") verify = true;
     else if (arg == "--time-passes") time_passes = true;
     else if (arg == "--sim-profile") sim_profile = true;
+    else if (arg == "--sim-compare") sim_compare = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -165,6 +267,12 @@ int main(int argc, char** argv) {
   if (sim_profile && workload_name.empty()) {
     std::fprintf(stderr,
                  "safcc: --sim-profile needs a runnable input; use --workload NAME "
+                 "(a file alone has no dataset to launch with)\n");
+    return 2;
+  }
+  if (sim_compare && workload_name.empty()) {
+    std::fprintf(stderr,
+                 "safcc: --sim-compare needs a runnable input; use --workload NAME "
                  "(a file alone has no dataset to launch with)\n");
     return 2;
   }
@@ -210,6 +318,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       input_label = w->name;
+      // Dedicated mode: run both dispatch engines and diff their results.
+      if (sim_compare) return run_sim_compare(*w, opts);
       if (sim_profile) {
         run_result = workloads::simulate(*w, opts, opts.device,
                                          observing ? &collector : nullptr);
