@@ -1,5 +1,7 @@
 #include "ast/printer.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace safara::ast {
@@ -40,9 +42,20 @@ void print_expr(std::ostream& os, const Expr& e, int parent_prec) {
       os << e.as<IntLit>().value;
       break;
     case ExprKind::kFloatLit: {
-      std::ostringstream tmp;
-      tmp << e.as<FloatLit>().value;
-      std::string s = tmp.str();
+      // Shortest representation that round-trips through strtod exactly, so
+      // parse -> print -> reparse preserves the literal's value bit-for-bit.
+      const double v = e.as<FloatLit>().value;
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v) {
+          std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+          break;
+        }
+      }
+      std::string s = buf;
       if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
         s += ".0";
       }
@@ -90,8 +103,11 @@ void print_expr(std::ostream& os, const Expr& e, int parent_prec) {
       break;
     }
     case ExprKind::kCast:
-      os << '(' << to_string(e.type) << ')';
-      print_expr(os, *e.as<Cast>().operand, 7);
+      // Casts are spelled call-style (`float(x)`) — the only form the
+      // parser accepts; `(float)x` would not reparse.
+      os << to_string(e.type) << '(';
+      print_expr(os, *e.as<Cast>().operand, 0);
+      os << ')';
       break;
   }
 }

@@ -1,8 +1,9 @@
 #include "driver/eval_grid.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <climits>
 
+#include "support/string_util.hpp"
 #include "support/thread_pool.hpp"
 #include "vgpu/sim.hpp"
 
@@ -12,9 +13,8 @@ namespace {
 int g_grid_threads_override = 0;
 
 int default_grid_threads() {
-  if (const char* env = std::getenv("SAFARA_GRID_THREADS")) {
-    int n = std::atoi(env);
-    if (n > 0) return n;
+  if (std::optional<long long> n = env_int("SAFARA_GRID_THREADS")) {
+    if (*n > 0 && *n <= INT_MAX) return static_cast<int>(*n);
   }
   return vgpu::sim_threads();
 }

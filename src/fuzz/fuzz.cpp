@@ -1,0 +1,103 @@
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/reducer.hpp"
+
+namespace safara::fuzz {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read corpus file " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void run_program(const std::string& id, const std::string& source,
+                 const FuzzOptions& opts, FuzzReport& report) {
+  OracleOptions oopts;
+  oopts.inject_miscompile = opts.inject_miscompile;
+  const std::vector<Oracle>& oracles =
+      opts.oracles.empty() ? all_oracles() : opts.oracles;
+  ++report.programs;
+  for (Oracle o : oracles) {
+    OracleResult res = run_oracle(source, o, oopts);
+    ++report.oracle_runs;
+    if (res.status == Status::kOk) continue;
+    Divergence d;
+    d.id = id;
+    d.oracle = o;
+    d.status = res.status;
+    d.detail = res.detail;
+    d.source = source;
+    if (opts.reduce) {
+      // Keep any candidate on which the same oracle reports the same status
+      // (a reproducer for the same class of failure).
+      const Status want = res.status;
+      Predicate keep = [o, want, &oopts](const std::string& cand) {
+        return run_oracle(cand, o, oopts).status == want;
+      };
+      d.reduced = reduce(source, keep, opts.reduce_max_attempts).source;
+    }
+    report.divergences.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+obs::json::Value FuzzReport::to_json() const {
+  obs::json::Value v = obs::json::Value::object();
+  v["seed"] = obs::json::Value(static_cast<std::int64_t>(seed));
+  v["count"] = obs::json::Value(count);
+  v["programs"] = obs::json::Value(programs);
+  v["oracle_runs"] = obs::json::Value(oracle_runs);
+  v["ok"] = obs::json::Value(ok());
+  obs::json::Value divs = obs::json::Value::array();
+  for (const Divergence& d : divergences) {
+    obs::json::Value jd = obs::json::Value::object();
+    jd["id"] = obs::json::Value(d.id);
+    jd["oracle"] = obs::json::Value(to_string(d.oracle));
+    jd["status"] = obs::json::Value(to_string(d.status));
+    jd["detail"] = obs::json::Value(d.detail);
+    jd["source"] = obs::json::Value(d.source);
+    if (!d.reduced.empty()) jd["reduced"] = obs::json::Value(d.reduced);
+    divs.push_back(std::move(jd));
+  }
+  v["divergences"] = std::move(divs);
+  return v;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.seed = opts.seed;
+  report.count = opts.count;
+
+  if (!opts.corpus_dir.empty()) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(opts.corpus_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".acc") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::filesystem::path& p : files) {
+      run_program("corpus:" + p.filename().string(), read_file(p), opts, report);
+    }
+  }
+
+  for (int i = 0; i < opts.count; ++i) {
+    const std::uint64_t s = opts.seed + static_cast<std::uint64_t>(i);
+    run_program("seed:" + std::to_string(s), generate_program(s), opts, report);
+  }
+  return report;
+}
+
+}  // namespace safara::fuzz

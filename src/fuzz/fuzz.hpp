@@ -1,0 +1,57 @@
+// The differential fuzzing harness: corpus + generated seeds x oracle pairs.
+//
+// Runs every program (checked-in corpus files first, then `count` freshly
+// generated seeds) through the selected oracles, collects divergences, and
+// optionally greedily reduces each divergent program to a minimal reproducer.
+// The JSON report (obs::json) is what CI archives on failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "obs/json.hpp"
+
+namespace safara::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int count = 100;
+  /// Oracles to run; empty means all of them.
+  std::vector<Oracle> oracles;
+  /// Reduce each divergent program to a minimal reproducer.
+  bool reduce = false;
+  int reduce_max_attempts = 2000;
+  /// Self-test mode: inject a miscompile on side B (see OracleOptions).
+  bool inject_miscompile = false;
+  /// Directory of .acc regression programs to run before the generated ones.
+  std::string corpus_dir;
+};
+
+struct Divergence {
+  std::string id;  // "seed:123" or "corpus:<filename>"
+  Oracle oracle = Oracle::kRoundtrip;
+  Status status = Status::kOk;
+  std::string detail;
+  std::string source;
+  std::string reduced;  // populated when FuzzOptions::reduce was set
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  int count = 0;
+  int programs = 0;     // programs exercised (corpus + generated)
+  int oracle_runs = 0;  // program x oracle executions
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  obs::json::Value to_json() const;
+};
+
+/// Never throws: per-program failures are reported as divergences with
+/// Status::kError. Throws only on harness-level misuse (e.g. an unreadable
+/// corpus directory).
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace safara::fuzz

@@ -1,0 +1,540 @@
+#include "fuzz/generator.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "fuzz/rng.hpp"
+
+namespace safara::fuzz {
+
+namespace {
+
+// Runtime values fixed by convention (see derive_args in oracles.cpp):
+// n = 24, m = 16, c0 = 8. Rank-1 arrays have length n, rank-2 arrays are
+// [n][m]. Parallel loops run ivs over [2, extent-3], so an aligned iv plus
+// any offset in [-2, 2] stays in bounds.
+constexpr int kMargin = 2;
+
+struct ArraySpec {
+  enum Kind { kPointer, kStatic, kVla, kAllocatable };
+  std::string name;
+  std::string elem;  // "float" | "double" | "int"
+  int rank = 1;
+  Kind kind = kVla;
+  bool is_out = false;
+  bool is_const = false;
+};
+
+struct Iv {
+  std::string name;
+  char extent;  // 'n' or 'm': value stays within [kMargin, extent - kMargin - 1]
+};
+
+struct Local {
+  std::string name;
+  std::string elem;
+};
+
+/// Everything visible at the point statements are being generated.
+struct BodyCtx {
+  std::vector<Iv> ivs;               // margin-bounded ivs (parallel dims)
+  std::vector<std::string> seq_ivs;  // inner seq ivs, each in [0, 4)
+  std::vector<Local> locals;
+  std::vector<const ArraySpec*> writable;  // outs this nest may write
+  int indent = 1;
+};
+
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string run() {
+    choose_params();
+    std::ostringstream os;
+    emit_signature(os);
+    os << " {\n";
+    const int nests = rng_.range(1, 2);
+    for (int i = 0; i < nests; ++i) emit_nest(os);
+    os << "}\n";
+    return os.str();
+  }
+
+ private:
+  // -- parameter selection ----------------------------------------------------
+
+  void choose_params() {
+    has_c0_ = rng_.chance(40);
+    has_alpha_ = rng_.chance(70);
+    has_beta_ = rng_.chance(50);
+
+    static const std::vector<std::string> kElems = {"float", "double", "int"};
+    const int n_out = rng_.range(1, 2);
+    for (int i = 0; i < n_out; ++i) {
+      ArraySpec a;
+      a.name = "out" + std::to_string(i);
+      a.elem = rng_.pick(kElems);
+      a.rank = rng_.range(1, 2);
+      a.kind = pick_kind(a.rank);
+      a.is_out = true;
+      arrays_.push_back(a);
+    }
+    const int n_in = rng_.range(1, 3);
+    static const std::vector<std::string> kInNames = {"inA", "inB", "inC"};
+    for (int i = 0; i < n_in; ++i) {
+      ArraySpec a;
+      a.name = kInNames[static_cast<std::size_t>(i)];
+      a.elem = rng_.pick(kElems);
+      a.rank = rng_.range(1, 2);
+      a.kind = pick_kind(a.rank);
+      a.is_const = rng_.chance(60);
+      arrays_.push_back(a);
+    }
+  }
+
+  ArraySpec::Kind pick_kind(int rank) {
+    switch (rng_.below(rank == 1 ? 4 : 3)) {
+      case 0: return ArraySpec::kStatic;
+      case 1: return ArraySpec::kVla;
+      case 2: return ArraySpec::kAllocatable;
+      default: return ArraySpec::kPointer;  // rank 1 only
+    }
+  }
+
+  std::string extent_token(const ArraySpec& a, int d) const {
+    switch (a.kind) {
+      case ArraySpec::kStatic: return d == 0 ? "24" : "16";
+      case ArraySpec::kVla: return d == 0 ? "n" : "m";
+      default: return "?";
+    }
+  }
+
+  void emit_signature(std::ostringstream& os) {
+    os << "void fuzz_fn(int n, int m";
+    if (has_c0_) os << ", int c0";
+    if (has_alpha_) os << ", float alpha";
+    if (has_beta_) os << ", double beta";
+    for (const ArraySpec& a : arrays_) {
+      os << ", ";
+      if (a.is_const) os << "const ";
+      os << a.elem << ' ';
+      if (a.kind == ArraySpec::kPointer) {
+        os << '*' << a.name;
+      } else {
+        os << a.name;
+        for (int d = 0; d < a.rank; ++d) os << '[' << extent_token(a, d) << ']';
+      }
+    }
+    os << ')';
+  }
+
+  // -- index expressions ------------------------------------------------------
+
+  /// A non-negative integer atom usable under `% extent`.
+  std::string nonneg_atom(const BodyCtx& ctx) {
+    std::vector<std::string> atoms;
+    for (const Iv& iv : ctx.ivs) atoms.push_back(iv.name);
+    for (const std::string& k : ctx.seq_ivs) atoms.push_back(k);
+    if (has_c0_) atoms.push_back("c0");
+    atoms.push_back(std::to_string(rng_.range(1, 5)));
+    return rng_.pick(atoms);
+  }
+
+  const ArraySpec* find_int_index_array() const {
+    for (const ArraySpec& a : arrays_) {
+      if (!a.is_out && a.elem == "int" && a.rank == 1) return &a;
+    }
+    return nullptr;
+  }
+
+  /// An in-bounds subscript for a dimension of extent `ext` ('n' or 'm').
+  std::string index_expr(char ext, const BodyCtx& ctx) {
+    const char* e = ext == 'n' ? "n" : "m";
+    std::vector<std::string> aligned;
+    for (const Iv& iv : ctx.ivs) {
+      if (iv.extent != ext) continue;
+      aligned.push_back(iv.name);
+      const int off = rng_.range(-kMargin, kMargin);
+      if (off > 0) aligned.push_back(iv.name + " + " + std::to_string(off));
+      if (off < 0) aligned.push_back(iv.name + " - " + std::to_string(-off));
+      if (!ctx.seq_ivs.empty()) {
+        // seq ivs run [0, 4); shifting by -2 keeps iv + k - 2 inside bounds.
+        aligned.push_back(iv.name + " + " + rng_.pick(ctx.seq_ivs) + " - 2");
+      }
+    }
+    if (!aligned.empty() && rng_.chance(65)) return rng_.pick(aligned);
+
+    // Non-affine: built from non-negative atoms, wrapped into range by `%`.
+    switch (rng_.below(4)) {
+      case 0: {
+        std::string a = nonneg_atom(ctx);
+        return "(" + a + " * " + a + ") % " + e;
+      }
+      case 1:
+        return "(" + nonneg_atom(ctx) + " * 3 + " + nonneg_atom(ctx) + ") % " + e;
+      case 2: {
+        // Indirect: index loaded from an int array (values are >= 0 by the
+        // derive_args fill convention).
+        const ArraySpec* idx = find_int_index_array();
+        std::string sub;
+        for (const Iv& iv : ctx.ivs) {
+          if (iv.extent == 'n') sub = iv.name;
+        }
+        if (idx && !sub.empty()) {
+          return idx->name + "[" + sub + "] % " + e;
+        }
+        return "(" + nonneg_atom(ctx) + " + " + nonneg_atom(ctx) + ") % " + e;
+      }
+      default:
+        return std::to_string(rng_.range(0, 3));  // both extents exceed 3
+    }
+  }
+
+  std::string array_read(const ArraySpec& a, const BodyCtx& ctx) {
+    std::string s = a.name;
+    for (int d = 0; d < a.rank; ++d) {
+      s += '[';
+      s += index_expr(d == 0 ? 'n' : 'm', ctx);
+      s += ']';
+    }
+    return s;
+  }
+
+  // -- value expressions ------------------------------------------------------
+
+  std::string float_literal() {
+    static const std::vector<std::string> kLits = {"0.125", "0.25", "0.5", "1.0",
+                                                   "1.5",   "2.0",  "3.0"};
+    std::string s = rng_.pick(kLits);
+    if (rng_.chance(50)) s += 'f';
+    return s;
+  }
+
+  /// An integer-typed expression (closed over ints; may go negative, so it is
+  /// never used as an index). Values stay far from overflow.
+  std::string int_expr(const BodyCtx& ctx, int depth) {
+    if (depth <= 0 || rng_.chance(40)) {
+      std::vector<std::string> atoms = {std::to_string(rng_.range(1, 7)), "n", "m"};
+      if (has_c0_) atoms.push_back("c0");
+      for (const Iv& iv : ctx.ivs) atoms.push_back(iv.name);
+      for (const Local& l : ctx.locals) {
+        if (l.elem == "int") atoms.push_back(l.name);
+      }
+      for (const ArraySpec& a : arrays_) {
+        if (!a.is_out && a.elem == "int" && rng_.chance(30)) {
+          return array_read(a, ctx);
+        }
+      }
+      return rng_.pick(atoms);
+    }
+    switch (rng_.below(5)) {
+      case 0:
+        return "(" + int_expr(ctx, depth - 1) + " + " + int_expr(ctx, depth - 1) + ")";
+      case 1:
+        return "(" + int_expr(ctx, depth - 1) + " - " + int_expr(ctx, depth - 1) + ")";
+      case 2:
+        return "(" + int_expr(ctx, depth - 1) + " * " + std::to_string(rng_.range(1, 3)) +
+               ")";
+      case 3:
+        return "min(" + int_expr(ctx, depth - 1) + ", " + int_expr(ctx, depth - 1) + ")";
+      default:
+        return "abs(" + int_expr(ctx, depth - 1) + ")";
+    }
+  }
+
+  /// A numeric expression for float/double contexts. Mixed int/float operands
+  /// are deliberate (implicit promotion is part of the surface under test).
+  /// Division only ever uses nonzero literal/scalar divisors, keeping every
+  /// generated program free of Inf/NaN by construction.
+  std::string value_expr(const BodyCtx& ctx, int depth) {
+    if (depth <= 0 || rng_.chance(35)) {
+      std::vector<std::string> atoms = {float_literal()};
+      if (has_alpha_) atoms.push_back("alpha");
+      if (has_beta_) atoms.push_back("beta");
+      for (const Local& l : ctx.locals) atoms.push_back(l.name);
+      for (const ArraySpec& a : arrays_) {
+        if (!a.is_out && rng_.chance(40)) return array_read(a, ctx);
+      }
+      if (rng_.chance(20)) atoms.push_back(int_expr(ctx, 1));
+      return rng_.pick(atoms);
+    }
+    switch (rng_.below(8)) {
+      case 0:
+        return "(" + value_expr(ctx, depth - 1) + " + " + value_expr(ctx, depth - 1) +
+               ")";
+      case 1:
+        return "(" + value_expr(ctx, depth - 1) + " - " + value_expr(ctx, depth - 1) +
+               ")";
+      case 2:
+        return "(" + value_expr(ctx, depth - 1) + " * " + value_expr(ctx, depth - 1) +
+               ")";
+      case 3: {
+        std::vector<std::string> divisors = {float_literal()};
+        if (has_alpha_) divisors.push_back("alpha");
+        if (has_beta_) divisors.push_back("beta");
+        return "(" + value_expr(ctx, depth - 1) + " / " + rng_.pick(divisors) + ")";
+      }
+      case 4:
+        return "fabs(" + value_expr(ctx, depth - 1) + ")";
+      case 5:
+        return "sqrt(fabs(" + value_expr(ctx, depth - 1) + "))";
+      case 6:
+        return rng_.chance(50) ? "sin(" + value_expr(ctx, depth - 1) + ")"
+                               : "cos(" + value_expr(ctx, depth - 1) + ")";
+      default: {
+        const char* fn = rng_.chance(50) ? "min" : "max";
+        std::string e = std::string(fn) + "(" + value_expr(ctx, depth - 1) + ", " +
+                        value_expr(ctx, depth - 1) + ")";
+        if (rng_.chance(25)) {
+          e = (rng_.chance(50) ? "float(" : "double(") + e + ")";
+        }
+        return e;
+      }
+    }
+  }
+
+  std::string rhs_for(const ArraySpec& out, const BodyCtx& ctx) {
+    // Int outs take int-typed values only: converting a float expression
+    // could hit double->int overflow UB; int math here is bounded.
+    return out.elem == "int" ? int_expr(ctx, rng_.range(1, 2))
+                             : value_expr(ctx, rng_.range(1, 3));
+  }
+
+  // -- statements -------------------------------------------------------------
+
+  static std::string ind(int k) { return std::string(2 * static_cast<std::size_t>(k), ' '); }
+
+  /// The write target for `out`: every parallel iv appears exactly once, so
+  /// no two iterations of the schedule touch the same element.
+  std::string write_ref(const ArraySpec& out, const BodyCtx& ctx) {
+    std::string s = out.name;
+    std::size_t used = 0;
+    for (int d = 0; d < out.rank; ++d) {
+      const char ext = d == 0 ? 'n' : 'm';
+      std::string sub;
+      if (used < ctx.ivs.size()) {
+        sub = ctx.ivs[used].name;  // parallel ivs align with dims in order
+        ++used;
+      } else {
+        // Spare dimension (rank 2 out under a 1-dim schedule): any function
+        // of the parallel ivs is race-free; keep it in range.
+        switch (rng_.below(3)) {
+          case 0: sub = std::to_string(rng_.range(0, 3)); break;
+          case 1: sub = "(" + ctx.ivs[0].name + " * 3) % " + (ext == 'n' ? "n" : "m"); break;
+          default: sub = "(" + ctx.ivs[0].name + " + 2) % " + (ext == 'n' ? "n" : "m"); break;
+        }
+      }
+      s += '[';
+      s += sub;
+      s += ']';
+    }
+    return s;
+  }
+
+  std::string assign_op() {
+    const int r = rng_.range(0, 9);
+    if (r < 5) return "=";
+    if (r < 7) return "+=";
+    if (r < 8) return "-=";
+    if (r < 9) return "*=";
+    return "/=";
+  }
+
+  void emit_write(std::ostringstream& os, BodyCtx& ctx) {
+    const ArraySpec& out = *rng_.pick(ctx.writable);
+    std::string op = assign_op();
+    if (out.elem != "int" && op == "/=") op = "*=";  // keep floats Inf-free
+    os << ind(ctx.indent) << write_ref(out, ctx) << ' ' << op << ' '
+       << rhs_for(out, ctx) << ";\n";
+  }
+
+  void emit_local_decl(std::ostringstream& os, BodyCtx& ctx) {
+    static const std::vector<std::string> kTypes = {"float", "double", "int"};
+    Local l;
+    l.elem = rng_.pick(kTypes);
+    l.name = "t" + std::to_string(local_counter_++);
+    os << ind(ctx.indent) << l.elem << ' ' << l.name << " = "
+       << (l.elem == "int" ? int_expr(ctx, 1) : value_expr(ctx, 2)) << ";\n";
+    ctx.locals.push_back(l);
+  }
+
+  void emit_if(std::ostringstream& os, BodyCtx& ctx) {
+    static const std::vector<std::string> kCmps = {"<", "<=", ">", ">=", "==", "!="};
+    os << ind(ctx.indent) << "if (" << int_expr(ctx, 1) << ' ' << rng_.pick(kCmps)
+       << ' ' << int_expr(ctx, 1) << ") {\n";
+    ++ctx.indent;
+    emit_write(os, ctx);
+    --ctx.indent;
+    os << ind(ctx.indent) << "}";
+    if (rng_.chance(50)) {
+      os << " else {\n";
+      ++ctx.indent;
+      emit_write(os, ctx);
+      --ctx.indent;
+      os << ind(ctx.indent) << "}";
+    }
+    os << '\n';
+  }
+
+  void emit_seq_accumulate(std::ostringstream& os, BodyCtx& ctx) {
+    const bool is_int_acc = rng_.chance(25);
+    Local acc;
+    acc.elem = is_int_acc ? "int" : (rng_.chance(50) ? "float" : "double");
+    acc.name = "t" + std::to_string(local_counter_++);
+    os << ind(ctx.indent) << acc.elem << ' ' << acc.name << " = "
+       << (is_int_acc ? "0" : "0.0") << ";\n";
+    const std::string k = "k" + std::to_string(seq_counter_++);
+    if (rng_.chance(60)) os << ind(ctx.indent) << "#pragma acc loop seq\n";
+    os << ind(ctx.indent) << "for (" << k << " = 0; " << k << " < 4; " << k << "++) {\n";
+    ctx.seq_ivs.push_back(k);
+    ++ctx.indent;
+    os << ind(ctx.indent) << acc.name << " += "
+       << (is_int_acc ? int_expr(ctx, 1) : value_expr(ctx, 2)) << ";\n";
+    --ctx.indent;
+    ctx.seq_ivs.pop_back();
+    os << ind(ctx.indent) << "}\n";
+    ctx.locals.push_back(acc);
+    emit_write(os, ctx);
+  }
+
+  void emit_body(std::ostringstream& os, BodyCtx& ctx) {
+    if (rng_.chance(50)) emit_local_decl(os, ctx);
+    emit_write(os, ctx);  // every nest observably writes something
+    const int extra = rng_.range(0, 2);
+    for (int i = 0; i < extra; ++i) {
+      switch (rng_.below(4)) {
+        case 0: emit_local_decl(os, ctx); break;
+        case 1: emit_write(os, ctx); break;
+        case 2: emit_if(os, ctx); break;
+        default: emit_seq_accumulate(os, ctx); break;
+      }
+    }
+  }
+
+  // -- loop nests -------------------------------------------------------------
+
+  std::string loop_header(const std::string& iv, char ext) {
+    const std::string e = ext == 'n' ? "n" : "m";
+    switch (rng_.below(4)) {
+      case 0: return "for (" + iv + " = 2; " + iv + " < " + e + " - 2; " + iv + "++)";
+      case 1: return "for (" + iv + " = 2; " + iv + " <= " + e + " - 3; " + iv + "++)";
+      case 2: return "for (" + iv + " = " + e + " - 3; " + iv + " >= 2; " + iv + "--)";
+      default:
+        return "for (" + iv + " = 2; " + iv + " < " + e + " - 2; " + iv + " += 2)";
+    }
+  }
+
+  void append_dim_small_clauses(std::ostringstream& d) {
+    if (rng_.chance(35)) {
+      // One dim group of >= 2 equal-rank non-pointer arrays with true bounds.
+      const int rank = rng_.range(1, 2);
+      std::vector<const ArraySpec*> cands;
+      for (const ArraySpec& a : arrays_) {
+        if (a.kind != ArraySpec::kPointer && a.rank == rank) cands.push_back(&a);
+      }
+      if (cands.size() >= 2) {
+        d << " dim((";
+        if (rng_.chance(60)) {
+          d << (rank == 1 ? "0:n)(" : "0:n, 0:m)(");
+        }
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          if (i) d << ", ";
+          d << cands[i]->name;
+        }
+        d << "))";
+      }
+    }
+    if (rng_.chance(35)) {
+      std::vector<const ArraySpec*> cands;
+      for (const ArraySpec& a : arrays_) {
+        if (rng_.chance(60)) cands.push_back(&a);
+      }
+      if (!cands.empty()) {
+        d << " small(";
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          if (i) d << ", ";
+          d << cands[i]->name;
+        }
+        d << ')';
+      }
+    }
+    if (rng_.chance(20)) {
+      std::vector<const ArraySpec*> ins;
+      for (const ArraySpec& a : arrays_) {
+        if (!a.is_out) ins.push_back(&a);
+      }
+      if (!ins.empty()) {
+        d << " copyin(";
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+          if (i) d << ", ";
+          d << ins[i]->name;
+        }
+        d << ')';
+      }
+    }
+  }
+
+  std::string vector_size() {
+    static const std::vector<std::string> kSizes = {"32", "64", "128"};
+    return rng_.pick(kSizes);
+  }
+
+  void emit_nest(std::ostringstream& os) {
+    std::vector<const ArraySpec*> rank2_outs;
+    std::vector<const ArraySpec*> all_outs;
+    for (const ArraySpec& a : arrays_) {
+      if (!a.is_out) continue;
+      all_outs.push_back(&a);
+      if (a.rank == 2) rank2_outs.push_back(&a);
+    }
+    const bool two_dim = !rank2_outs.empty() && rng_.chance(50);
+
+    BodyCtx ctx;
+    // Under a 2-dim schedule only rank-2 outs can absorb both ivs racelessly.
+    ctx.writable = two_dim ? rank2_outs : all_outs;
+    ctx.indent = 1;
+
+    std::ostringstream dir;
+    dir << "#pragma acc " << (rng_.chance(50) ? "parallel" : "kernels") << " loop gang";
+    if (rng_.chance(30)) dir << "(n / 2)";
+    const bool collapsed = two_dim && rng_.chance(50);
+    if (!two_dim || collapsed) {
+      if (rng_.chance(70)) dir << " vector(" << vector_size() << ')';
+    }
+    if (collapsed) dir << " collapse(2)";
+    append_dim_small_clauses(dir);
+
+    os << ind(1) << dir.str() << '\n';
+    ctx.ivs.push_back({"i", 'n'});
+    os << ind(1) << loop_header("i", 'n') << " {\n";
+    if (two_dim) {
+      ctx.indent = 2;
+      if (!collapsed) {
+        os << ind(2) << "#pragma acc loop vector(" << vector_size() << ")\n";
+      }
+      ctx.ivs.push_back({"j", 'm'});
+      os << ind(2) << loop_header("j", 'm') << " {\n";
+      ctx.indent = 3;
+      emit_body(os, ctx);
+      os << ind(2) << "}\n";
+      os << ind(1) << "}\n";
+    } else {
+      ctx.indent = 2;
+      emit_body(os, ctx);
+      os << ind(1) << "}\n";
+    }
+  }
+
+  Rng rng_;
+  std::vector<ArraySpec> arrays_;
+  bool has_c0_ = false;
+  bool has_alpha_ = false;
+  bool has_beta_ = false;
+  int local_counter_ = 0;
+  int seq_counter_ = 0;
+};
+
+}  // namespace
+
+std::string generate_program(std::uint64_t seed) { return Generator(seed).run(); }
+
+}  // namespace safara::fuzz

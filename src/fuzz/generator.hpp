@@ -1,0 +1,31 @@
+// Seeded random ACC-C program generator.
+//
+// Produces self-contained, guaranteed-terminating programs that exercise the
+// whole front end and offload pipeline: parallel/kernels loop nests (gang /
+// vector / collapse / inner seq loops), all four array declaration kinds,
+// affine and non-affine subscripts, mixed int/float arithmetic, and the
+// paper's dim/small clause extensions. Programs obey the safety rules the
+// differential oracles rely on:
+//   * every parallel write uses every scheduled induction variable, so
+//     iterations never race;
+//   * reads touch input arrays only, with subscripts kept in bounds either by
+//     loop-bound margins or by `% extent` of non-negative indices;
+//   * no reductions or atomics, so results are bit-deterministic across the
+//     reference interpreter, both dispatch engines, and any thread count.
+//
+// The scalar/array naming convention (n=24, m=16, c0=8, alpha, beta,
+// out*/in*) is shared with oracles.cpp's derive_args(), which reconstructs
+// runnable argument sets from nothing but the parsed parameter list — so any
+// generated or hand-reduced program is runnable from its source text alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safara::fuzz {
+
+/// Generates one ACC-C program (a single void function named "fuzz_fn").
+/// Deterministic: same seed, same program, on every platform.
+std::string generate_program(std::uint64_t seed);
+
+}  // namespace safara::fuzz

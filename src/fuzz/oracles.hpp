@@ -1,0 +1,80 @@
+// The differential oracle pairs the fuzzer checks every program against.
+//
+// Each oracle runs one program two ways that the project's determinism
+// contracts say must agree exactly:
+//   kRoundtrip  — parse -> print -> reparse: structural AST equality
+//                 (canonical hash) and a print fixpoint.
+//   kRefVsSim   — CPU reference interpreter vs the simulator (openuh_base),
+//                 byte-exact array results.
+//   kSafaraOnOff— openuh_base vs openuh_safara_clauses on the simulator:
+//                 optimizations must never change observable behaviour.
+//   kDispatch   — superblock vs reference dispatch engine: identical results
+//                 AND identical LaunchStats.
+//   kThreads    — 1 vs 4 simulator threads: identical results and stats.
+//
+// run_oracle never throws: compile/runtime exceptions become Status::kError,
+// which the harness counts as a divergence too (a generated program that one
+// side rejects is as much a bug as a wrong answer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/decl.hpp"
+#include "driver/reference.hpp"
+#include "rt/args.hpp"
+
+namespace safara::fuzz {
+
+enum class Oracle : std::uint8_t {
+  kRoundtrip,
+  kRefVsSim,
+  kSafaraOnOff,
+  kDispatch,
+  kThreads,
+};
+
+const std::vector<Oracle>& all_oracles();
+const char* to_string(Oracle o);
+/// Parses an oracle name ("roundtrip", "ref-vs-sim", "safara-on-off",
+/// "dispatch", "threads"). Returns false on unknown names.
+bool parse_oracle(std::string_view name, Oracle& out);
+
+enum class Status : std::uint8_t { kOk, kDiverged, kError };
+const char* to_string(Status s);
+
+struct OracleResult {
+  Oracle oracle = Oracle::kRoundtrip;
+  Status status = Status::kOk;
+  std::string detail;  // divergence description or exception text
+};
+
+/// Host-side argument set for one program run.
+struct ArgSet {
+  std::map<std::string, driver::HostArray> arrays;
+  std::map<std::string, rt::ScalarValue> scalars;
+};
+
+/// Reconstructs a runnable, deterministic argument set from nothing but the
+/// parameter list, using the generator's conventions: n=24, m=16, other int
+/// scalars 8, float scalars 1.5, double scalars 2.5; rank-1 arrays length n,
+/// rank-2 arrays [n][m]; contents from a name-seeded xorshift fill (floats in
+/// [0.25, 1.25], ints in [0, 96]). This is what makes a corpus .acc file or a
+/// reduced candidate runnable from its source text alone.
+/// Throws std::runtime_error on extents it cannot evaluate.
+ArgSet derive_args(const ast::Function& fn);
+
+struct OracleOptions {
+  /// Miscompile injection for testing the harness itself: side B of
+  /// kRefVsSim / kSafaraOnOff compiles a mutated program (first '+' flipped
+  /// to '-'), which the oracle must then catch.
+  bool inject_miscompile = false;
+};
+
+OracleResult run_oracle(const std::string& source, Oracle o,
+                        const OracleOptions& opts = {});
+
+}  // namespace safara::fuzz

@@ -1,0 +1,241 @@
+#include "fuzz/reducer.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ast/printer.hpp"
+#include "parse/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace safara::fuzz {
+
+namespace {
+
+/// Applies the `target`-th edit of a deterministic in-order enumeration of
+/// every simplification site in the program. A fresh parse of the same source
+/// always enumerates the same edits in the same order, so the reducer can
+/// address candidate edits by ordinal alone.
+class EditApplier {
+ public:
+  explicit EditApplier(int target) : target_(target) {}
+
+  /// Returns true if edit #target existed (and has been applied).
+  bool apply(ast::Program& prog) {
+    for (ast::FunctionPtr& fn : prog.functions) {
+      edit_params(*fn);
+      edit_block(*fn->body);
+      if (applied_) break;
+    }
+    return applied_;
+  }
+
+ private:
+  bool take() {
+    if (applied_) return false;
+    if (counter_++ == target_) {
+      applied_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void edit_params(ast::Function& fn) {
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (take()) {
+        fn.params.erase(fn.params.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Replaces b.stmts[i] with the contents of `inner` (loop/branch splice).
+  static void splice(ast::BlockStmt& b, std::size_t i, ast::BlockStmt& inner) {
+    std::vector<ast::StmtPtr> moved = std::move(inner.stmts);
+    auto at = b.stmts.begin() + static_cast<std::ptrdiff_t>(i);
+    at = b.stmts.erase(at);
+    b.stmts.insert(at, std::make_move_iterator(moved.begin()),
+                   std::make_move_iterator(moved.end()));
+  }
+
+  void edit_block(ast::BlockStmt& b) {
+    for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+      if (applied_) return;
+      ast::Stmt& s = *b.stmts[i];
+      if (take()) {
+        b.stmts.erase(b.stmts.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+      switch (s.kind) {
+        case ast::StmtKind::kBlock:
+          edit_block(s.as<ast::BlockStmt>());
+          break;
+        case ast::StmtKind::kFor: {
+          auto& f = s.as<ast::ForStmt>();
+          if (take()) {
+            splice(b, i, *f.body);  // drop the loop, keep one body instance
+            return;
+          }
+          if (f.directive) edit_directive(f);
+          if (applied_) return;
+          edit_expr(f.init);
+          edit_expr(f.bound);
+          edit_block(*f.body);
+          break;
+        }
+        case ast::StmtKind::kIf: {
+          auto& iff = s.as<ast::IfStmt>();
+          if (take()) {
+            splice(b, i, *iff.then_block);
+            return;
+          }
+          if (iff.else_block && take()) {
+            iff.else_block.reset();
+            return;
+          }
+          edit_expr(iff.cond);
+          edit_block(*iff.then_block);
+          if (iff.else_block) edit_block(*iff.else_block);
+          break;
+        }
+        case ast::StmtKind::kDecl: {
+          auto& d = s.as<ast::DeclStmt>();
+          if (d.init) edit_expr(d.init);
+          break;
+        }
+        case ast::StmtKind::kAssign: {
+          auto& a = s.as<ast::AssignStmt>();
+          if (a.op != ast::AssignOp::kAssign && take()) {
+            a.op = ast::AssignOp::kAssign;  // `+=` and friends become `=`
+            return;
+          }
+          edit_lhs(a.lhs);
+          edit_expr(a.rhs);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void edit_directive(ast::ForStmt& f) {
+    ast::AccDirective& d = *f.directive;
+    if (!d.is_offload() && take()) {
+      f.directive.reset();  // inner `loop vector/seq` pragmas can vanish whole
+      return;
+    }
+    if (d.gang_size && take()) { d.gang_size.reset(); return; }
+    if (d.vector_size && take()) { d.vector_size.reset(); return; }
+    if (d.has_vector && take()) {
+      d.has_vector = false;
+      d.vector_size.reset();
+      return;
+    }
+    if (d.collapse > 1 && take()) { d.collapse = 1; return; }
+    if (!d.dim_groups.empty() && take()) { d.dim_groups.clear(); return; }
+    if (!d.small_arrays.empty() && take()) { d.small_arrays.clear(); return; }
+    if (!d.copyin.empty() && take()) { d.copyin.clear(); return; }
+    if (!d.copyout.empty() && take()) { d.copyout.clear(); return; }
+    if (!d.copy.empty() && take()) { d.copy.clear(); return; }
+    if (!d.privates.empty() && take()) { d.privates.clear(); return; }
+    if (d.gang_size) edit_expr(d.gang_size);
+    if (d.vector_size) edit_expr(d.vector_size);
+  }
+
+  /// Assignment targets stay assignable: only their subscripts shrink.
+  void edit_lhs(ast::ExprPtr& lhs) {
+    if (lhs && lhs->kind == ast::ExprKind::kArrayRef) {
+      for (ast::ExprPtr& idx : lhs->as<ast::ArrayRef>().indices) edit_expr(idx);
+    }
+  }
+
+  void replace(ast::ExprPtr& slot, ast::ExprPtr&& child) {
+    ast::ExprPtr tmp = std::move(child);  // detach before the parent dies
+    slot = std::move(tmp);
+  }
+
+  void edit_expr(ast::ExprPtr& e) {
+    if (!e || applied_) return;
+    switch (e->kind) {
+      case ast::ExprKind::kBinary: {
+        auto& bin = e->as<ast::Binary>();
+        if (take()) { replace(e, std::move(bin.lhs)); return; }
+        if (take()) { replace(e, std::move(bin.rhs)); return; }
+        edit_expr(bin.lhs);
+        edit_expr(bin.rhs);
+        break;
+      }
+      case ast::ExprKind::kUnary:
+        if (take()) { replace(e, std::move(e->as<ast::Unary>().operand)); return; }
+        edit_expr(e->as<ast::Unary>().operand);
+        break;
+      case ast::ExprKind::kCast:
+        if (take()) { replace(e, std::move(e->as<ast::Cast>().operand)); return; }
+        edit_expr(e->as<ast::Cast>().operand);
+        break;
+      case ast::ExprKind::kCall: {
+        auto& c = e->as<ast::Call>();
+        if (!c.args.empty() && take()) { replace(e, std::move(c.args[0])); return; }
+        for (ast::ExprPtr& a : c.args) edit_expr(a);
+        break;
+      }
+      case ast::ExprKind::kArrayRef: {
+        if (take()) {
+          // 1, not 0: stays a valid subscript and a nonzero divisor.
+          e = std::make_unique<ast::IntLit>(1, e->loc);
+          return;
+        }
+        for (ast::ExprPtr& idx : e->as<ast::ArrayRef>().indices) edit_expr(idx);
+        break;
+      }
+      case ast::ExprKind::kIntLit: {
+        auto& lit = e->as<ast::IntLit>();
+        if (lit.value != 1 && take()) lit.value = 1;
+        break;
+      }
+      case ast::ExprKind::kFloatLit: {
+        auto& lit = e->as<ast::FloatLit>();
+        if (lit.value != 1.0 && take()) lit.value = 1.0;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  int target_;
+  int counter_ = 0;
+  bool applied_ = false;
+};
+
+}  // namespace
+
+ReduceResult reduce(const std::string& source, const Predicate& keep,
+                    int max_attempts) {
+  ReduceResult res;
+  res.source = source;
+  bool progress = true;
+  while (progress && res.attempts < max_attempts) {
+    progress = false;
+    for (int k = 0; res.attempts < max_attempts; ++k) {
+      DiagnosticEngine diags;
+      ast::Program prog = parse::parse_source(res.source, diags);
+      if (!diags.ok() || prog.functions.empty()) return res;
+      EditApplier applier(k);
+      if (!applier.apply(prog)) break;  // enumeration exhausted this round
+      std::string candidate = ast::to_source(prog);
+      if (candidate == res.source) continue;  // no-op edit, not worth a test
+      ++res.attempts;
+      if (keep(candidate)) {
+        res.source = std::move(candidate);
+        ++res.applied;
+        progress = true;
+        break;  // greedy: restart enumeration on the smaller program
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace safara::fuzz

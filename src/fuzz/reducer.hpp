@@ -1,0 +1,33 @@
+// Greedy test-case reducer for ACC-C programs.
+//
+// Given a program and a predicate ("does this candidate still show the bug?"),
+// repeatedly tries syntactic simplifications — statement deletion, loop /
+// if-branch splicing, directive clause removal, parameter removal, expression
+// and constant shrinking — keeping any edit the predicate accepts, until no
+// edit helps or the attempt budget runs out. Candidates are produced by
+// reprinting an edited AST, so every candidate is syntactically valid; the
+// predicate is expected to reject semantically broken ones (e.g. a deleted
+// declaration of a still-used local fails to compile, which a
+// status-preserving predicate will not accept).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace safara::fuzz {
+
+/// Returns true when the candidate still reproduces the behaviour of
+/// interest (e.g. the same oracle reports the same divergence).
+using Predicate = std::function<bool(const std::string& source)>;
+
+struct ReduceResult {
+  std::string source;  // the smallest accepted program
+  int attempts = 0;    // predicate evaluations spent
+  int applied = 0;     // edits accepted
+};
+
+/// `keep(source)` must be true on entry, or the input is returned unchanged.
+ReduceResult reduce(const std::string& source, const Predicate& keep,
+                    int max_attempts = 2000);
+
+}  // namespace safara::fuzz

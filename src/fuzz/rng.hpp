@@ -1,0 +1,46 @@
+// Deterministic, platform-independent PRNG for the fuzzer.
+//
+// std::mt19937 is portable but the standard distributions are not; every
+// draw here must produce the same program on every platform so a seed in a
+// bug report reproduces anywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace safara::fuzz {
+
+/// splitmix64: tiny, fast, and well distributed for this use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be positive.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability percent/100.
+  bool chance(int percent) { return static_cast<int>(below(100)) < percent; }
+
+  /// Uniformly picks one element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    return xs[below(xs.size())];
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace safara::fuzz

@@ -1,6 +1,7 @@
 #include "lex/lexer.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -185,7 +186,14 @@ Token Lexer::lex_number() {
     }
   } else {
     tok.kind = TokKind::kIntLit;
+    errno = 0;
     tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      // strtoll saturates to LLONG_MAX; accepting that silently turns
+      // `99999999999999999999` into a different number than written.
+      diags_.error(start, "integer literal '" + text + "' is out of range");
+      tok.int_value = 0;
+    }
     if (peek() == 'L' || peek() == 'l') advance();  // accepted, type is i64 anyway
     if (peek() == 'f' || peek() == 'F') {
       // `1f` style float literal.

@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -319,10 +320,26 @@ class Parser {
     }
     std::string tok(text_.substr(start, pos_ - start));
     if (is_int) {
-      out = Value(static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
-    } else {
-      out = Value(std::strtod(tok.c_str(), nullptr));
+      errno = 0;
+      const std::int64_t i = std::strtoll(tok.c_str(), nullptr, 10);
+      if (errno != ERANGE) {
+        out = Value(i);
+        return true;
+      }
+      // Integer wider than i64: fall back to the nearest double (documented
+      // in json.hpp) rather than silently saturating to INT64_MIN/MAX.
+      is_int = false;
     }
+    errno = 0;
+    const double d = std::strtod(tok.c_str(), nullptr);
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      // Overflow to infinity (e.g. "1e400") cannot round-trip: JSON has no
+      // Inf, so dump() would emit null. Reject instead of corrupting.
+      // Underflow (ERANGE with a denormal/zero result) keeps the rounded
+      // value, matching every mainstream JSON parser.
+      return fail("number out of range");
+    }
+    out = Value(d);
     return true;
   }
 

@@ -69,6 +69,11 @@ class Value {
 
   /// Parses `text` into `out`; on failure returns false and describes the
   /// problem in `*err` (byte offset included) when `err` is non-null.
+  ///
+  /// Number range rules: integer tokens that fit int64 stay exact integers;
+  /// wider integer tokens fall back to the nearest double; tokens whose
+  /// value overflows double (e.g. "1e400") fail the parse, since Inf cannot
+  /// be re-serialized as JSON.
   static bool parse(std::string_view text, Value& out, std::string* err = nullptr);
 
  private:

@@ -1,6 +1,11 @@
 #include "support/string_util.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
 
 namespace safara {
 
@@ -26,6 +31,33 @@ std::string_view trim(std::string_view s) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<long long> parse_int_strict(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);  // strtoll needs a terminated string
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  // strtoll skips leading whitespace; the strict contract does not.
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> env_int(const char* name) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  std::optional<long long> v = parse_int_strict(raw);
+  if (!v) {
+    static std::mutex mu;
+    static std::set<std::string>* warned = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(mu);
+    if (warned->insert(name).second) {
+      std::fprintf(stderr, "warning: ignoring %s='%s' (not an integer)\n", name, raw);
+    }
+  }
+  return v;
 }
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {

@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "support/string_util.hpp"
 #include "support/thread_pool.hpp"
 #include "vgpu/cache.hpp"
 #include "vir/liveness.hpp"
@@ -1459,9 +1460,8 @@ OverlapCheckMode g_overlap_mode = OverlapCheckMode::kAuto;
 int g_sim_dispatch_override = -1;  // -1 = use the environment/default
 
 int default_sim_threads() {
-  if (const char* env = std::getenv("SAFARA_SIM_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+  if (std::optional<long long> v = env_int("SAFARA_SIM_THREADS")) {
+    if (*v > 0 && *v <= std::numeric_limits<int>::max()) return static_cast<int>(*v);
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;

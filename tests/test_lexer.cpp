@@ -183,5 +183,24 @@ TEST(Lexer, AmpersandAloneIsError) {
   EXPECT_FALSE(diags.ok());
 }
 
+TEST(Lexer, IntLiteralOverflowIsDiagnosed) {
+  // strtoll saturates on overflow; before the ERANGE check the literal below
+  // silently became LLONG_MAX.
+  DiagnosticEngine diags;
+  Lexer lexer("99999999999999999999", diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.ok());
+  EXPECT_NE(diags.render().find("out of range"), std::string::npos) << diags.render();
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 0);  // poisoned, not saturated
+}
+
+TEST(Lexer, Int64BoundaryLiteralsStillLex) {
+  auto toks = lex("9223372036854775807 0");
+  EXPECT_EQ(toks[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 9223372036854775807LL);
+}
+
 }  // namespace
 }  // namespace safara::lex

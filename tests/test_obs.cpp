@@ -4,6 +4,8 @@
 // simulator computes (cycle counts, results).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,32 @@ TEST(ObsJson, IntegersStayExactAndIntegralDoublesReadable) {
   Value round;
   ASSERT_TRUE(Value::parse(frac.dump(), round, nullptr));
   EXPECT_EQ(round.as_double(), 0.625);
+}
+
+TEST(ObsJson, Int64BoundariesParseExactly) {
+  Value out;
+  std::string err;
+  ASSERT_TRUE(Value::parse("9223372036854775807", out, &err)) << err;
+  EXPECT_TRUE(out.is_int());
+  EXPECT_EQ(out.as_int(), std::numeric_limits<std::int64_t>::max());
+  ASSERT_TRUE(Value::parse("-9223372036854775808", out, &err)) << err;
+  EXPECT_TRUE(out.is_int());
+  EXPECT_EQ(out.as_int(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ObsJson, OutOfRangeNumbersDegradeOrFail) {
+  // Integers wider than int64 degrade to the nearest double (strtoll used to
+  // silently saturate them to INT64_MAX); doubles beyond the finite range are
+  // rejected outright because Inf cannot round-trip through JSON.
+  Value out;
+  std::string err;
+  ASSERT_TRUE(Value::parse("99999999999999999999999", out, &err)) << err;
+  EXPECT_TRUE(out.is_number());
+  EXPECT_FALSE(out.is_int());
+  EXPECT_DOUBLE_EQ(out.as_double(), 1e23);
+  EXPECT_FALSE(Value::parse("1e400", out, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+  EXPECT_FALSE(Value::parse("-1e400", out, &err));
 }
 
 TEST(ObsJson, ParserRejectsMalformedInput) {

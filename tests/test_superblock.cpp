@@ -6,6 +6,7 @@
 // shared thread pool.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -157,6 +158,36 @@ TEST(EvalGrid, ParallelismRespectsBudgetAndCellCount) {
   driver::set_grid_threads(1);
   EXPECT_EQ(driver::grid_parallelism(100), 1);
   driver::set_grid_threads(0);  // back to SAFARA_GRID_THREADS / sim_threads()
+}
+
+TEST(EvalGrid, GridThreadsEnvParsedStrictly) {
+  // With no programmatic override, grid_threads() reads SAFARA_GRID_THREADS
+  // per call. Malformed values ("2abc" was worth 2 under atoi, "abc" worth 0)
+  // must be ignored in favour of the sim_threads() fallback.
+  DispatchGuard guard;
+  driver::set_grid_threads(0);
+  vgpu::set_sim_threads(5);  // pins the fallback so it is distinguishable
+  const char* kVar = "SAFARA_GRID_THREADS";
+  const char* saved = std::getenv(kVar);
+  const std::string saved_copy = saved ? saved : "";
+
+  ::unsetenv(kVar);
+  EXPECT_EQ(driver::grid_threads(), 5);
+  ::setenv(kVar, "2", 1);
+  EXPECT_EQ(driver::grid_threads(), 2);
+  for (const char* bad : {"abc", "2abc", "", " 2", "-1", "0"}) {
+    ::setenv(kVar, bad, 1);
+    EXPECT_EQ(driver::grid_threads(), 5) << "value: '" << bad << "'";
+  }
+  ::setenv(kVar, "2", 1);
+  driver::set_grid_threads(7);  // programmatic override beats the env
+  EXPECT_EQ(driver::grid_threads(), 7);
+
+  if (saved) {
+    ::setenv(kVar, saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv(kVar);
+  }
 }
 
 TEST(EvalGrid, CellResultsBitIdenticalAcrossParallelism) {

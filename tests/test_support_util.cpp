@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -64,6 +65,33 @@ TEST(StringUtil, Trim) {
   EXPECT_EQ(trim("  x  "), "x");
   EXPECT_EQ(trim("\t\n"), "");
   EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(StringUtil, ParseIntStrict) {
+  EXPECT_EQ(parse_int_strict("42"), 42);
+  EXPECT_EQ(parse_int_strict("-7"), -7);
+  EXPECT_EQ(parse_int_strict("0"), 0);
+  EXPECT_EQ(parse_int_strict("+3"), 3);
+  // atoi would accept all of these; the strict parser must not.
+  EXPECT_EQ(parse_int_strict(""), std::nullopt);
+  EXPECT_EQ(parse_int_strict(" 42"), std::nullopt);
+  EXPECT_EQ(parse_int_strict("42 "), std::nullopt);
+  EXPECT_EQ(parse_int_strict("42x"), std::nullopt);
+  EXPECT_EQ(parse_int_strict("x42"), std::nullopt);
+  EXPECT_EQ(parse_int_strict("-"), std::nullopt);
+  EXPECT_EQ(parse_int_strict("99999999999999999999"), std::nullopt);  // overflow
+}
+
+TEST(StringUtil, EnvIntParsesStrictly) {
+  ::unsetenv("SAFARA_TEST_ENV_INT");
+  EXPECT_EQ(env_int("SAFARA_TEST_ENV_INT"), std::nullopt);
+  ::setenv("SAFARA_TEST_ENV_INT", "6", 1);
+  EXPECT_EQ(env_int("SAFARA_TEST_ENV_INT"), 6);
+  ::setenv("SAFARA_TEST_ENV_INT", "6abc", 1);  // atoi would have read 6
+  EXPECT_EQ(env_int("SAFARA_TEST_ENV_INT"), std::nullopt);
+  ::setenv("SAFARA_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(env_int("SAFARA_TEST_ENV_INT"), std::nullopt);
+  ::unsetenv("SAFARA_TEST_ENV_INT");
 }
 
 TEST(StringUtil, StartsWithAndJoin) {
