@@ -116,6 +116,20 @@ inline void add_timings(std::map<std::string, double>& counters, const std::stri
   counters["sim_ms." + config] = r.sim_ms;
 }
 
+/// Adds the allocated-register footprint of one config's run to a counter
+/// row: `regs_after.<config>` is the sum of the ptxas-sim register counts
+/// over the workload's kernels, plus the raw simulated cycles. These are the
+/// counters the register-regression gate in tools/check_perf_regression.py
+/// sums (fail when regs_after grows beyond the baseline tolerance).
+inline void add_register_counters(std::map<std::string, double>& counters,
+                                  const std::string& config,
+                                  const workloads::RunResult& r) {
+  double regs = 0.0;
+  for (const workloads::KernelMetrics& k : r.kernels) regs += k.regs;
+  counters["regs_after." + config] = regs;
+  counters["cycles." + config] = static_cast<double>(r.cycles);
+}
+
 /// Accumulates every counter set registered by this binary so `--json FILE`
 /// can dump the whole table/figure as one machine-readable document — the
 /// substrate the perf-trajectory files (BENCH_*.json) are built from.

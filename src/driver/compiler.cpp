@@ -3,9 +3,13 @@
 #include <mutex>
 #include <unordered_map>
 
+#include <algorithm>
+#include <sstream>
+
 #include "ast/hash.hpp"
 #include "parse/parser.hpp"
 #include "sema/sema.hpp"
+#include "support/string_util.hpp"
 
 namespace safara::driver {
 
@@ -40,19 +44,32 @@ std::unordered_map<FeedbackKey, int, FeedbackKeyHash> g_feedback_cache;
 
 // Everything besides the AST that the feedback pipeline's answer depends on.
 // SafaraOptions are deliberately excluded: they steer which mutations get
-// *tried*, not what a given mutated AST compiles to.
+// *tried*, not what a given mutated AST compiles to. The VIR opt level is
+// included: the pipeline runs inside feedback compiles too, and a register
+// count measured at one level must never answer a query at another.
 std::uint64_t feedback_options_fingerprint(const codegen::CodegenOptions& cg,
-                                           const regalloc::AllocatorOptions& ra) {
+                                           const regalloc::AllocatorOptions& ra,
+                                           int opt_level) {
   std::uint64_t bits = 0;
   bits |= cg.honor_dim ? 1u : 0u;
   bits |= cg.honor_small ? 2u : 0u;
   bits |= cg.licm ? 4u : 0u;
   bits |= cg.cse_loads_within_stmt ? 8u : 0u;
+  bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opt_level) & 3u) << 4;
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.max_registers)) << 8;
   return bits;
 }
 
 }  // namespace
+
+int default_opt_level() {
+  static const int level = [] {
+    const std::optional<long long> v = env_int("SAFARA_OPT_LEVEL");
+    if (!v) return 2;
+    return static_cast<int>(std::clamp<long long>(*v, 0, 2));
+  }();
+  return level;
+}
 
 void clear_safara_feedback_cache() {
   std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
@@ -187,7 +204,8 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     sopts.latency = opts_.device.lat;
     sopts.max_registers = std::min(sopts.max_registers, opts_.device.max_registers_per_thread);
     const codegen::CodegenOptions cg = codegen_options();
-    const std::uint64_t opts_fp = feedback_options_fingerprint(cg, opts_.regalloc);
+    const std::uint64_t opts_fp =
+        feedback_options_fingerprint(cg, opts_.regalloc, opts_.opt_level);
     auto feedback = [&](ast::Function& f, int region_index) -> int {
       obs::ScopedSpan fb_span(tracer, "safara.feedback_compile", "safara");
       FeedbackKey key;
@@ -221,6 +239,10 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
       if (!fb_diags.ok()) {
         throw CompileError("SAFARA feedback codegen failed:\n" + fb_diags.render());
       }
+      // The feedback answer must be measured on the same IR the final
+      // pipeline allocates: registers the cleanup frees are headroom SAFARA
+      // is allowed to spend on more scalar replacement.
+      vir::passes::run_pipeline(res.kernel, opts_.opt_level);
       regalloc::AllocationResult alloc = regalloc::allocate(res.kernel, opts_.regalloc);
       if (opts_.safara_feedback_cache) {
         std::lock_guard<std::mutex> lock(g_feedback_cache_mu);
@@ -260,6 +282,13 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     ck.name = res.kernel.name;
     ck.plan = std::move(res.plan);
     {
+      obs::ScopedSpan vir_span(tracer, "vir.passes", "backend");
+      ck.vir_stats = vir::passes::run_pipeline(res.kernel, opts_.opt_level);
+      vir_span.set_arg("opt_level", obs::json::Value(opts_.opt_level));
+      vir_span.set_arg("pressure_before", obs::json::Value(ck.vir_stats.pressure_before));
+      vir_span.set_arg("pressure_after", obs::json::Value(ck.vir_stats.pressure_after));
+    }
+    {
       obs::ScopedSpan alloc_span(tracer, "regalloc", "backend");
       ck.alloc = regalloc::allocate(res.kernel, opts_.regalloc);
       alloc_span.set_arg("regs_used", obs::json::Value(ck.alloc.regs_used));
@@ -271,6 +300,13 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
       collector_->metrics.add("driver.kernels");
       collector_->metrics.set("regalloc.regs_used." + ck.name, ck.alloc.regs_used);
       collector_->metrics.set("regalloc.spill_bytes." + ck.name, ck.alloc.spill_bytes);
+      collector_->metrics.add("vir.copyprop_removed", ck.vir_stats.copyprop_removed);
+      collector_->metrics.add("vir.gvn_hits", ck.vir_stats.gvn_hits);
+      collector_->metrics.add("vir.dce_removed", ck.vir_stats.dce_removed);
+      collector_->metrics.add("vir.strength_reduced", ck.vir_stats.strength_reduced);
+      collector_->metrics.add("vir.sched_moves", ck.vir_stats.sched_moves);
+      collector_->metrics.set("vir.regs_before." + ck.name, ck.vir_stats.pressure_before);
+      collector_->metrics.set("vir.regs_after." + ck.name, ck.vir_stats.pressure_after);
     }
 
     // Record the clause assertions for launch-time verification.
@@ -301,6 +337,16 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     out.fallback = std::make_unique<CompiledProgram>(fb_compiler.compile(fn));
   }
   return out;
+}
+
+std::string dump_vir(const CompiledProgram& prog) {
+  std::ostringstream os;
+  for (const CompiledKernel& k : prog.kernels) {
+    os << "==== " << k.name << " ====\n"
+       << k.ptxas_info() << "\n"
+       << vir::to_string(k.kernel);
+  }
+  return os.str();
 }
 
 }  // namespace safara::driver

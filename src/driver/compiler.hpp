@@ -22,10 +22,15 @@
 #include "opt/unroll.hpp"
 #include "regalloc/regalloc.hpp"
 #include "vgpu/device.hpp"
+#include "vir/passes/passes.hpp"
 
 namespace safara::driver {
 
 enum class Persona : std::uint8_t { kOpenUH, kPgiLike };
+
+/// The VIR optimization level the process defaults to: SAFARA_OPT_LEVEL
+/// (clamped to 0..2) when set and parseable, otherwise 2.
+int default_opt_level();
 
 struct CompilerOptions {
   Persona persona = Persona::kOpenUH;
@@ -47,6 +52,13 @@ struct CompilerOptions {
   /// regalloc; because that pipeline is deterministic, cached and uncached
   /// runs produce identical SafaraReports (guarded by tests).
   bool safara_feedback_cache = true;
+  /// Machine-independent VIR optimizer level (src/vir/passes), applied
+  /// between codegen and regalloc everywhere a kernel is lowered — including
+  /// SAFARA's feedback compiles, so registers the cleanup frees become
+  /// scalar-replacement headroom. 0 = off (the pre-pipeline behaviour),
+  /// 1 = copy propagation + DCE, 2 = + strength reduction, GVN, and
+  /// pressure-aware scheduling.
+  int opt_level = default_opt_level();
   opt::SafaraOptions safara;
   opt::CarrKennedyOptions carr_kennedy;
   opt::UnrollOptions unroll;
@@ -84,6 +96,8 @@ struct CompiledKernel {
   vir::Kernel kernel;
   codegen::LaunchPlan plan;
   regalloc::AllocationResult alloc;
+  /// What the VIR pass pipeline did to this kernel (all zeros at level 0).
+  vir::passes::PassStats vir_stats;
   /// What the clauses asserted (for launch-time verification).
   ClauseChecks checks;
 
@@ -103,6 +117,12 @@ struct CompiledProgram {
   /// asked to verify clauses); kernels pair up by index.
   std::unique_ptr<CompiledProgram> fallback;
 };
+
+/// Canonical VIR dump of every kernel in the program: the `ptxas -v`
+/// feedback line followed by the disassembly, under `==== name ====`
+/// headers. This is the byte-exact format the golden-IR snapshot tests and
+/// `safcc --dump-vir` share (tools/update_golden.py regenerates snapshots).
+std::string dump_vir(const CompiledProgram& prog);
 
 /// Drops every entry of the process-wide SAFARA feedback-compile cache.
 /// Tests that assert cold-cache behavior (or byte-identical metrics across

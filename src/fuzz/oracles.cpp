@@ -16,7 +16,7 @@ namespace safara::fuzz {
 const std::vector<Oracle>& all_oracles() {
   static const std::vector<Oracle> kAll = {
       Oracle::kRoundtrip, Oracle::kRefVsSim, Oracle::kSafaraOnOff,
-      Oracle::kDispatch, Oracle::kThreads,
+      Oracle::kDispatch, Oracle::kThreads, Oracle::kOptVsNoopt,
   };
   return kAll;
 }
@@ -28,6 +28,7 @@ const char* to_string(Oracle o) {
     case Oracle::kSafaraOnOff: return "safara-on-off";
     case Oracle::kDispatch: return "dispatch";
     case Oracle::kThreads: return "threads";
+    case Oracle::kOptVsNoopt: return "opt-vs-noopt";
   }
   return "?";
 }
@@ -444,6 +445,95 @@ OracleResult threads_oracle(const std::string& source) {
   return r;
 }
 
+/// The pass-pipeline differential: --opt-level 0 vs 2 under the full
+/// safara_clauses configuration. Results must be byte-exact and the
+/// LaunchStats metadata compatible: identical launch counts, identical
+/// global stores and atomics (passes never touch side effects), and the
+/// optimized side may only shed global loads (DCE deletes dead loads;
+/// nothing may invent one). Registers are bounded on a separate base-config
+/// compile, because under safara_clauses the feedback loop deliberately
+/// reinvests freed registers in more scalar replacement.
+OracleResult opt_vs_noopt_oracle(const std::string& source, bool inject) {
+  OracleResult r{Oracle::kOptVsNoopt, Status::kOk, ""};
+  SimKnobGuard guard;
+  vgpu::set_sim_threads(1);
+
+  driver::CompilerOptions off = driver::CompilerOptions::openuh_safara_clauses();
+  off.opt_level = 0;
+  driver::CompilerOptions on = off;
+  on.opt_level = 2;
+  driver::Compiler c_off(off);
+  driver::CompiledProgram prog_a = c_off.compile(source);
+  driver::Compiler c_on(on);
+  driver::CompiledProgram prog_b = c_on.compile(inject ? mutate_source(source) : source);
+
+  ast::Program parsed = parse_or_throw(source);
+  ArgSet data_a = derive_args(*parsed.functions.front());
+  ArgSet data_b = derive_args(*parsed.functions.front());
+  std::vector<vgpu::LaunchStats> stats_a = run_on_sim(prog_a, data_a);
+  std::vector<vgpu::LaunchStats> stats_b = run_on_sim(prog_b, data_b);
+
+  std::string why;
+  if (!results_equal(data_a, data_b, &why)) {
+    r.status = Status::kDiverged;
+    r.detail = "opt-level 0 vs 2 results: " + why;
+    return r;
+  }
+  if (stats_a.size() != stats_b.size()) {
+    r.status = Status::kDiverged;
+    r.detail = "opt-level 0 vs 2: launch count differs (" +
+               std::to_string(stats_a.size()) + " vs " + std::to_string(stats_b.size()) + ")";
+    return r;
+  }
+  for (std::size_t i = 0; i < stats_a.size(); ++i) {
+    const vgpu::LaunchStats& a = stats_a[i];
+    const vgpu::LaunchStats& b = stats_b[i];
+    std::ostringstream os;
+    if (a.global_stores != b.global_stores) {
+      os << "global_stores " << a.global_stores << " vs " << b.global_stores;
+    } else if (a.atomics != b.atomics) {
+      os << "atomics " << a.atomics << " vs " << b.atomics;
+    } else if (b.global_loads > a.global_loads) {
+      os << "optimized side gained global loads: " << a.global_loads << " vs "
+         << b.global_loads;
+    }
+    if (!os.str().empty()) {
+      r.status = Status::kDiverged;
+      r.detail = "opt-level 0 vs 2 stats for kernel " + std::to_string(i) + ": " + os.str();
+      return r;
+    }
+  }
+
+  // Pressure bound on the feedback-free base config: with SAFARA out of the
+  // picture, the pipeline must never raise a kernel's max live register
+  // pressure (the property every pass either preserves or is gated on).
+  // The allocator's final register count is NOT monotone here — linear scan
+  // on reshaped intervals can spend a couple more physical registers even
+  // at equal pressure — so the oracle bounds the pressure, not the count.
+  driver::CompilerOptions base_off = driver::CompilerOptions::openuh_base();
+  base_off.opt_level = 0;
+  driver::CompilerOptions base_on = base_off;
+  base_on.opt_level = 2;
+  driver::CompiledProgram base_a = driver::Compiler(base_off).compile(source);
+  driver::CompiledProgram base_b = driver::Compiler(base_on).compile(source);
+  if (base_a.kernels.size() == base_b.kernels.size()) {
+    for (std::size_t i = 0; i < base_a.kernels.size(); ++i) {
+      // At level 0 the pipeline is a no-op, so pressure_after is the raw
+      // codegen pressure; the optimized side must stay at or below it.
+      const int raw = base_a.kernels[i].vir_stats.pressure_after;
+      const int opt = base_b.kernels[i].vir_stats.pressure_after;
+      if (opt > raw) {
+        r.status = Status::kDiverged;
+        r.detail = "base-config live pressure grew under --opt-level 2 for kernel " +
+                   std::to_string(i) + ": " + std::to_string(raw) + " vs " +
+                   std::to_string(opt);
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 OracleResult run_oracle(const std::string& source, Oracle o,
@@ -456,6 +546,8 @@ OracleResult run_oracle(const std::string& source, Oracle o,
         return safara_on_off_oracle(source, opts.inject_miscompile);
       case Oracle::kDispatch: return dispatch_oracle(source);
       case Oracle::kThreads: return threads_oracle(source);
+      case Oracle::kOptVsNoopt:
+        return opt_vs_noopt_oracle(source, opts.inject_miscompile);
     }
     return {o, Status::kError, "unknown oracle"};
   } catch (const std::exception& e) {

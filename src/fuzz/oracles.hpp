@@ -11,6 +11,14 @@
 //   kDispatch   — superblock vs reference dispatch engine: identical results
 //                 AND identical LaunchStats.
 //   kThreads    — 1 vs 4 simulator threads: identical results and stats.
+//   kOptVsNoopt — the VIR pass pipeline off (--opt-level 0) vs full
+//                 (--opt-level 2) on openuh_safara_clauses: byte-exact
+//                 results plus LaunchStats compatibility (same launches,
+//                 stores and atomics; the optimized side may only shed
+//                 global loads, never add them). A base-config compile of
+//                 both levels additionally bounds the max live register
+//                 pressure: without the SAFARA feedback loop in play,
+//                 optimizing must never raise a kernel's pressure.
 //
 // run_oracle never throws: compile/runtime exceptions become Status::kError,
 // which the harness counts as a divergence too (a generated program that one
@@ -35,12 +43,13 @@ enum class Oracle : std::uint8_t {
   kSafaraOnOff,
   kDispatch,
   kThreads,
+  kOptVsNoopt,
 };
 
 const std::vector<Oracle>& all_oracles();
 const char* to_string(Oracle o);
 /// Parses an oracle name ("roundtrip", "ref-vs-sim", "safara-on-off",
-/// "dispatch", "threads"). Returns false on unknown names.
+/// "dispatch", "threads", "opt-vs-noopt"). Returns false on unknown names.
 bool parse_oracle(std::string_view name, Oracle& out);
 
 enum class Status : std::uint8_t { kOk, kDiverged, kError };

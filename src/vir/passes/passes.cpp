@@ -1,0 +1,535 @@
+#include "vir/passes/passes.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "vir/liveness.hpp"
+
+namespace safara::vir::passes {
+
+namespace {
+
+/// Definition count per virtual register. Multi-def registers are codegen's
+/// mutable slots; every pass treats them as opaque.
+std::vector<int> def_counts(const Kernel& k) {
+  std::vector<int> defs(k.num_vregs(), 0);
+  for (const Instr& in : k.code) {
+    if (has_dst(in.op) && in.dst != kNoReg) ++defs[in.dst];
+  }
+  return defs;
+}
+
+std::vector<int> use_counts(const Kernel& k) {
+  std::vector<int> uses(k.num_vregs(), 0);
+  for (const Instr& in : k.code) {
+    for_each_use(in, [&](std::uint32_t r) { ++uses[r]; });
+  }
+  return uses;
+}
+
+/// Replaces every operand read of `from` with `to`, program-wide. Only legal
+/// for single-def registers whose definitions carry the same value.
+void rewrite_uses(Kernel& k, std::uint32_t from, std::uint32_t to) {
+  for (Instr& in : k.code) {
+    if (in.a == from) in.a = to;
+    if (in.b == from) in.b = to;
+    if (in.c == from) in.c = to;
+  }
+}
+
+/// Compacts out instructions marked dead and remaps the label table (labels
+/// store instruction indices; branch operands store label ids and need no
+/// fixing). A label on a removed instruction moves to the next survivor.
+int remove_dead(Kernel& k, const std::vector<char>& dead) {
+  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
+  std::vector<std::int32_t> new_index(static_cast<std::size_t>(n) + 1, 0);
+  std::int32_t kept = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    new_index[static_cast<std::size_t>(i)] = kept;
+    if (!dead[static_cast<std::size_t>(i)]) ++kept;
+  }
+  new_index[static_cast<std::size_t>(n)] = kept;
+  if (kept == n) return 0;
+
+  std::vector<Instr> code;
+  code.reserve(static_cast<std::size_t>(kept));
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (!dead[static_cast<std::size_t>(i)]) code.push_back(k.code[static_cast<std::size_t>(i)]);
+  }
+  k.code = std::move(code);
+  for (std::int32_t& target : k.labels) {
+    if (target >= 0 && target <= n) target = new_index[static_cast<std::size_t>(target)];
+  }
+  return n - kept;
+}
+
+/// Like liveness.cpp's build_cfg, but every label position is also a block
+/// leader. Reconvergence labels (kCbr imm2) are thereby boundaries too, so
+/// in-block reordering can never move an instruction across any point the
+/// SIMT interpreter can transfer control to.
+std::vector<BasicBlock> build_pass_blocks(const Kernel& k) {
+  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
+  std::vector<char> leader(static_cast<std::size_t>(n), 0);
+  if (n > 0) leader[0] = 1;
+  auto mark = [&](std::int32_t i) {
+    if (i >= 0 && i < n) leader[static_cast<std::size_t>(i)] = 1;
+  };
+  for (std::int32_t t : k.labels) mark(t);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Instr& in = k.code[i];
+    if (in.op == Opcode::kBra || in.op == Opcode::kCbr) {
+      mark(k.target(static_cast<std::int32_t>(in.imm)));
+      mark(i + 1);
+    } else if (in.op == Opcode::kExit) {
+      mark(i + 1);
+    }
+  }
+
+  std::vector<BasicBlock> blocks;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (leader[static_cast<std::size_t>(i)]) {
+      if (!blocks.empty()) blocks.back().end = i;
+      blocks.push_back({i, n, {}});
+    }
+  }
+
+  std::vector<std::int32_t> block_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      block_of[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(b);
+    }
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    BasicBlock& bb = blocks[b];
+    if (bb.begin == bb.end) continue;
+    const Instr& last = k.code[bb.end - 1];
+    if (last.op == Opcode::kBra) {
+      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
+      if (t < n) bb.succs.push_back(block_of[static_cast<std::size_t>(t)]);
+    } else if (last.op == Opcode::kCbr) {
+      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
+      if (t < n) bb.succs.push_back(block_of[static_cast<std::size_t>(t)]);
+      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    } else if (last.op != Opcode::kExit) {
+      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+int max_live_pressure(const Kernel& k) {
+  if (k.code.empty()) return 0;
+  const std::vector<LiveInterval> intervals = compute_live_intervals(k);
+  std::vector<int> delta(k.code.size() + 2, 0);
+  for (const LiveInterval& iv : intervals) {
+    const int w = registers_of(k.vreg_types[iv.vreg]);
+    if (w == 0) continue;  // predicates live in their own file
+    delta[static_cast<std::size_t>(iv.start)] += w;
+    delta[static_cast<std::size_t>(iv.end) + 1] -= w;
+  }
+  int cur = 0, peak = 0;
+  for (int d : delta) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+int run_copy_propagation(Kernel& k) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<int> defs = def_counts(k);
+    std::vector<char> dead(k.code.size(), 0);
+    for (std::size_t i = 0; i < k.code.size(); ++i) {
+      const Instr& in = k.code[i];
+      if (in.op != Opcode::kMov || in.dst == kNoReg || in.a == kNoReg) continue;
+      if (in.dst == in.a) {  // identity copy: a no-op at any def count
+        dead[i] = 1;
+        changed = true;
+        continue;
+      }
+      if (defs[in.dst] != 1 || defs[in.a] != 1) continue;
+      if (k.vreg_types[in.dst] != k.vreg_types[in.a]) continue;
+      rewrite_uses(k, in.dst, in.a);
+      dead[i] = 1;
+      changed = true;
+    }
+    if (changed) removed += remove_dead(k, dead);
+  }
+  return removed;
+}
+
+namespace {
+
+// (opcode, op type, dst type, operands, immediates, flags) — everything a
+// pure instruction's value depends on.
+using GvnKey = std::tuple<std::uint8_t, std::uint8_t, std::uint8_t, std::uint32_t,
+                          std::uint32_t, std::uint32_t, std::int64_t, std::uint64_t,
+                          std::uint8_t>;
+
+GvnKey make_gvn_key(const Instr& in, const Kernel& k) {
+  std::uint32_t a = in.a, b = in.b;
+  // Normalize commutative operations where swapping is bit-exact: integer
+  // arithmetic/compares and predicate logic. Float add/mul/min/max are
+  // excluded (NaN propagation is order-sensitive).
+  const bool int_ty = in.type == VType::kI32 || in.type == VType::kI64;
+  const bool commutes =
+      (int_ty && (in.op == Opcode::kAdd || in.op == Opcode::kMul ||
+                  in.op == Opcode::kMin || in.op == Opcode::kMax ||
+                  in.op == Opcode::kSetEq || in.op == Opcode::kSetNe)) ||
+      in.op == Opcode::kPredAnd || in.op == Opcode::kPredOr;
+  if (commutes && a != kNoReg && b != kNoReg && a > b) std::swap(a, b);
+  std::uint64_t fbits = 0;
+  static_assert(sizeof fbits == sizeof in.fimm);
+  std::memcpy(&fbits, &in.fimm, sizeof fbits);
+  return {static_cast<std::uint8_t>(in.op), static_cast<std::uint8_t>(in.type),
+          static_cast<std::uint8_t>(k.vreg_types[in.dst]), a, b, in.c, in.imm,
+          fbits, in.flags};
+}
+
+}  // namespace
+
+int run_gvn(Kernel& k) {
+  if (k.code.empty()) return 0;
+  const Kernel snapshot = k;
+  const int pressure_before = max_live_pressure(k);
+  const std::vector<int> defs = def_counts(k);
+  const std::vector<BasicBlock> blocks = build_pass_blocks(k);
+  const std::size_t nb = blocks.size();
+
+  std::vector<std::vector<std::int32_t>> preds(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::int32_t s : blocks[b].succs) {
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<std::int32_t>(b));
+    }
+  }
+
+  std::vector<char> reachable(nb, 0);
+  std::deque<std::int32_t> work{0};
+  reachable[0] = 1;
+  while (!work.empty()) {
+    const std::int32_t b = work.front();
+    work.pop_front();
+    for (std::int32_t s : blocks[static_cast<std::size_t>(b)].succs) {
+      if (!reachable[static_cast<std::size_t>(s)]) {
+        reachable[static_cast<std::size_t>(s)] = 1;
+        work.push_back(s);
+      }
+    }
+  }
+
+  // Iterative dominator sets over block bitsets (the CFGs are tiny).
+  const std::size_t words = (nb + 63) / 64;
+  auto bit_get = [&](const std::vector<std::uint64_t>& bs, std::size_t i) {
+    return (bs[i / 64] >> (i % 64)) & 1;
+  };
+  std::vector<std::vector<std::uint64_t>> dom(nb, std::vector<std::uint64_t>(words, ~0ull));
+  dom[0].assign(words, 0);
+  dom[0][0] = 1;
+  bool dom_changed = true;
+  while (dom_changed) {
+    dom_changed = false;
+    for (std::size_t b = 1; b < nb; ++b) {
+      if (!reachable[b]) continue;
+      std::vector<std::uint64_t> next(words, ~0ull);
+      bool any_pred = false;
+      for (std::int32_t p : preds[b]) {
+        if (!reachable[static_cast<std::size_t>(p)]) continue;
+        any_pred = true;
+        for (std::size_t w = 0; w < words; ++w) next[w] &= dom[static_cast<std::size_t>(p)][w];
+      }
+      if (!any_pred) next.assign(words, 0);
+      next[b / 64] |= std::uint64_t{1} << (b % 64);
+      if (next != dom[b]) {
+        dom[b] = std::move(next);
+        dom_changed = true;
+      }
+    }
+  }
+
+  auto popcount = [&](const std::vector<std::uint64_t>& bs) {
+    int c = 0;
+    for (std::uint64_t w : bs) {
+      while (w) {
+        w &= w - 1;
+        ++c;
+      }
+    }
+    return c;
+  };
+
+  // idom(b) is the strict dominator with the largest dominator set.
+  std::vector<std::vector<std::int32_t>> children(nb);
+  for (std::size_t b = 1; b < nb; ++b) {
+    if (!reachable[b]) continue;
+    std::int32_t idom = -1;
+    int best = -1;
+    for (std::size_t d = 0; d < nb; ++d) {
+      if (d == b || !bit_get(dom[b], d)) continue;
+      const int size = popcount(dom[d]);
+      if (size > best) {
+        best = size;
+        idom = static_cast<std::int32_t>(d);
+      }
+    }
+    if (idom >= 0) children[static_cast<std::size_t>(idom)].push_back(static_cast<std::int32_t>(b));
+  }
+
+  int hits = 0;
+  std::vector<char> dead(k.code.size(), 0);
+  // DFS over the dominator tree; each block inherits (a copy of) the value
+  // table of its immediate dominator, so a hit always has a dominating def.
+  struct Frame {
+    std::int32_t block;
+    std::map<GvnKey, std::uint32_t> table;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, {}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const BasicBlock& bb = blocks[static_cast<std::size_t>(frame.block)];
+    for (std::int32_t i = bb.begin; i < bb.end; ++i) {
+      Instr& in = k.code[i];
+      if (dead[static_cast<std::size_t>(i)]) continue;
+      if (!is_pure(in.op) || !has_dst(in.op) || in.dst == kNoReg) continue;
+      if (defs[in.dst] != 1) continue;
+      bool stable = true;
+      for_each_use(in, [&](std::uint32_t r) {
+        if (defs[r] != 1) stable = false;
+      });
+      if (!stable) continue;
+      const GvnKey key = make_gvn_key(in, k);
+      auto it = frame.table.find(key);
+      if (it != frame.table.end()) {
+        rewrite_uses(k, in.dst, it->second);
+        dead[static_cast<std::size_t>(i)] = 1;
+        ++hits;
+      } else {
+        frame.table.emplace(key, in.dst);
+      }
+    }
+    for (std::int32_t c : children[static_cast<std::size_t>(frame.block)]) {
+      stack.push_back({c, frame.table});
+    }
+  }
+
+  if (hits == 0) return 0;
+  remove_dead(k, dead);
+  // Merging computations can lengthen the surviving value's live range (an
+  // immediate re-materialized per block is cheaper than one register pinned
+  // across the loop). The pipeline's contract is pressure-monotone, so any
+  // net loss reverts the whole pass.
+  if (max_live_pressure(k) > pressure_before) {
+    k = snapshot;
+    return 0;
+  }
+  return hits;
+}
+
+int run_dce(Kernel& k) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<int> uses = use_counts(k);
+    std::vector<char> dead(k.code.size(), 0);
+    for (std::size_t i = 0; i < k.code.size(); ++i) {
+      const Instr& in = k.code[i];
+      // Stores, atomics, branches, and exit have no dst and are never
+      // candidates. Global loads are side-effect-free in this machine model,
+      // so a load nobody reads is dead too.
+      if (!has_dst(in.op)) continue;
+      if (!is_pure(in.op) && in.op != Opcode::kLdGlobal) continue;
+      if (in.dst != kNoReg && uses[in.dst] > 0) continue;
+      dead[i] = 1;
+      changed = true;
+    }
+    if (changed) removed += remove_dead(k, dead);
+  }
+  return removed;
+}
+
+int run_strength_reduction(Kernel& k) {
+  const std::vector<int> defs = def_counts(k);
+  std::vector<std::int32_t> def_pos(k.num_vregs(), -1);
+  for (std::size_t i = 0; i < k.code.size(); ++i) {
+    const Instr& in = k.code[i];
+    if (has_dst(in.op) && in.dst != kNoReg && defs[in.dst] == 1) {
+      def_pos[in.dst] = static_cast<std::int32_t>(i);
+    }
+  }
+  // The literal integer value of `r` at instruction `at`, if known.
+  auto const_of = [&](std::uint32_t r, std::int32_t at, std::int64_t& out) {
+    if (r == kNoReg || defs[r] != 1) return false;
+    const std::int32_t d = def_pos[r];
+    if (d < 0 || d >= at) return false;
+    const Instr& din = k.code[static_cast<std::size_t>(d)];
+    if (din.op != Opcode::kMovImmI) return false;
+    out = din.imm;
+    return true;
+  };
+  auto to_mov = [](Instr& in, std::uint32_t src) {
+    in.op = Opcode::kMov;
+    in.a = src;
+    in.b = kNoReg;
+    in.c = kNoReg;
+    in.imm = 0;
+  };
+  auto to_imm = [](Instr& in, std::int64_t value) {
+    in.op = Opcode::kMovImmI;
+    in.a = kNoReg;
+    in.b = kNoReg;
+    in.c = kNoReg;
+    in.imm = value;
+  };
+
+  int reduced = 0;
+  for (std::size_t idx = 0; idx < k.code.size(); ++idx) {
+    Instr& in = k.code[idx];
+    // Integer identities only: the float analogues (x*1.0, x+0.0) are not
+    // bit-exact under -0.0 and NaN, and bit-exactness is the fuzz oracle's
+    // contract.
+    if (in.type != VType::kI32 && in.type != VType::kI64) continue;
+    const std::int32_t at = static_cast<std::int32_t>(idx);
+    std::int64_t ca = 0, cb = 0;
+    const bool has_ca = const_of(in.a, at, ca);
+    const bool has_cb = const_of(in.b, at, cb);
+    switch (in.op) {
+      case Opcode::kMul:
+        // Check the annihilator first so `0 * 2` folds straight to 0; the
+        // weaker rewrites below can then never re-fire on their own output.
+        if ((has_ca && ca == 0) || (has_cb && cb == 0)) {
+          to_imm(in, 0);
+          ++reduced;
+        } else if (has_cb && (cb == 1 || cb == 2 || cb == -1)) {
+          if (cb == 1) to_mov(in, in.a);
+          else if (cb == -1) {
+            in.op = Opcode::kNeg;
+            in.b = kNoReg;
+          } else {  // x*2 -> x+x: one ALU add beats the wide-multiply path
+            in.op = Opcode::kAdd;
+            in.b = in.a;
+          }
+          ++reduced;
+        } else if (has_ca && (ca == 1 || ca == 2 || ca == -1)) {
+          if (ca == 1) to_mov(in, in.b);
+          else if (ca == -1) {
+            in.op = Opcode::kNeg;
+            in.a = in.b;
+            in.b = kNoReg;
+          } else {
+            in.op = Opcode::kAdd;
+            in.a = in.b;
+          }
+          ++reduced;
+        }
+        break;
+      case Opcode::kAdd:
+        if (has_cb && cb == 0) {
+          to_mov(in, in.a);
+          ++reduced;
+        } else if (has_ca && ca == 0) {
+          to_mov(in, in.b);
+          ++reduced;
+        }
+        break;
+      case Opcode::kSub:
+        if (has_cb && cb == 0) {
+          to_mov(in, in.a);
+          ++reduced;
+        }
+        break;
+      case Opcode::kDiv:
+        if (has_cb && cb == 1) {
+          to_mov(in, in.a);
+          ++reduced;
+        }
+        break;
+      case Opcode::kRem:
+        if (has_cb && cb == 1) {
+          to_imm(in, 0);
+          ++reduced;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return reduced;
+}
+
+int run_pressure_scheduling(Kernel& k) {
+  if (k.code.empty()) return 0;
+  const Kernel snapshot = k;
+  const int pressure_before = max_live_pressure(k);
+  const std::vector<int> defs = def_counts(k);
+  const std::vector<BasicBlock> blocks = build_pass_blocks(k);
+
+  int moves = 0;
+  for (const BasicBlock& bb : blocks) {
+    // Bottom-up so a sunk producer's consumer has already reached its final
+    // slot; sinking moves instructions later only, which keeps the positions
+    // below the cursor stable.
+    for (std::int32_t i = bb.end - 2; i >= bb.begin; --i) {
+      const Instr in = k.code[i];
+      if (!is_pure(in.op) || !has_dst(in.op) || in.dst == kNoReg) continue;
+      if (defs[in.dst] != 1) continue;
+      bool movable = true;
+      for_each_use(in, [&](std::uint32_t r) {
+        if (defs[r] != 1) movable = false;  // a slot read must keep its place
+      });
+      if (!movable) continue;
+      std::int32_t first_use = -1;
+      for (std::int32_t p = i + 1; p < bb.end && first_use < 0; ++p) {
+        for_each_use(k.code[p], [&](std::uint32_t r) {
+          if (r == in.dst) first_use = p;
+        });
+      }
+      if (first_use <= i + 1) continue;  // already adjacent, or no in-block use
+      std::rotate(k.code.begin() + i, k.code.begin() + i + 1,
+                  k.code.begin() + first_use);
+      ++moves;
+    }
+  }
+
+  if (moves == 0) return 0;
+  // Strict gate: adjacency between a producer and its consumer costs issue
+  // stalls in the scoreboarded SM model, so reordering is only worth keeping
+  // when it actually lowers the peak — pressure-neutral shuffles revert.
+  if (max_live_pressure(k) >= pressure_before) {
+    k = snapshot;
+    return 0;
+  }
+  return moves;
+}
+
+PassStats run_pipeline(Kernel& k, int opt_level) {
+  PassStats s;
+  s.pressure_before = max_live_pressure(k);
+  s.pressure_after = s.pressure_before;
+  if (opt_level <= 0) return s;
+  s.copyprop_removed += run_copy_propagation(k);
+  s.dce_removed += run_dce(k);
+  if (opt_level >= 2) {
+    s.strength_reduced = run_strength_reduction(k);
+    // Strength reduction mints movs; fold them before value numbering so GVN
+    // sees canonical operands.
+    s.copyprop_removed += run_copy_propagation(k);
+    s.gvn_hits = run_gvn(k);
+    s.dce_removed += run_dce(k);
+    s.sched_moves = run_pressure_scheduling(k);
+  }
+  s.pressure_after = max_live_pressure(k);
+  return s;
+}
+
+}  // namespace safara::vir::passes

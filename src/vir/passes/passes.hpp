@@ -1,0 +1,68 @@
+// Machine-independent VIR optimizer pipeline, run between codegen and the
+// ptxas-sim register allocator. The passes exist to cut register pressure —
+// the quantity the paper's whole feedback loop is built around — not to
+// minimize instruction count for its own sake.
+//
+// VIR is not SSA: codegen materializes variables and loop induction
+// variables as multi-def "mutable slots". Every pass therefore restricts
+// itself to single-def virtual registers (def count == 1), which excludes
+// the slots automatically and makes the classic SSA arguments go through
+// unchanged. See docs/PASSES.md for each pass's legality argument.
+#pragma once
+
+#include "vir/vir.hpp"
+
+namespace safara::vir::passes {
+
+/// Per-kernel pipeline bookkeeping, surfaced as `vir.*` metrics and stamped
+/// on bench rows.
+struct PassStats {
+  int copyprop_removed = 0;   // mov instructions deleted by copy propagation
+  int gvn_hits = 0;           // redundant pure instructions deleted by GVN
+  int dce_removed = 0;        // dead instructions deleted
+  int strength_reduced = 0;   // mul/div/rem-by-constant rewrites
+  int sched_moves = 0;        // pure ops sunk toward their first use
+  int pressure_before = 0;    // peak live 32-bit register units pre-pipeline
+  int pressure_after = 0;     // ... and post-pipeline
+};
+
+/// Peak number of simultaneously live 32-bit register units (predicates are
+/// free, 64-bit values count twice), from the allocator's own hole-free
+/// intervals. This is the quantity the pipeline promises never to increase.
+int max_live_pressure(const Kernel& k);
+
+/// Forward-propagates `mov dst, src` through all uses of `dst` (both
+/// single-def, same type), then deletes the dead movs. Returns the number of
+/// instructions removed.
+int run_copy_propagation(Kernel& k);
+
+/// Dominator-based global value numbering over the structured block list:
+/// a pure instruction whose (opcode, type, operands, immediates) value was
+/// already computed by a dominating instruction is deleted and its uses
+/// redirected. Reverted wholesale if peak pressure would grow (merging
+/// immediates across blocks can lengthen live ranges). Returns hits.
+int run_gvn(Kernel& k);
+
+/// Deletes pure instructions (and side-effect-free global loads) whose
+/// destination has no remaining uses, iterating to a fixpoint. Never touches
+/// stores, atomics, branches, or exit. Returns instructions removed.
+int run_dce(Kernel& k);
+
+/// Integer-only strength reduction of operations against literal constants
+/// (x*0, x*1, x*2, x*-1, x+0, x-0, x/1, x%1). Float identities are excluded:
+/// they are not bit-exact under -0.0/NaN. Returns rewrites performed.
+int run_strength_reduction(Kernel& k);
+
+/// Sethi–Ullman-flavoured pressure scheduling: independent pure single-def
+/// ops sink within their basic block to just before their first use, which
+/// shortens their live range before linear scan. Reverted wholesale if peak
+/// pressure would grow. Returns instructions moved.
+int run_pressure_scheduling(Kernel& k);
+
+/// The pipeline behind --opt-level:
+///   0: nothing (today's behaviour)
+///   1: copy propagation + DCE
+///   2: + strength reduction, GVN, pressure scheduling
+PassStats run_pipeline(Kernel& k, int opt_level);
+
+}  // namespace safara::vir::passes

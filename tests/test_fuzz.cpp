@@ -185,6 +185,21 @@ TEST(FuzzHarness, InjectedMiscompileIsCaughtAndReduced) {
   EXPECT_EQ(r.status, Status::kDiverged) << d.reduced;
 }
 
+TEST(FuzzHarness, OptVsNooptCatchesInjectedMiscompile) {
+  // Same self-test for the pass-pipeline differential: the mutation lands on
+  // the --opt-level 2 side, so a clean pass here means the oracle really
+  // compares the two pipelines rather than compiling one program twice.
+  FuzzOptions opts;
+  opts.seed = 7;
+  opts.count = 1;
+  opts.oracles = {Oracle::kOptVsNoopt};
+  opts.inject_miscompile = true;
+  FuzzReport report = run_fuzz(opts);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].oracle, Oracle::kOptVsNoopt);
+  EXPECT_EQ(report.divergences[0].status, Status::kDiverged);
+}
+
 // -- reducer ------------------------------------------------------------------
 
 TEST(FuzzReducer, ShrinksWhilePredicateHolds) {

@@ -1,0 +1,148 @@
+// Golden-IR snapshot tests: compile every tests/golden/MANIFEST entry
+// in-process and require driver::dump_vir() to match the checked-in .vir
+// file byte-for-byte. A mismatch means codegen or the VIR pass pipeline
+// changed shape — review the diff, then re-bless with
+// `python3 tools/update_golden.py --bless`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+
+#ifndef SAFARA_GOLDEN_DIR
+#error "SAFARA_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace safara {
+namespace {
+
+struct Entry {
+  std::string kernel;
+  std::string config;
+  int opt_level = 0;
+};
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Entry> parse_manifest() {
+  bool ok = false;
+  const std::string text = read_file(std::string(SAFARA_GOLDEN_DIR) + "/MANIFEST", &ok);
+  EXPECT_TRUE(ok) << "cannot read " << SAFARA_GOLDEN_DIR << "/MANIFEST";
+  std::vector<Entry> entries;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    Entry e;
+    if (fields >> e.kernel >> e.config >> e.opt_level) entries.push_back(e);
+  }
+  return entries;
+}
+
+driver::CompilerOptions options_for(const std::string& config, bool* known) {
+  *known = true;
+  if (config == "base") return driver::CompilerOptions::openuh_base();
+  if (config == "small") return driver::CompilerOptions::openuh_small();
+  if (config == "small_dim") return driver::CompilerOptions::openuh_small_dim();
+  if (config == "safara") return driver::CompilerOptions::openuh_safara();
+  if (config == "safara_clauses") return driver::CompilerOptions::openuh_safara_clauses();
+  if (config == "pgi") return driver::CompilerOptions::pgi_like();
+  *known = false;
+  return {};
+}
+
+/// Points at the first line where the two dumps diverge, so a failure log
+/// localizes the change without printing both full dumps.
+std::string first_diff(const std::string& expected, const std::string& actual) {
+  std::istringstream ea(expected), aa(actual);
+  std::string el, al;
+  int lineno = 1;
+  while (true) {
+    const bool eok = static_cast<bool>(std::getline(ea, el));
+    const bool aok = static_cast<bool>(std::getline(aa, al));
+    if (!eok && !aok) return "dumps differ only in trailing bytes";
+    if (el != al || eok != aok) {
+      std::ostringstream out;
+      out << "first difference at line " << lineno << ":\n  golden: "
+          << (eok ? el : "<end of file>") << "\n  actual: " << (aok ? al : "<end of file>");
+      return out.str();
+    }
+    ++lineno;
+  }
+}
+
+TEST(GoldenVir, ManifestIsNonTrivial) {
+  const std::vector<Entry> entries = parse_manifest();
+  // The suite is only meaningful if it pins both the raw codegen (O0) and
+  // the full pipeline (O2) across a spread of kernels.
+  EXPECT_GE(entries.size(), 20u);
+  int o0 = 0, o2 = 0;
+  for (const Entry& e : entries) {
+    if (e.opt_level == 0) ++o0;
+    if (e.opt_level == 2) ++o2;
+  }
+  EXPECT_GE(o0, 5);
+  EXPECT_GE(o2, 5);
+}
+
+TEST(GoldenVir, DumpsMatchSnapshots) {
+  const std::vector<Entry> entries = parse_manifest();
+  ASSERT_FALSE(entries.empty());
+  for (const Entry& e : entries) {
+    SCOPED_TRACE(e.kernel + " " + e.config + " O" + std::to_string(e.opt_level));
+    bool ok = false;
+    const std::string source =
+        read_file(std::string(SAFARA_GOLDEN_DIR) + "/" + e.kernel + ".acc", &ok);
+    ASSERT_TRUE(ok) << "missing source " << e.kernel << ".acc";
+    bool known = false;
+    driver::CompilerOptions opts = options_for(e.config, &known);
+    ASSERT_TRUE(known) << "unknown config '" << e.config << "' in MANIFEST";
+    opts.opt_level = e.opt_level;
+    driver::Compiler compiler(opts);
+    driver::CompiledProgram prog;
+    ASSERT_NO_THROW(prog = compiler.compile(source, "")) << "compile failed";
+    const std::string actual = driver::dump_vir(prog);
+    const std::string golden_path = std::string(SAFARA_GOLDEN_DIR) + "/" + e.kernel + "." +
+                                    e.config + ".O" + std::to_string(e.opt_level) + ".vir";
+    const std::string expected = read_file(golden_path, &ok);
+    ASSERT_TRUE(ok) << "missing golden " << golden_path
+                    << " (run tools/update_golden.py --bless)";
+    if (actual != expected) {
+      ADD_FAILURE() << first_diff(expected, actual)
+                    << "\nif intentional: python3 tools/update_golden.py --bless";
+    }
+  }
+}
+
+// O2 snapshots must never be a superset of the O0 ones: the pipeline only
+// deletes or rewrites instructions, so each optimized dump stays no longer
+// than its unoptimized sibling.
+TEST(GoldenVir, OptimizedDumpsAreNoLonger) {
+  const std::vector<Entry> entries = parse_manifest();
+  for (const Entry& e : entries) {
+    if (e.opt_level != 2) continue;
+    bool ok0 = false, ok2 = false;
+    const std::string base = std::string(SAFARA_GOLDEN_DIR) + "/" + e.kernel + "." + e.config;
+    const std::string o0 = read_file(base + ".O0.vir", &ok0);
+    const std::string o2 = read_file(base + ".O2.vir", &ok2);
+    if (!ok0 || !ok2) continue;  // pair not pinned; nothing to compare
+    EXPECT_LE(std::count(o2.begin(), o2.end(), '\n'),
+              std::count(o0.begin(), o0.end(), '\n'))
+        << e.kernel << "." << e.config << ": O2 dump grew past the O0 dump";
+  }
+}
+
+}  // namespace
+}  // namespace safara

@@ -1,0 +1,120 @@
+// Boundary tests for the occupancy calculator — the channel through which
+// register pressure costs performance, and therefore the quantity the VIR
+// pass pipeline is ultimately trying to move. Every limiter, the register
+// granularity rounding, and the degenerate inputs are pinned here.
+#include <gtest/gtest.h>
+
+#include "vgpu/occupancy.hpp"
+
+namespace safara::vgpu {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::k20xm();
+
+TEST(Occupancy, WarpLimitedAtLowPressure) {
+  // 8 regs/thread, 256-thread blocks: 8 warps/block, registers allow
+  // 65536/(8*256)=32 blocks, warps allow 64/8=8 — warps bind first.
+  Occupancy occ = compute_occupancy(kSpec, 8, 256);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kWarps);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.ratio, 1.0);
+}
+
+TEST(Occupancy, RegisterLimitedAtHighPressure) {
+  // 64 regs/thread, 256-thread blocks: 65536/(64*256)=4 blocks by regs,
+  // 8 by warps — registers bind.
+  Occupancy occ = compute_occupancy(kSpec, 64, 256);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.ratio, 0.5);
+}
+
+TEST(Occupancy, GranularityRoundingCrossesABlockBoundary) {
+  // 32 vs 33 regs/thread at 256 threads: 33 rounds up to 40, dropping
+  // blocks-by-regs from 8 to 6. A one-register increase costs real
+  // occupancy only when it crosses the granularity multiple.
+  Occupancy at32 = compute_occupancy(kSpec, 32, 256);
+  Occupancy at33 = compute_occupancy(kSpec, 33, 256);
+  Occupancy at40 = compute_occupancy(kSpec, 40, 256);
+  EXPECT_EQ(at32.blocks_per_sm, 8);
+  EXPECT_EQ(at33.blocks_per_sm, 6);
+  EXPECT_EQ(at33.blocks_per_sm, at40.blocks_per_sm);
+  // Within one granularity bucket the count is flat.
+  EXPECT_EQ(compute_occupancy(kSpec, 34, 256).blocks_per_sm, at33.blocks_per_sm);
+  EXPECT_EQ(compute_occupancy(kSpec, 39, 256).blocks_per_sm, at33.blocks_per_sm);
+}
+
+TEST(Occupancy, BlockLimitedAtTinyBlocks) {
+  // 32-thread blocks, low pressure: warps allow 64 blocks, threads allow
+  // 64, but max_blocks_per_sm=16 binds.
+  Occupancy occ = compute_occupancy(kSpec, 8, 32);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_EQ(occ.blocks_per_sm, kSpec.max_blocks_per_sm);
+  EXPECT_EQ(occ.warps_per_sm, 16);
+}
+
+TEST(Occupancy, ThreadLimitedByOddBlockSize) {
+  // 680-thread blocks: ceil(680/32)=22 warps/block so warps allow 2,
+  // threads allow 2048/680=3 — warps still bind; shrink the warp budget
+  // by pressure so threads bind: 680 threads, 24 regs -> regs allow
+  // 65536/(24*22*32)=3; by_threads=3 < by_warps? by_warps=64/22=2.
+  // Construct a genuinely thread-limited point instead: 1024-thread
+  // blocks, 8 regs -> by_warps=64/32=2, by_threads=2048/1024=2, equal,
+  // warps reported (priority). Use 672 threads (21 warps): by_warps=3,
+  // by_threads=3 -> warps again. Thread-limited requires
+  // max_threads_per_sm/threads < max_warps/warps_per_block, i.e. a spec
+  // where warp slots outnumber thread slots; emulate with a custom spec.
+  DeviceSpec spec = kSpec;
+  spec.max_warps_per_sm = 128;  // warp slots no longer the bottleneck
+  Occupancy occ = compute_occupancy(spec, 8, 1024);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kThreads);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, PartialWarpBlocksRoundUpToFullWarps) {
+  // A 48-thread block occupies 2 warp slots (ceil 48/32), not 1.5.
+  Occupancy occ = compute_occupancy(kSpec, 8, 48);
+  EXPECT_EQ(occ.warps_per_sm, occ.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, ZeroBlocksWhenARegisterFootprintCannotFit) {
+  // 255 regs (the per-thread architectural max), 1024-thread blocks:
+  // rounded to 256, one block wants 256*1024 = 262144 > 65536 registers.
+  Occupancy occ = compute_occupancy(kSpec, kSpec.max_registers_per_thread, 1024);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.warps_per_sm, 0);
+  EXPECT_DOUBLE_EQ(occ.ratio, 0.0);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, DegenerateInputsAreClamped) {
+  // Zero/negative regs and threads clamp to 1 instead of dividing by zero.
+  Occupancy occ = compute_occupancy(kSpec, 0, 0);
+  EXPECT_GT(occ.blocks_per_sm, 0);
+  Occupancy neg = compute_occupancy(kSpec, -5, -7);
+  EXPECT_EQ(neg.blocks_per_sm, occ.blocks_per_sm);
+}
+
+TEST(Occupancy, MonotoneNonIncreasingInRegisters) {
+  // Occupancy as a function of regs/thread must never increase — this is
+  // the invariant that makes the pass pipeline's register savings safe to
+  // feed into the SAFARA budget loop.
+  int prev = compute_occupancy(kSpec, 1, 256).warps_per_sm;
+  for (int regs = 2; regs <= kSpec.max_registers_per_thread; ++regs) {
+    const int cur = compute_occupancy(kSpec, regs, 256).warps_per_sm;
+    EXPECT_LE(cur, prev) << "occupancy increased at regs=" << regs;
+    prev = cur;
+  }
+}
+
+TEST(Occupancy, LimiterNamesRoundTrip) {
+  EXPECT_STREQ(to_string(OccupancyLimiter::kWarps), "warps");
+  EXPECT_STREQ(to_string(OccupancyLimiter::kRegisters), "registers");
+  EXPECT_STREQ(to_string(OccupancyLimiter::kBlocks), "blocks");
+  EXPECT_STREQ(to_string(OccupancyLimiter::kThreads), "threads");
+}
+
+}  // namespace
+}  // namespace safara::vgpu

@@ -1,13 +1,18 @@
 // Optimization pass tests: the scalar-replacement transform itself (AST
-// shapes + functional equivalence), the SAFARA feedback pass, and the
-// Carr-Kennedy baseline with its sequentialization hazard.
+// shapes + functional equivalence), the SAFARA feedback pass, the
+// Carr-Kennedy baseline with its sequentialization hazard, and the
+// machine-independent VIR pass pipeline's structural properties.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "ast/printer.hpp"
 #include "opt/carr_kennedy.hpp"
 #include "opt/safara.hpp"
 #include "opt/scalar_replacement.hpp"
 #include "tests_common.hpp"
+#include "vir/passes/passes.hpp"
+#include "workloads/workloads.hpp"
 
 namespace safara::test {
 namespace {
@@ -297,6 +302,138 @@ TEST(CarrKennedy, SafaraDoesNotSequentialize) {
   auto prog = compiler.compile(kParallelCarried);
   std::string after = ast::to_source(*prog.transformed);
   EXPECT_EQ(after.find("loop seq"), std::string::npos) << after;
+}
+
+// -- VIR pass pipeline --------------------------------------------------------------
+//
+// Property tests over every workload in the suite: the raw (--opt-level 0)
+// kernels are the richest VIR corpus in the repo, so the structural
+// invariants below run against all of them rather than hand-built inputs.
+
+/// Raw VIR kernels for one workload: compiled at opt-level 0 so the
+/// pipeline under test sees exactly what codegen produced.
+std::vector<vir::Kernel> raw_kernels(const workloads::Workload& w) {
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.opt_level = 0;
+  driver::Compiler compiler(opts);
+  driver::CompiledProgram prog = compiler.compile(w.source, w.function);
+  std::vector<vir::Kernel> out;
+  for (auto& k : prog.kernels) out.push_back(std::move(k.kernel));
+  return out;
+}
+
+template <typename Pred>
+int count_ops(const vir::Kernel& k, Pred pred) {
+  return static_cast<int>(std::count_if(k.code.begin(), k.code.end(),
+                                        [&](const vir::Instr& in) { return pred(in.op); }));
+}
+
+TEST(VirPasses, EveryPassIsIdempotent) {
+  // Running any pass a second time on its own output must change nothing:
+  // a pass that keeps finding work on its own output either loops or
+  // oscillates between two forms.
+  using Runner = int (*)(vir::Kernel&);
+  const std::pair<const char*, Runner> passes[] = {
+      {"copy-propagation", vir::passes::run_copy_propagation},
+      {"gvn", vir::passes::run_gvn},
+      {"dce", vir::passes::run_dce},
+      {"strength-reduction", vir::passes::run_strength_reduction},
+      {"scheduling", vir::passes::run_pressure_scheduling},
+  };
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      for (const auto& [name, run] : passes) {
+        vir::Kernel copy = k;
+        run(copy);
+        const std::string once = vir::to_string(copy);
+        const int second = run(copy);
+        EXPECT_EQ(second, 0) << w.name << "/" << k.name << ": " << name
+                             << " found work on its own output";
+        EXPECT_EQ(vir::to_string(copy), once)
+            << w.name << "/" << k.name << ": " << name << " is not idempotent";
+      }
+    }
+  }
+}
+
+TEST(VirPasses, PipelineIsAFixpoint) {
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      vir::passes::run_pipeline(k, 2);
+      const std::string once = vir::to_string(k);
+      vir::passes::PassStats again = vir::passes::run_pipeline(k, 2);
+      EXPECT_EQ(again.copyprop_removed + again.gvn_hits + again.dce_removed +
+                    again.strength_reduced + again.sched_moves,
+                0)
+          << w.name << "/" << k.name << ": second pipeline run found work";
+      EXPECT_EQ(vir::to_string(k), once) << w.name << "/" << k.name;
+    }
+  }
+}
+
+TEST(VirPasses, SideEffectsAreNeverRemoved) {
+  // Stores, atomics and control flow are the kernel's observable behaviour;
+  // no pass combination may change their counts.
+  const auto is_side_effect = [](vir::Opcode op) {
+    return op == vir::Opcode::kStGlobal || op == vir::Opcode::kAtomAdd;
+  };
+  const auto is_branch = [](vir::Opcode op) {
+    return op == vir::Opcode::kBra || op == vir::Opcode::kCbr ||
+           op == vir::Opcode::kExit;
+  };
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      const int effects_before = count_ops(k, is_side_effect);
+      const int branches_before = count_ops(k, is_branch);
+      vir::passes::run_pipeline(k, 2);
+      EXPECT_EQ(count_ops(k, is_side_effect), effects_before)
+          << w.name << "/" << k.name << ": a store or atomic was deleted";
+      EXPECT_EQ(count_ops(k, is_branch), branches_before)
+          << w.name << "/" << k.name << ": control flow changed shape";
+    }
+  }
+}
+
+TEST(VirPasses, PipelineNeverRaisesLivePressure) {
+  // The contract the SAFARA feedback loop depends on: optimizing must never
+  // make the register situation worse, on any workload, at any level.
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      for (int level : {1, 2}) {
+        vir::Kernel copy = k;
+        vir::passes::PassStats s = vir::passes::run_pipeline(copy, level);
+        EXPECT_LE(s.pressure_after, s.pressure_before)
+            << w.name << "/" << k.name << " at opt-level " << level;
+        EXPECT_EQ(s.pressure_after, vir::passes::max_live_pressure(copy))
+            << w.name << "/" << k.name << ": stats disagree with the kernel";
+      }
+    }
+  }
+}
+
+TEST(VirPasses, LevelZeroIsIdentity) {
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      const std::string before = vir::to_string(k);
+      vir::passes::PassStats s = vir::passes::run_pipeline(k, 0);
+      EXPECT_EQ(vir::to_string(k), before) << w.name << "/" << k.name;
+      EXPECT_EQ(s.pressure_before, s.pressure_after);
+    }
+  }
+}
+
+TEST(VirPasses, PipelineShrinksAtLeastOneWorkload) {
+  // Guard against the pipeline silently becoming a no-op: across the whole
+  // suite it must delete a meaningful amount of code.
+  int removed = 0;
+  for (const workloads::Workload& w : workloads::all_workloads()) {
+    for (vir::Kernel k : raw_kernels(w)) {
+      const int before = static_cast<int>(k.code.size());
+      vir::passes::run_pipeline(k, 2);
+      removed += before - static_cast<int>(k.code.size());
+    }
+  }
+  EXPECT_GE(removed, 20) << "the pipeline stopped finding work across the suite";
 }
 
 }  // namespace

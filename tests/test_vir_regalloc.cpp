@@ -1,8 +1,12 @@
 // Tests for the virtual ISA utilities: CFG construction, liveness, and the
-// ptxas-sim linear-scan allocator (register counts, 64-bit pairing, spills).
+// ptxas-sim linear-scan allocator (register counts, 64-bit pairing, spills
+// with their full accounting, and end-to-end correctness under spilling).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "regalloc/regalloc.hpp"
+#include "tests_common.hpp"
 #include "vir/liveness.hpp"
 #include "vir/vir.hpp"
 
@@ -214,6 +218,103 @@ TEST(Regalloc, CapForcesSpills) {
   EXPECT_GT(res.spill_bytes, 0);
 }
 
+TEST(Regalloc, SpillAccountingMatchesSpilledSet) {
+  // spill_bytes, spill_loads and spill_stores must all be derivable from the
+  // `spilled` bit-vector plus the code: bytes from the vreg widths, loads
+  // from operand occurrences, stores from definitions.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 16; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  auto sink = b.reg(VType::kI32);
+  for (int i = 0; i + 1 < 16; ++i) {
+    b.emit(Opcode::kAdd, VType::kI32, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions opts;
+  opts.max_registers = 8;
+  auto res = regalloc::allocate(b.k, opts);
+  ASSERT_TRUE(res.any_spills());
+  ASSERT_EQ(res.spilled.size(), b.k.num_vregs());
+
+  int expected_bytes = 0, expected_loads = 0, expected_stores = 0;
+  for (std::uint32_t v = 0; v < b.k.num_vregs(); ++v) {
+    if (!res.spilled[v]) continue;
+    expected_bytes += 4 * registers_of(b.k.vreg_types[v]);
+    for (const Instr& in : b.k.code) {
+      if (has_dst(in.op) && in.dst == v) ++expected_stores;
+      for_each_use(in, [&](std::uint32_t u) {
+        if (u == v) ++expected_loads;
+      });
+    }
+  }
+  EXPECT_EQ(res.spill_bytes, expected_bytes);
+  EXPECT_EQ(res.spill_loads, expected_loads);
+  EXPECT_EQ(res.spill_stores, expected_stores);
+}
+
+TEST(Regalloc, TighterCapsNeverShrinkSpillTraffic) {
+  // Spill traffic as a function of the register cap must be monotone: fewer
+  // registers can only force more values to memory.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 24; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  auto sink = b.reg(VType::kI32);
+  for (int i = 0; i + 1 < 24; ++i) {
+    b.emit(Opcode::kAdd, VType::kI32, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+
+  int prev_bytes = -1;
+  for (int cap : {32, 16, 12, 8, 6}) {
+    regalloc::AllocatorOptions opts;
+    opts.max_registers = cap;
+    auto res = regalloc::allocate(b.k, opts);
+    EXPECT_LE(res.regs_used, cap) << "cap " << cap;
+    if (prev_bytes >= 0) {
+      EXPECT_GE(res.spill_bytes, prev_bytes)
+          << "cap " << cap << " spilled less than the looser cap before it";
+    }
+    prev_bytes = res.spill_bytes;
+  }
+  EXPECT_GT(prev_bytes, 0) << "the tightest cap never spilled";
+}
+
+TEST(Regalloc, SpilledF64CostsEightBytes) {
+  // Force a 64-bit value to memory: its slot must be 8 bytes, not 4.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 8; ++i) {
+    regs.push_back(b.reg(VType::kF64));
+    b.emit(Opcode::kMovImmF, VType::kF64, regs.back()).fimm = i;
+  }
+  auto sink = b.reg(VType::kF64);
+  for (int i = 0; i + 1 < 8; ++i) {
+    b.emit(Opcode::kAdd, VType::kF64, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kF64);
+
+  regalloc::AllocatorOptions opts;
+  opts.max_registers = 8;  // four 64-bit values fit; eight cannot
+  auto res = regalloc::allocate(b.k, opts);
+  ASSERT_TRUE(res.any_spills());
+  EXPECT_EQ(res.spill_bytes % 8, 0);
+  int spilled_count = 0;
+  for (std::uint32_t v = 0; v < b.k.num_vregs(); ++v) {
+    if (res.spilled[v]) ++spilled_count;
+  }
+  EXPECT_EQ(res.spill_bytes, spilled_count * 8);
+}
+
 TEST(Regalloc, PtxasInfoFormat) {
   KB b;
   auto r = b.reg(VType::kI32);
@@ -246,3 +347,70 @@ TEST(Vir, DisassemblyMentionsEveryOpcode) {
 
 }  // namespace
 }  // namespace safara::vir
+
+namespace safara::test {
+namespace {
+
+constexpr const char* kSpillStress = R"(
+void spill_stress(int n, int m, float alpha, const float b[n][m], float a[n][m]) {
+  #pragma acc parallel loop gang vector(64)
+  for (i = 2; i < n - 2; i++) {
+    #pragma acc loop seq
+    for (k = 2; k < m - 2; k++) {
+      a[i][k] = (b[i][k-2] + 2.0f * b[i][k-1] + 3.0f * b[i][k]
+                 + 2.0f * b[i][k+1] + b[i][k+2]) * alpha
+                + b[i-1][k] * b[i+1][k] - b[i-2][k] / (b[i+2][k] + 1.5f);
+    }
+  }
+})";
+
+TEST(RegallocEndToEnd, SpilledKernelStillComputesCorrectResults) {
+  // Clamp the register file hard enough to force spills, then demand the
+  // simulator (which charges local-memory traffic for them) still matches
+  // the CPU reference bit-for-bit. This is the path the VIR pipeline's
+  // pressure reductions are meant to keep cold.
+  const int n = 16, m = 24;
+  Data data;
+  data.arrays.emplace("b", f32_array({{0, n}, {0, m}}));
+  data.arrays.emplace("a", f32_array({{0, n}, {0, m}}));
+  fill_pattern(data.array("b"), 11);
+  data.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+  data.scalars.emplace("m", rt::ScalarValue::of_i32(m));
+  data.scalars.emplace("alpha", rt::ScalarValue::of_f32(0.75f));
+
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.regalloc.max_registers = 12;
+  driver::Compiler compiler(opts);
+  driver::CompiledProgram prog = compiler.compile(kSpillStress);
+  bool spilled = false;
+  for (const auto& k : prog.kernels) {
+    EXPECT_LE(k.alloc.regs_used, 12) << k.name;
+    spilled = spilled || k.alloc.any_spills();
+  }
+  EXPECT_TRUE(spilled) << "cap of 12 registers did not force a spill";
+  check_against_reference(kSpillStress, opts, data, 0.0);
+}
+
+TEST(RegallocEndToEnd, SpillTrafficShowsUpInLaunchStats) {
+  const int n = 16, m = 24;
+  Data data;
+  data.arrays.emplace("b", f32_array({{0, n}, {0, m}}));
+  data.arrays.emplace("a", f32_array({{0, n}, {0, m}}));
+  fill_pattern(data.array("b"), 3);
+  data.scalars.emplace("n", rt::ScalarValue::of_i32(n));
+  data.scalars.emplace("m", rt::ScalarValue::of_i32(m));
+  data.scalars.emplace("alpha", rt::ScalarValue::of_f32(1.25f));
+
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.regalloc.max_registers = 12;
+  driver::Compiler compiler(opts);
+  driver::CompiledProgram prog = compiler.compile(kSpillStress);
+  auto stats = run_sim(prog, data);
+  std::uint64_t spill_accesses = 0;
+  for (const auto& s : stats) spill_accesses += s.spill_accesses;
+  EXPECT_GT(spill_accesses, 0u)
+      << "the simulator charged no local-memory traffic for a spilled kernel";
+}
+
+}  // namespace
+}  // namespace safara::test

@@ -12,6 +12,13 @@ noisy and differ from the machine that produced the baseline, so the gate is
 meant to catch algorithmic regressions (the interpreter losing its fast
 path, a pass going quadratic), not percent-level drift.
 
+A second, tighter gate guards the simulated register footprint: the sum of
+every `regs_after.*` counter is deterministic (no host noise), so it fails
+at --max-reg-regression (default 10%) over the baseline. Register counts
+are what the VIR pass pipeline and SAFARA optimize; silently growing them
+is a product regression even when wall-clock looks fine. Baselines
+produced before these counters existed are skipped with a note.
+
 Refresh the baseline after intentional perf changes:
 
     ./build/bench/fig11_spec_vs_pgi --json bench/baselines/fig11_baseline.json
@@ -22,15 +29,46 @@ import json
 import sys
 
 
-def total_sim_ms(doc):
+def total_counter(doc, prefix):
     total = 0.0
     cells = 0
     for row in doc.get("rows", []):
         for key, value in row.items():
-            if key.startswith("sim_ms."):
+            if key.startswith(prefix):
                 total += float(value)
                 cells += 1
     return total, cells
+
+
+def total_sim_ms(doc):
+    return total_counter(doc, "sim_ms.")
+
+
+def check_registers(baseline, current, max_reg_regression):
+    """Deterministic register-footprint gate. Returns 0/1 like main."""
+    base_regs, base_cells = total_counter(baseline, "regs_after.")
+    cur_regs, cur_cells = total_counter(current, "regs_after.")
+    if base_cells == 0:
+        print("check_perf_regression: baseline predates regs_after counters; "
+              "register gate skipped (refresh the baseline to arm it)")
+        return 0
+    if cur_cells != base_cells:
+        print(
+            f"check_perf_regression: regs_after cell count changed "
+            f"({base_cells} baseline vs {cur_cells} current); "
+            f"refresh the baseline alongside the bench change"
+        )
+        return 1
+    ratio = cur_regs / base_regs if base_regs > 0 else 1.0
+    limit = 1.0 + max_reg_regression
+    print(
+        f"regs_after total: baseline {base_regs:.0f}, current {cur_regs:.0f} "
+        f"({ratio:.3f}x, limit {limit:.2f}x, {cur_cells} cells)"
+    )
+    if ratio > limit:
+        print(f"FAIL: allocated registers regressed beyond {max_reg_regression:.0%}")
+        return 1
+    return 0
 
 
 def main():
@@ -42,6 +80,13 @@ def main():
         type=float,
         default=0.25,
         help="allowed fractional slowdown over the baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-reg-regression",
+        type=float,
+        default=0.10,
+        help="allowed fractional growth of the summed regs_after.* counters "
+        "(default 0.10; deterministic, so much tighter than wall-clock)",
     )
     args = parser.parse_args()
 
@@ -80,6 +125,8 @@ def main():
             )
     if ratio > limit:
         print(f"FAIL: simulation wall-clock regressed beyond {args.max_regression:.0%}")
+        return 1
+    if check_registers(baseline, current, args.max_reg_regression):
         return 1
     print("OK")
     return 0

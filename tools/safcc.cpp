@@ -38,7 +38,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: safcc <file.acc> [--fn name] [--config base|small|small_dim|"
                "safara|safara_clauses|pgi]\n"
-               "             [--emit-vir] [--emit-source] [--unroll N] [--max-regs N]\n"
+               "             [--opt-level 0|1|2] [--emit-vir] [--dump-vir] [--emit-source]\n"
+               "             [--unroll N] [--max-regs N]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
                "             [--time-passes] [--workload NAME] [--sim-profile]\n"
                "             [--sim-threads N] [--sim-dispatch super|ref] [--sim-compare]\n");
@@ -183,12 +184,14 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   bool emit_vir = false;
+  bool dump_vir = false;
   bool emit_source = false;
   bool time_passes = false;
   bool sim_profile = false;
   bool sim_compare = false;
   int unroll = 0;
   int max_regs = 0;
+  int opt_level = -1;  // -1: keep the CompilerOptions default
   bool verify = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -242,7 +245,17 @@ int main(int argc, char** argv) {
       max_regs = parse_int_flag("--max-regs", value.c_str());
       continue;
     }
+    if (eat_value("--opt-level", &value)) {
+      opt_level = parse_int_flag("--opt-level", value.c_str());
+      if (opt_level < 0 || opt_level > 2) {
+        std::fprintf(stderr, "safcc: --opt-level expects 0, 1, or 2, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      continue;
+    }
     if (arg == "--emit-vir") emit_vir = true;
+    else if (arg == "--dump-vir") dump_vir = true;
     else if (arg == "--emit-source") emit_source = true;
     else if (arg == "--verify-clauses") verify = true;
     else if (arg == "--time-passes") time_passes = true;
@@ -293,6 +306,7 @@ int main(int argc, char** argv) {
     opts.unroll.factor = unroll;
   }
   if (max_regs > 0) opts.regalloc.max_registers = max_regs;
+  if (opt_level >= 0) opts.opt_level = opt_level;
   if (verify) opts.verify_clauses = true;
 
   // One collector for the whole invocation: compilation spans, metrics, and
@@ -342,6 +356,13 @@ int main(int argc, char** argv) {
   } catch (const CompileError& e) {
     std::fprintf(stderr, "safcc: %s\n", e.what());
     return 1;
+  }
+
+  // Canonical dump for the golden-IR snapshot tests: nothing but the dump on
+  // stdout, so tools/update_golden.py can capture it verbatim.
+  if (dump_vir) {
+    std::fputs(driver::dump_vir(prog).c_str(), stdout);
+    return 0;
   }
 
   std::printf("safcc: compiled %zu kernel(s) from '%s' [config %s]\n",

@@ -29,7 +29,8 @@ void usage() {
                "usage: safcc-fuzz [--seed N] [--count N] [--oracle NAME|all]...\n"
                "                  [--corpus-dir DIR] [--reduce] [--inject-miscompile]\n"
                "                  [--json FILE] [--emit-seed N]\n"
-               "oracles: roundtrip ref-vs-sim safara-on-off dispatch threads\n");
+               "oracles: roundtrip ref-vs-sim safara-on-off dispatch threads "
+               "opt-vs-noopt\n");
 }
 
 long long parse_int_flag(const char* flag, const char* value) {

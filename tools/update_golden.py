@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Check or re-bless the golden-IR snapshots in tests/golden/.
+
+Default mode verifies: for every MANIFEST entry it runs
+`safcc <kernel>.acc --config <config> --opt-level <n> --dump-vir` and
+compares the output byte-for-byte against the checked-in .vir file,
+printing a unified diff for any mismatch (exit 1).
+
+`--bless` rewrites the .vir files from the current compiler output instead.
+Bless only after reviewing the diff — the snapshots are the contract that
+codegen and the VIR pass pipeline are stable.
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def parse_manifest(path):
+    entries = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[2] not in ("0", "1", "2"):
+                sys.exit(f"{path}:{lineno}: expected '<kernel> <config> <0|1|2>', got {line!r}")
+            entries.append((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--safcc", default=os.path.join(REPO, "build", "tools", "safcc"),
+                    help="path to the safcc binary (default: build/tools/safcc)")
+    ap.add_argument("--golden-dir", default=os.path.join(REPO, "tests", "golden"),
+                    help="directory holding MANIFEST, *.acc and *.vir")
+    ap.add_argument("--bless", action="store_true",
+                    help="rewrite the .vir snapshots from current compiler output")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.safcc):
+        sys.exit(f"update_golden: safcc not found at {args.safcc} (build first, or pass --safcc)")
+
+    entries = parse_manifest(os.path.join(args.golden_dir, "MANIFEST"))
+    failures = 0
+    blessed = 0
+    for kernel, config, opt in entries:
+        source = os.path.join(args.golden_dir, f"{kernel}.acc")
+        golden = os.path.join(args.golden_dir, f"{kernel}.{config}.O{opt}.vir")
+        cmd = [args.safcc, source, "--config", config, "--opt-level", opt, "--dump-vir"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"FAIL {kernel} {config} O{opt}: safcc exited {proc.returncode}:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            failures += 1
+            continue
+        actual = proc.stdout
+        if args.bless:
+            old = open(golden).read() if os.path.exists(golden) else None
+            if old != actual:
+                with open(golden, "w") as f:
+                    f.write(actual)
+                blessed += 1
+                print(f"blessed {os.path.relpath(golden, REPO)}")
+            continue
+        if not os.path.exists(golden):
+            print(f"FAIL {kernel} {config} O{opt}: missing golden "
+                  f"{os.path.relpath(golden, REPO)} (run with --bless)", file=sys.stderr)
+            failures += 1
+            continue
+        expected = open(golden).read()
+        if actual != expected:
+            failures += 1
+            print(f"FAIL {kernel} {config} O{opt}: dump differs from "
+                  f"{os.path.relpath(golden, REPO)}:", file=sys.stderr)
+            diff = difflib.unified_diff(expected.splitlines(True), actual.splitlines(True),
+                                        fromfile="golden", tofile="safcc --dump-vir")
+            sys.stderr.writelines(diff)
+
+    if args.bless:
+        print(f"update_golden: {blessed} snapshot(s) rewritten, "
+              f"{len(entries) - blessed} unchanged"
+              + (f", {failures} compile failure(s)" if failures else ""))
+        return 1 if failures else 0
+    if failures:
+        print(f"update_golden: {failures}/{len(entries)} snapshot(s) differ "
+              f"(review, then tools/update_golden.py --bless)", file=sys.stderr)
+        return 1
+    print(f"update_golden: all {len(entries)} snapshot(s) match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
