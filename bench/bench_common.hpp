@@ -152,8 +152,9 @@ class JsonSink {
   }
 
   /// Writes {"benchmark": ..., "rows": [{"name":..., counters...}]}; every
-  /// row carries the dispatch engine, grid parallelism, and sim thread count
-  /// it was produced under.
+  /// row carries the dispatch engine, grid parallelism, sim thread count, and
+  /// compiler opt level it was produced under, so baseline files are
+  /// self-describing and perf trajectories can be compared like-for-like.
   bool write(const std::string& path, const std::string& binary_name) const {
     obs::json::Value doc = obs::json::Value::object();
     doc["benchmark"] = obs::json::Value(binary_name);
@@ -165,6 +166,7 @@ class JsonSink {
       row["grid_parallelism"] = obs::json::Value(static_cast<double>(grid_parallelism_));
       row["sim_threads"] = obs::json::Value(
           static_cast<double>(grid_parallelism_ > 1 ? 1 : vgpu::sim_threads()));
+      row["opt_level"] = obs::json::Value(static_cast<double>(driver::default_opt_level()));
       for (const auto& [key, value] : counters) row[key] = obs::json::Value(value);
       rows.push_back(std::move(row));
     }

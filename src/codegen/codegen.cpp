@@ -111,6 +111,11 @@ class KernelBuilder {
     }
     build_dim_group_reps();
 
+    // Provenance: every emitted instruction is stamped with cur_loc_, which
+    // tracks the statement being lowered. Seed it from the region's loop so
+    // thread-id setup and other synthesized prologue code attribute there.
+    if (region_.loop->loc.valid()) cur_loc_ = region_.loop->loc;
+
     frames_.push_back(Frame{});  // entry frame, depth 0
 
     if (region_.scheduled_loops.empty()) {
@@ -122,6 +127,7 @@ class KernelBuilder {
 
     Instr exit;
     exit.op = Opcode::kExit;
+    exit.loc = cur_loc_;
     cur().instrs.push_back(exit);
 
     // Flatten: by now only the entry frame remains.
@@ -143,6 +149,7 @@ class KernelBuilder {
   std::uint32_t new_vreg(VType t, bool mutable_slot = false) {
     std::uint32_t id = kernel_.num_vregs();
     kernel_.vreg_types.push_back(t);
+    kernel_.vreg_names.emplace_back();
     vreg_depth_.push_back(cur_depth());
     vreg_mutable_.push_back(mutable_slot);
     vreg_version_.push_back(0);
@@ -172,7 +179,10 @@ class KernelBuilder {
     return static_cast<std::int32_t>(kernel_.labels.size() - 1);
   }
 
-  void emit(const Instr& in) { cur().instrs.push_back(in); }
+  void emit(Instr in) {
+    in.loc = cur_loc_;
+    cur().instrs.push_back(in);
+  }
 
   /// Emits a pure operation with value numbering and (optionally) hoisting to
   /// the outermost loop preheader its operands allow.
@@ -232,6 +242,7 @@ class KernelBuilder {
     in.imm = imm;
     in.fimm = fimm;
     in.flags = flags;
+    in.loc = cur_loc_;
     if (hoist) {
       frames_[target_frame].preheader.instrs.push_back(in);
       frames_[target_frame - 1].vn.emplace(key, dst);
@@ -384,6 +395,7 @@ class KernelBuilder {
     auto it = var_reg_.find(sym);
     if (it != var_reg_.end()) return it->second;
     std::uint32_t slot = new_vreg(type, /*mutable_slot=*/true);
+    kernel_.vreg_names[slot] = sym->name;
     var_reg_.emplace(sym, slot);
     return slot;
   }
@@ -665,6 +677,7 @@ class KernelBuilder {
 
   void gen_stmt(const Stmt& s) {
     ++stmt_counter_;
+    if (s.loc.valid()) cur_loc_ = s.loc;
     switch (s.kind) {
       case StmtKind::kBlock:
         gen_block(s.as<BlockStmt>());
@@ -800,6 +813,7 @@ class KernelBuilder {
   }
 
   void gen_if(const IfStmt& i) {
+    const SourceLoc if_loc = cur_loc_;
     std::uint32_t pred = gen_pred(*i.cond);
     std::uint32_t npred = pred_not(pred);
     std::int32_t l_end = alloc_label();
@@ -817,6 +831,7 @@ class KernelBuilder {
     pop_scope();
 
     if (i.else_block) {
+      cur_loc_ = if_loc;  // the then->end jump belongs to the if, not its body
       Instr jump;
       jump.op = Opcode::kBra;
       jump.imm = l_end;
@@ -826,6 +841,7 @@ class KernelBuilder {
       gen_block(*i.else_block);
       pop_scope();
     }
+    cur_loc_ = if_loc;
     cur().place_label(l_end);
   }
 
@@ -874,6 +890,8 @@ class KernelBuilder {
   void gen_loop_body(const ForStmt& f, std::uint32_t iv, VType iv_t,
                      std::uint32_t stride_reg,
                      const std::function<void()>& body_gen) {
+    if (f.loc.valid()) cur_loc_ = f.loc;
+    const SourceLoc loop_loc = cur_loc_;
     push_loop();
     bump_loop_carried_versions(f);
 
@@ -902,7 +920,8 @@ class KernelBuilder {
 
     body_gen();
 
-    // Latch.
+    // Latch — attributed to the for statement, not the body's last line.
+    cur_loc_ = loop_loc;
     std::uint32_t stride =
         stride_reg != vir::kNoReg ? stride_reg : imm_i(f.step, iv_t);
     std::uint32_t next = emit_pure(Opcode::kAdd, iv_t, iv, stride);
@@ -913,11 +932,13 @@ class KernelBuilder {
     emit(jump);
 
     pop_loop();
+    cur_loc_ = loop_loc;
     cur().place_label(l_exit);
   }
 
   void gen_scheduled_loop(std::size_t p) {
     const ForStmt& f = *region_.scheduled_loops[p];
+    if (f.loc.valid()) cur_loc_ = f.loc;
     const std::size_t n = region_.scheduled_loops.size();
     const int dim = static_cast<int>(n - 1 - p);  // innermost -> x (0)
 
@@ -1005,6 +1026,9 @@ class KernelBuilder {
   std::unordered_set<const Symbol*> scheduled_ivs_;
   std::unordered_map<int, const Symbol*> dim_group_rep_;
   std::uint64_t stmt_counter_ = 0;
+  /// Location of the statement currently being lowered; stamped onto every
+  /// emitted instruction (see Instr::loc).
+  SourceLoc cur_loc_;
 };
 
 }  // namespace

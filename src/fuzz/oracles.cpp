@@ -1,5 +1,6 @@
 #include "fuzz/oracles.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -465,7 +466,8 @@ OracleResult opt_vs_noopt_oracle(const std::string& source, bool inject) {
   driver::Compiler c_off(off);
   driver::CompiledProgram prog_a = c_off.compile(source);
   driver::Compiler c_on(on);
-  driver::CompiledProgram prog_b = c_on.compile(inject ? mutate_source(source) : source);
+  const std::string source_b = inject ? mutate_source(source) : source;
+  driver::CompiledProgram prog_b = c_on.compile(source_b);
 
   ast::Program parsed = parse_or_throw(source);
   ArgSet data_a = derive_args(*parsed.functions.front());
@@ -501,6 +503,28 @@ OracleResult opt_vs_noopt_oracle(const std::string& source, bool inject) {
       r.status = Status::kDiverged;
       r.detail = "opt-level 0 vs 2 stats for kernel " + std::to_string(i) + ": " + os.str();
       return r;
+    }
+  }
+
+  // Provenance oracle: every instruction the full -O2 pipeline emits must
+  // still resolve to a valid line of the compiled source. Passes may hoist,
+  // clone, or delete instructions, but none may mint one without a source
+  // location or point it past the end of the translation unit — the
+  // attribution profile would silently misreport otherwise.
+  const std::uint32_t source_lines = static_cast<std::uint32_t>(
+      1 + std::count(source_b.begin(), source_b.end(), '\n'));
+  for (std::size_t i = 0; i < prog_b.kernels.size(); ++i) {
+    const vir::Kernel& k = prog_b.kernels[i].kernel;
+    for (std::size_t pc = 0; pc < k.code.size(); ++pc) {
+      const SourceLoc loc = k.code[pc].loc;
+      if (!loc.valid() || loc.line > source_lines) {
+        r.status = Status::kDiverged;
+        r.detail = "opt-level 2 provenance: kernel " + std::to_string(i) + " pc " +
+                   std::to_string(pc) +
+                   (loc.valid() ? " points at out-of-range line " + std::to_string(loc.line)
+                                : " lost its source location");
+        return r;
+      }
     }
   }
 

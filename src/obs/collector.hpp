@@ -26,6 +26,32 @@
 
 namespace safara::obs {
 
+/// Per-machine-instruction (pc) attribution within one SM: how often this
+/// instruction issued and how many stall cycles were charged to a warp
+/// blocked at it, split by cause. Summing a field over all pcs reproduces
+/// the SM-level counter exactly (tested), which is what makes source-line
+/// rollups conservative: no cycle is counted twice or dropped.
+struct PcProfile {
+  std::uint64_t issued = 0;        // dynamic issues of this instruction
+  std::uint64_t issue_cycles = 0;  // cycles whose first issue was this pc
+  std::uint64_t stall_scoreboard = 0;
+  std::uint64_t stall_memory = 0;
+
+  bool any() const {
+    return issued | issue_cycles | stall_scoreboard | stall_memory;
+  }
+  bool operator==(const PcProfile&) const = default;
+};
+
+/// One (cycle, resident warps) occupancy sample; recorded whenever a block
+/// is admitted to or retired from the SM.
+struct WarpSample {
+  std::uint64_t cycle = 0;
+  std::uint32_t warps = 0;
+
+  bool operator==(const WarpSample&) const = default;
+};
+
 /// Cycle breakdown for one SM over one kernel launch. Stall cycles classify
 /// every cycle in which the SM issued nothing by what the earliest-unblocking
 /// warp was waiting on.
@@ -39,6 +65,12 @@ struct SmProfile {
   std::uint64_t stall_no_warp = 0;      // no runnable warp resident at all
   std::uint64_t blocks_executed = 0;
   std::uint64_t max_resident_warps = 0;
+  /// Per-instruction attribution, indexed by pc (sized to the kernel's code
+  /// length when a collector is attached). Bit-identical between dispatch
+  /// engines and thread counts, like every other field here.
+  std::vector<PcProfile> pcs;
+  /// Occupancy timeline: resident-warp count at each admit/retire event.
+  std::vector<WarpSample> warp_timeline;
 
   json::Value to_json() const;
 };
@@ -60,6 +92,10 @@ class Collector {
   Tracer tracer;
   MetricsRegistry metrics;
   std::vector<KernelSimProfile> sim_profiles;
+  /// Running virtual-time base for simulator counter tracks: launches place
+  /// their occupancy samples at `sim_cycle_offset + cycle` so consecutive
+  /// launches lay out end to end on one timeline, then advance the offset.
+  std::uint64_t sim_cycle_offset = 0;
 
   /// Starts the profile record for one launch; the simulator fills it in.
   KernelSimProfile& begin_kernel_profile(std::string kernel_name) {

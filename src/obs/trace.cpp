@@ -35,6 +35,17 @@ void Tracer::end_span(SpanId id) {
   }
 }
 
+void Tracer::add_counter(std::string name, std::int64_t ts, double value, int pid,
+                         int tid) {
+  CounterEvent c;
+  c.name = std::move(name);
+  c.ts = ts;
+  c.value = value;
+  c.pid = pid;
+  c.tid = tid;
+  counters_.push_back(std::move(c));
+}
+
 void Tracer::set_arg(SpanId id, std::string_view key, json::Value value) {
   if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
   TraceSpan& s = spans_[static_cast<std::size_t>(id)];
@@ -65,6 +76,21 @@ json::Value Tracer::chrome_trace() const {
       for (const auto& [k, v] : s.args) args[k] = v;
       e["args"] = std::move(args);
     }
+    events.push_back(std::move(e));
+  }
+  // Counter samples come after all span events so consumers relying on
+  // event 0 being a span keep working.
+  for (const CounterEvent& c : counters_) {
+    json::Value e = json::Value::object();
+    e["name"] = json::Value(c.name);
+    e["cat"] = json::Value("sim");
+    e["ph"] = json::Value("C");
+    e["ts"] = json::Value(c.ts);
+    e["pid"] = json::Value(c.pid);
+    e["tid"] = json::Value(c.tid);
+    json::Value args = json::Value::object();
+    args["value"] = json::Value(c.value);
+    e["args"] = std::move(args);
     events.push_back(std::move(e));
   }
   json::Value root = json::Value::object();

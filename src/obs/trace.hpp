@@ -35,6 +35,17 @@ struct TraceSpan {
   bool open() const { return dur_us < 0; }
 };
 
+/// One Perfetto counter-track sample (`"ph": "C"`). The simulator emits
+/// these for per-SM occupancy timelines; `ts` is virtual time (cycles), kept
+/// on its own pid so viewers do not interleave it with wall-clock spans.
+struct CounterEvent {
+  std::string name;   // track name, e.g. "sm0.active_warps"
+  std::int64_t ts = 0;
+  double value = 0.0;
+  int pid = 2;
+  int tid = 1;
+};
+
 class Tracer {
  public:
   using SpanId = int;
@@ -49,11 +60,17 @@ class Tracer {
   /// Attaches an attribute; later writes to the same key overwrite.
   void set_arg(SpanId id, std::string_view key, json::Value value);
 
+  /// Appends one counter-track sample (not nested in the span tree).
+  void add_counter(std::string name, std::int64_t ts, double value, int pid = 2,
+                   int tid = 1);
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
-  bool empty() const { return spans_.empty(); }
+  const std::vector<CounterEvent>& counters() const { return counters_; }
+  bool empty() const { return spans_.empty() && counters_.empty(); }
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} — one complete ("X")
-  /// event per closed span; still-open spans are closed at export time.
+  /// event per closed span (still-open spans are closed at export time),
+  /// followed by one "C" event per counter sample.
   json::Value chrome_trace() const;
 
   /// Aggregated wall-time table per span name, largest first.
@@ -68,6 +85,7 @@ class Tracer {
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceSpan> spans_;
+  std::vector<CounterEvent> counters_;
   std::vector<SpanId> stack_;
 };
 

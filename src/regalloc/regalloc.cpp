@@ -104,6 +104,21 @@ AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
   RegisterBank bank(opts.max_registers);
   std::vector<Active> active;  // sorted by interval.end ascending
 
+  // Provenance: one LiveRange per non-predicate interval; vreg -> index so
+  // an eviction can retro-fit the evictee's record with its spill slot.
+  std::vector<std::int64_t> range_of(kernel.num_vregs(), -1);
+  auto record = [&](const LiveInterval& iv, int first_unit, int units, int slot) {
+    LiveRange r;
+    r.vreg = iv.vreg;
+    r.start = iv.start;
+    r.end = iv.end;
+    r.first_unit = first_unit;
+    r.units = units;
+    r.spill_slot = slot;
+    range_of[iv.vreg] = static_cast<std::int64_t>(result.ranges.size());
+    result.ranges.push_back(r);
+  };
+
   auto expire = [&](std::int32_t now) {
     std::size_t keep = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -134,6 +149,12 @@ AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
       if (furthest != active.end() && furthest->interval.end > iv.end &&
           furthest->units >= units) {
         result.spilled[furthest->interval.vreg] = true;
+        if (range_of[furthest->interval.vreg] >= 0) {
+          LiveRange& evicted =
+              result.ranges[static_cast<std::size_t>(range_of[furthest->interval.vreg])];
+          evicted.first_unit = -1;
+          evicted.spill_slot = result.spill_bytes;
+        }
         result.spill_bytes += vir::size_of(kernel.vreg_types[furthest->interval.vreg]);
         bank.release(furthest->first_unit, furthest->units);
         active.erase(furthest);
@@ -141,6 +162,7 @@ AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
       }
       if (unit < 0) {
         result.spilled[iv.vreg] = true;
+        record(iv, -1, units, result.spill_bytes);
         result.spill_bytes += vir::size_of(type);
         continue;
       }
@@ -149,6 +171,7 @@ AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
     a.interval = iv;
     a.first_unit = unit;
     a.units = units;
+    record(iv, unit, units, -1);
     // Keep `active` sorted by end for the expire scan (not required, but
     // keeps the furthest-end search cheap for typical sizes).
     active.push_back(a);

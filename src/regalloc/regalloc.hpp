@@ -18,6 +18,22 @@
 
 namespace safara::regalloc {
 
+/// Provenance record for one allocated (or spilled) live range: which vreg —
+/// and through `Kernel::vreg_names`, which source variable — occupied which
+/// physical register units over which instruction range, or which spill slot
+/// it was demoted to. This is the per-live-range attribution RegDem-style
+/// spill-slot selection and `safcc --annotate` consume.
+struct LiveRange {
+  std::uint32_t vreg = 0;
+  std::int32_t start = 0;  // first instruction index of the interval
+  std::int32_t end = 0;    // last instruction index (inclusive)
+  /// First 32-bit register unit, or -1 when the range lives in a spill slot.
+  int first_unit = -1;
+  int units = 0;
+  /// Byte offset of the spill slot in local memory (-1 when in a register).
+  int spill_slot = -1;
+};
+
 struct AllocationResult {
   /// High-water mark of simultaneously live 32-bit registers (the number
   /// `ptxas -v` reports). Includes both halves of 64-bit values.
@@ -31,6 +47,10 @@ struct AllocationResult {
   /// Static number of loads/stores the spills introduce.
   int spill_loads = 0;
   int spill_stores = 0;
+  /// One provenance record per non-predicate live interval, in interval
+  /// order. Purely observational: nothing downstream of the allocator keys
+  /// off it except reporting.
+  std::vector<LiveRange> ranges;
 
   bool any_spills() const { return spill_bytes > 0; }
 

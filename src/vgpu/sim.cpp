@@ -469,6 +469,7 @@ class SmSimulator {
 
   /// Runs the given linear block indices to completion; returns SM cycles.
   std::uint64_t run(const std::vector<std::int64_t>& block_ids, int blocks_per_sm) {
+    if (prof_) prof_->pcs.assign(k_.code.size(), obs::PcProfile{});
     pending_ = block_ids;
     next_pending_ = 0;
     for (int i = 0; i < blocks_per_sm && next_pending_ < pending_.size(); ++i) {
@@ -479,6 +480,7 @@ class SmSimulator {
     while (!warps_.empty()) {
       int issued = 0;
       int finished_now = 0;
+      std::int32_t first_issue_pc = 0;
       const std::size_t n = warps_.size();
       std::size_t idx = rr % n;
       // The scan reads the contiguous ready-cycle mirror and only touches a
@@ -487,7 +489,18 @@ class SmSimulator {
       for (std::size_t scan = 0; scan < n && issued < spec_.schedulers_per_sm; ++scan) {
         if (ready_mirror_[idx] <= cycle_) {
           Warp& w = *warps_[idx];
-          if (step(w)) ++issued;
+          if (step(w)) {
+            // Per-pc attribution: step() recorded the pc it issued in
+            // last_issue_pc_. The cycle's first issue claims the issue-cycle
+            // credit, but only below where the SM-level counter increments —
+            // the final cycle (empty-SM break) issues without being counted,
+            // and the per-pc sums must reproduce the SM totals exactly.
+            if (prof_) {
+              ++prof_->pcs[static_cast<std::size_t>(last_issue_pc_)].issued;
+              if (issued == 0) first_issue_pc = last_issue_pc_;
+            }
+            ++issued;
+          }
           if (w.finished) {
             ready_mirror_[idx] = kFinishedMirror;
             ++finished_now;
@@ -522,17 +535,33 @@ class SmSimulator {
         const std::int64_t target = std::max(cycle_ + 1, next);
         if (prof_) {
           // Attribute the whole idle gap to whatever the earliest-unblocking
-          // warp is waiting on.
+          // warp is waiting on, and to the instruction it is stalled at. A
+          // draining warp stalls at its next micro-op; a warp that branched
+          // to the end label waits at pc == code.size(), which we clamp to
+          // the final instruction (the exit) for per-pc bookkeeping.
           const std::uint64_t gap = static_cast<std::uint64_t>(target - cycle_);
+          std::size_t stall_pc = 0;
+          if (blocker) {
+            stall_pc = static_cast<std::size_t>(
+                blocker->sb_next >= 0 ? blocker->sb_next : blocker->pc);
+            if (stall_pc >= prof_->pcs.size() && !prof_->pcs.empty()) {
+              stall_pc = prof_->pcs.size() - 1;
+            }
+          }
           if (blocker && blocker->wait_reason == kWaitMemory) {
             prof_->stall_memory += gap;
+            prof_->pcs[stall_pc].stall_memory += gap;
           } else {
             prof_->stall_scoreboard += gap;
+            prof_->pcs[stall_pc].stall_scoreboard += gap;
           }
         }
         cycle_ = target;
       } else {
-        if (prof_) ++prof_->issue_cycles;
+        if (prof_) {
+          ++prof_->issue_cycles;
+          ++prof_->pcs[static_cast<std::size_t>(first_issue_pc)].issue_cycles;
+        }
         ++cycle_;
       }
     }
@@ -571,6 +600,7 @@ class SmSimulator {
       ++prof_->blocks_executed;
       prof_->max_resident_warps =
           std::max<std::uint64_t>(prof_->max_resident_warps, warps_.size());
+      sample_warps();
     }
   }
 
@@ -587,6 +617,19 @@ class SmSimulator {
           next_pending_ < pending_.size()) {
         admit_block();
       }
+    }
+    if (prof_) sample_warps();
+  }
+
+  /// Records one occupancy-timeline sample at the current cycle; multiple
+  /// admit/retire events in the same cycle collapse onto the last value.
+  void sample_warps() {
+    const std::uint64_t c = static_cast<std::uint64_t>(cycle_);
+    std::vector<obs::WarpSample>& tl = prof_->warp_timeline;
+    if (!tl.empty() && tl.back().cycle == c) {
+      tl.back().warps = static_cast<std::uint32_t>(warps_.size());
+    } else {
+      tl.push_back({c, static_cast<std::uint32_t>(warps_.size())});
     }
   }
 
@@ -671,6 +714,7 @@ class SmSimulator {
     stats_.spill_accesses += d.spill_uses;
 
     ++stats_.warp_instructions;
+    if (prof_) last_issue_pc_ = w.pc;
     execute(w, in, d, static_cast<int>(d.spill_extra));
     return true;
   }
@@ -741,6 +785,7 @@ class SmSimulator {
   /// the strict-max scan over operands in a/b/c order reproduces the reference
   /// interpreter's blocking-register selection exactly.
   void drain_issue(Warp& w) {
+    if (prof_) last_issue_pc_ = w.sb_next;
     const MicroOp& m = dk_.micro[static_cast<std::size_t>(w.sb_next)];
     if (m.dst != vir::kNoReg) {
       const std::int64_t t = cycle_ + m.latency;
@@ -1451,6 +1496,9 @@ class SmSimulator {
   std::vector<std::int64_t> ready_mirror_;
   std::int64_t cycle_ = 0;
   std::int64_t mem_free_ = 0;
+  // The pc step() last consumed an issue slot for (only maintained when
+  // profiling); the run() loop reads it to credit per-pc issue counters.
+  std::int32_t last_issue_pc_ = 0;
 };
 
 // -- host threading state ------------------------------------------------------
@@ -1737,6 +1785,31 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
     for (obs::SmProfile& p : kprof->sms) {
       p.stall_no_warp = stats.cycles - p.cycles;
     }
+    // Perfetto counter tracks: one active-warp timeline per SM, laid out on
+    // the collector's cumulative virtual-cycle axis so successive launches
+    // appear end to end. Virtual time lives on its own pid (2) to keep it
+    // apart from the wall-clock span timeline.
+    const std::int64_t base = static_cast<std::int64_t>(collector->sim_cycle_offset);
+    for (const obs::SmProfile& p : kprof->sms) {
+      const std::string track = "sm" + std::to_string(p.sm) + ".active_warps";
+      std::int64_t last = -1;
+      for (const obs::WarpSample& s : p.warp_timeline) {
+        last = static_cast<std::int64_t>(s.cycle);
+        collector->tracer.add_counter(track, base + last, static_cast<double>(s.warps),
+                                      /*pid=*/2, /*tid=*/p.sm + 1);
+      }
+      // Close the track at launch end so the counter drops to this SM's
+      // final (drained) state instead of holding its last value forever —
+      // unless the timeline already ends there (the slowest SM drains at
+      // exactly stats.cycles); per-track timestamps stay strictly increasing.
+      if (last != static_cast<std::int64_t>(stats.cycles)) {
+        collector->tracer.add_counter(track, base + static_cast<std::int64_t>(stats.cycles),
+                                      0.0, /*pid=*/2, /*tid=*/p.sm + 1);
+      }
+    }
+    // +1 so the next launch's cycle-0 samples land strictly after this
+    // launch's closing samples on every track.
+    collector->sim_cycle_offset += stats.cycles + 1;
     kprof->launch_stats = stats.to_json();
     collector->metrics.add("sim.launches");
     collector->metrics.add("sim.cycles", static_cast<std::int64_t>(stats.cycles));

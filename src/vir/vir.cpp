@@ -165,6 +165,10 @@ std::string to_string(const Instr& in, const Kernel& k) {
       if (in.b != kNoReg) os << ", " << reg(in.b);
       break;
   }
+  // Provenance suffix: the source line the instruction lowers. Part of the
+  // golden-IR snapshot format, so the harness pins that every pass keeps
+  // (or deliberately merges) the loc chain.
+  if (in.loc.valid()) os << "  ;; line " << in.loc.line;
   return os.str();
 }
 

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/source_location.hpp"
+
 namespace safara::vir {
 
 enum class VType : std::uint8_t { kI32, kI64, kF32, kF64, kPred };
@@ -113,6 +115,12 @@ struct Instr {
   double fimm = 0.0;             // float immediate
   std::int32_t imm2 = kNoLabel;  // reconvergence label for kCbr
   std::uint8_t flags = 0;
+  /// Source line/column this instruction was lowered from. Codegen stamps
+  /// every emitted instruction (synthesized instructions inherit the
+  /// enclosing statement's location); passes move/rewrite whole Instrs and
+  /// so preserve it. The simulator's per-pc attribution rolls cycles up to
+  /// source lines through this field.
+  SourceLoc loc;
 
   static constexpr std::uint8_t kFlagReadOnly = 1;  // kLdGlobal via RO cache
 };
@@ -135,6 +143,10 @@ struct ParamInfo {
 struct Kernel {
   std::string name;
   std::vector<VType> vreg_types;
+  /// Parallel to vreg_types: the source variable/array each vreg was minted
+  /// for ("" for compiler temporaries). Feeds the regalloc live-range
+  /// provenance and `safcc --annotate`.
+  std::vector<std::string> vreg_names;
   std::vector<Instr> code;
   /// label id -> instruction index (the label precedes that instruction).
   std::vector<std::int32_t> labels;

@@ -336,6 +336,31 @@ TEST(ObsSim, CyclesIdenticalWithAndWithoutCollector) {
   expect_arrays_near(plain.array("dst"), observed.array("dst"), 0.0, "dst");
 }
 
+TEST(ObsTrace, CounterEventsFollowSpansInChromeTrace) {
+  obs::Tracer tracer;
+  int a = tracer.begin_span("alpha", "cat");
+  tracer.end_span(a);
+  tracer.add_counter("sm0.active_warps", 0, 24.0);
+  tracer.add_counter("sm0.active_warps", 100, 0.0);
+  EXPECT_FALSE(tracer.empty());
+
+  Value doc = tracer.chrome_trace();
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 3u);
+  // Span events stay first so consumers relying on event 0 being a span keep
+  // working; counter samples follow with the Perfetto "C" schema.
+  EXPECT_EQ(events->at(0).find("ph")->as_string(), "X");
+  for (std::size_t i = 1; i < events->size(); ++i) {
+    const Value& e = events->at(i);
+    EXPECT_EQ(e.find("ph")->as_string(), "C");
+    EXPECT_EQ(e.find("name")->as_string(), "sm0.active_warps");
+    EXPECT_EQ(e.find("pid")->as_int(), 2);
+    ASSERT_NE(e.find("args"), nullptr);
+    EXPECT_TRUE(e.find("args")->find("value")->is_number());
+  }
+}
+
 TEST(ObsSim, ProfileAccountingIsSelfConsistent) {
   driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses());
   auto prog = compiler.compile(kBlurSource);
@@ -358,6 +383,20 @@ TEST(ObsSim, ProfileAccountingIsSelfConsistent) {
       EXPECT_EQ(sm.cycles + sm.stall_no_warp, stats[i].cycles) << "sm " << sm.sm;
       issued += sm.issued_instructions;
       blocks += sm.blocks_executed;
+      // The per-pc attribution rows partition each SM-level bucket exactly.
+      std::uint64_t pc_issued = 0, pc_issue_cycles = 0, pc_sb = 0, pc_mem = 0;
+      for (const obs::PcProfile& pc : sm.pcs) {
+        pc_issued += pc.issued;
+        pc_issue_cycles += pc.issue_cycles;
+        pc_sb += pc.stall_scoreboard;
+        pc_mem += pc.stall_memory;
+      }
+      EXPECT_EQ(pc_issued, sm.issued_instructions) << "sm " << sm.sm;
+      EXPECT_EQ(pc_issue_cycles, sm.issue_cycles) << "sm " << sm.sm;
+      EXPECT_EQ(pc_sb, sm.stall_scoreboard) << "sm " << sm.sm;
+      EXPECT_EQ(pc_mem, sm.stall_memory) << "sm " << sm.sm;
+      // Attached collector implies a populated occupancy timeline.
+      EXPECT_FALSE(sm.warp_timeline.empty()) << "sm " << sm.sm;
     }
     EXPECT_EQ(issued, stats[i].warp_instructions);
     EXPECT_GT(blocks, 0u);

@@ -15,18 +15,28 @@
 //   safcc --workload 355.seismic --sim-profile --metrics-out=m.json
 //                                          # run a named workload on the
 //                                          # simulator with per-SM profiling
+//   safcc --workload 355.seismic --annotate
+//                                          # source listing with per-line
+//                                          # cycle/stall/pressure attribution
+//   safcc --workload 355.seismic --sim-profile-out=p.json
+//                                          # machine-readable attribution
+//                                          # document (safara.sim_profile/v1)
 #include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ast/printer.hpp"
 #include "driver/compiler.hpp"
 #include "obs/collector.hpp"
+#include "regalloc/regalloc.hpp"
 #include "vir/vir.hpp"
 #include "workloads/harness.hpp"
 
@@ -42,6 +52,7 @@ void usage() {
                "             [--unroll N] [--max-regs N]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
                "             [--time-passes] [--workload NAME] [--sim-profile]\n"
+               "             [--sim-profile-out=FILE] [--annotate]\n"
                "             [--sim-threads N] [--sim-dispatch super|ref] [--sim-compare]\n");
 }
 
@@ -68,20 +79,274 @@ bool write_file(const std::string& path, const std::string& contents) {
   return out.good();
 }
 
-void print_sim_profile(const obs::Collector& collector) {
-  std::printf("\n---- simulator profile ----\n");
-  for (const obs::KernelSimProfile& p : collector.sim_profiles) {
-    obs::SmProfile t = p.totals();
-    std::printf("launch %d: %s\n", p.launch_index, p.kernel.c_str());
-    std::printf("  cycles %llu, issue cycles %llu, instructions %llu over %zu SM(s)\n",
-                static_cast<unsigned long long>(t.cycles),
-                static_cast<unsigned long long>(t.issue_cycles),
-                static_cast<unsigned long long>(t.issued_instructions), p.sms.size());
-    std::printf("  stalls: scoreboard %llu, memory %llu, no-warp (tail) %llu\n",
-                static_cast<unsigned long long>(t.stall_scoreboard),
-                static_cast<unsigned long long>(t.stall_memory),
-                static_cast<unsigned long long>(t.stall_no_warp));
+// -- the safara.sim_profile/v1 attribution document --------------------------
+
+/// Instruction text without the `;; line N` provenance suffix (the document
+/// carries line/col as structured fields instead).
+std::string op_text(const vir::Instr& in, const vir::Kernel& k) {
+  std::string s = vir::to_string(in, k);
+  const std::size_t at = s.rfind("  ;; line ");
+  if (at != std::string::npos) s.erase(at);
+  return s;
+}
+
+/// Builds the `safara.sim_profile/v1` document: the static half of the
+/// attribution join (per-pc op/line/col from the compiled kernels, per-live-
+/// range register provenance from the allocator) plus the dynamic half (the
+/// collector's per-SM pc profiles and occupancy timelines), and the per-line
+/// rollup that ties them together. `--sim-profile`, `--annotate`, and
+/// `--sim-profile-out` are all views over this one document.
+///
+/// Invariant carried over from the simulator: every busy SM cycle is claimed
+/// by exactly one pc (issue, scoreboard stall, or memory stall), so the
+/// per-line `cycles` sum to `total_cycles` (per-SM cycles summed over SMs
+/// and launches) exactly.
+obs::json::Value build_profile_doc(const driver::CompiledProgram& prog,
+                                   const obs::Collector& c, const std::string& input,
+                                   const std::string& config) {
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc["schema"] = Value("safara.sim_profile/v1");
+  doc["input"] = Value(input);
+  doc["config"] = Value(config);
+
+  // Static side: instruction and register-pressure provenance.
+  Value kernels = Value::array();
+  for (const driver::CompiledKernel& k : prog.kernels) {
+    Value kj = Value::object();
+    kj["name"] = Value(k.name);
+    kj["regs_used"] = Value(k.alloc.regs_used);
+    kj["spill_bytes"] = Value(k.alloc.spill_bytes);
+    Value code = Value::array();
+    for (std::size_t pc = 0; pc < k.kernel.code.size(); ++pc) {
+      const vir::Instr& in = k.kernel.code[pc];
+      Value row = Value::object();
+      row["pc"] = Value(static_cast<std::uint64_t>(pc));
+      row["op"] = Value(op_text(in, k.kernel));
+      row["line"] = Value(static_cast<std::uint64_t>(in.loc.line));
+      row["col"] = Value(static_cast<std::uint64_t>(in.loc.col));
+      code.push_back(std::move(row));
+    }
+    kj["code"] = std::move(code);
+    Value ranges = Value::array();
+    for (const regalloc::LiveRange& r : k.alloc.ranges) {
+      Value row = Value::object();
+      row["vreg"] = Value(static_cast<std::uint64_t>(r.vreg));
+      row["name"] = Value(r.vreg < k.kernel.vreg_names.size()
+                              ? k.kernel.vreg_names[r.vreg]
+                              : std::string());
+      row["start"] = Value(r.start);
+      row["end"] = Value(r.end);
+      const std::size_t def = static_cast<std::size_t>(r.start < 0 ? 0 : r.start);
+      row["line"] = Value(static_cast<std::uint64_t>(
+          def < k.kernel.code.size() ? k.kernel.code[def].loc.line : 0));
+      row["first_unit"] = Value(r.first_unit);
+      row["units"] = Value(r.units);
+      row["spill_slot"] = Value(r.spill_slot);
+      ranges.push_back(std::move(row));
+    }
+    kj["ranges"] = std::move(ranges);
+    kernels.push_back(std::move(kj));
   }
+  doc["kernels"] = std::move(kernels);
+
+  // Dynamic side, verbatim: per-SM pc profiles and occupancy timelines.
+  Value launches = Value::array();
+  for (const obs::KernelSimProfile& p : c.sim_profiles) launches.push_back(p.to_json());
+  doc["launches"] = std::move(launches);
+
+  // Per-line rollup across all launches; pc -> line via the kernel's code.
+  struct LineAgg {
+    std::uint64_t issued = 0, issue_cycles = 0, sb = 0, mem = 0;
+  };
+  std::map<std::uint32_t, LineAgg> by_line;
+  std::uint64_t total = 0;
+  for (const obs::KernelSimProfile& p : c.sim_profiles) {
+    const vir::Kernel* kk = nullptr;
+    for (const driver::CompiledKernel& k : prog.kernels) {
+      if (k.name == p.kernel) {
+        kk = &k.kernel;
+        break;
+      }
+    }
+    for (const obs::SmProfile& s : p.sms) total += s.cycles;
+    const obs::SmProfile t = p.totals();
+    for (std::size_t pc = 0; pc < t.pcs.size(); ++pc) {
+      const obs::PcProfile& q = t.pcs[pc];
+      if (!q.any()) continue;
+        const std::uint32_t line =
+          (kk && pc < kk->code.size()) ? kk->code[pc].loc.line : 0;
+      LineAgg& a = by_line[line];
+      a.issued += q.issued;
+      a.issue_cycles += q.issue_cycles;
+      a.sb += q.stall_scoreboard;
+      a.mem += q.stall_memory;
+    }
+  }
+  doc["total_cycles"] = Value(total);
+  Value lines = Value::array();
+  for (const auto& [line, a] : by_line) {
+    Value row = Value::object();
+    row["line"] = Value(static_cast<std::uint64_t>(line));
+    row["issued"] = Value(a.issued);
+    row["issue_cycles"] = Value(a.issue_cycles);
+    row["stall_scoreboard"] = Value(a.sb);
+    row["stall_memory"] = Value(a.mem);
+    const std::uint64_t cyc = a.issue_cycles + a.sb + a.mem;
+    row["cycles"] = Value(cyc);
+    row["cycles_pct"] =
+        Value(total > 0 ? 100.0 * static_cast<double>(cyc) / static_cast<double>(total)
+                        : 0.0);
+    lines.push_back(std::move(row));
+  }
+  doc["lines"] = std::move(lines);
+  return doc;
+}
+
+/// `--sim-profile`: the human-readable summary, now a formatter over the
+/// document rather than a second data path.
+void print_sim_profile(const obs::json::Value& doc) {
+  std::printf("\n---- simulator profile ----\n");
+  const obs::json::Value* launches = doc.find("launches");
+  if (!launches) return;
+  for (std::size_t i = 0; i < launches->size(); ++i) {
+    const obs::json::Value& p = launches->at(i);
+    const obs::json::Value* t = p.find("totals");
+    const obs::json::Value* sms = p.find("sms");
+    if (!t || !sms) continue;
+    auto u = [&](const char* key) -> unsigned long long {
+      const obs::json::Value* v = t->find(key);
+      return v ? static_cast<unsigned long long>(v->as_int()) : 0ull;
+    };
+    std::printf("launch %lld: %s\n",
+                static_cast<long long>(p.find("launch_index")->as_int()),
+                p.find("kernel")->as_string().c_str());
+    std::printf("  cycles %llu, issue cycles %llu, instructions %llu over %zu SM(s)\n",
+                u("cycles"), u("issue_cycles"), u("issued_instructions"), sms->size());
+    std::printf("  stalls: scoreboard %llu, memory %llu, no-warp (tail) %llu\n",
+                u("stall_scoreboard"), u("stall_memory"), u("stall_no_warp"));
+  }
+}
+
+/// `--annotate`: terminal source listing with per-line attribution columns,
+/// followed by a top-stall-lines digest with register/spill provenance.
+void print_annotate(const obs::json::Value& doc, const std::string& source) {
+  using obs::json::Value;
+  struct Row {
+    std::uint64_t issued = 0, cycles = 0, sb = 0, mem = 0;
+    double pct = 0.0;
+  };
+  std::map<std::uint64_t, Row> rows;
+  if (const Value* lines = doc.find("lines")) {
+    for (std::size_t i = 0; i < lines->size(); ++i) {
+      const Value& l = lines->at(i);
+      Row r;
+      r.issued = static_cast<std::uint64_t>(l.find("issued")->as_int());
+      r.cycles = static_cast<std::uint64_t>(l.find("cycles")->as_int());
+      r.sb = static_cast<std::uint64_t>(l.find("stall_scoreboard")->as_int());
+      r.mem = static_cast<std::uint64_t>(l.find("stall_memory")->as_int());
+      r.pct = l.find("cycles_pct")->as_double();
+      rows[static_cast<std::uint64_t>(l.find("line")->as_int())] = r;
+    }
+  }
+  // Pressure provenance: live ranges grouped by the source line of their
+  // defining instruction; spilled ranges keep their variable name and slot.
+  struct Prov {
+    int ranges = 0;
+    int reg_units = 0;
+    std::vector<std::string> spills;
+  };
+  std::map<std::uint64_t, Prov> prov;
+  if (const Value* kernels = doc.find("kernels")) {
+    for (std::size_t i = 0; i < kernels->size(); ++i) {
+      const Value* ranges = kernels->at(i).find("ranges");
+      if (!ranges) continue;
+      for (std::size_t j = 0; j < ranges->size(); ++j) {
+        const Value& r = ranges->at(j);
+        Prov& p = prov[static_cast<std::uint64_t>(r.find("line")->as_int())];
+        ++p.ranges;
+        if (r.find("first_unit")->as_int() >= 0) {
+          p.reg_units += static_cast<int>(r.find("units")->as_int());
+        }
+        if (r.find("spill_slot")->as_int() >= 0) {
+          std::string s = "%r" + std::to_string(r.find("vreg")->as_int());
+          const std::string& nm = r.find("name")->as_string();
+          if (!nm.empty()) s += " '" + nm + "'";
+          s += " -> [local+" + std::to_string(r.find("spill_slot")->as_int()) + "]";
+          p.spills.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(doc.find("total_cycles")->as_int());
+  std::printf("\n---- source-attributed profile: %s [config %s] ----\n",
+              doc.find("input")->as_string().c_str(),
+              doc.find("config")->as_string().c_str());
+  std::printf("total %llu cycles (per-SM busy cycles summed over SMs and launches)\n\n",
+              static_cast<unsigned long long>(total));
+  std::printf(" line  cycles%%     issued  sb-stall mem-stall ranges spills  source\n");
+  std::istringstream ss(source);
+  std::string text;
+  std::uint64_t ln = 0;
+  auto print_line = [&](std::uint64_t line, const char* src) {
+    const Row* r = rows.count(line) ? &rows.at(line) : nullptr;
+    const Prov* p = prov.count(line) ? &prov.at(line) : nullptr;
+    char num[32];
+    if (line == 0) std::snprintf(num, sizeof num, "   ??");
+    else std::snprintf(num, sizeof num, "%5llu", static_cast<unsigned long long>(line));
+    if (!r && !p) {
+      std::printf("%s %54s%s\n", num, "", src);
+      return;
+    }
+    char cyc[64] = "                                       ";
+    if (r) {
+      std::snprintf(cyc, sizeof cyc, "%6.1f%%  %9llu %9llu %9llu", r->pct,
+                    static_cast<unsigned long long>(r->issued),
+                    static_cast<unsigned long long>(r->sb),
+                    static_cast<unsigned long long>(r->mem));
+    }
+    char reg[32] = "             ";
+    if (p) {
+      std::snprintf(reg, sizeof reg, "%6d %6zu", p->ranges, p->spills.size());
+    }
+    std::printf("%s  %s %s  %s\n", num, cyc, reg, src);
+  };
+  while (std::getline(ss, text)) {
+    ++ln;
+    print_line(ln, text.c_str());
+  }
+  if (rows.count(0) || prov.count(0)) print_line(0, "<unattributed>");
+
+  // The digest the acceptance test reads: the three stall-heaviest lines
+  // with their share of cycles and the register pressure they create.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked;  // (stall, line)
+  for (const auto& [line, r] : rows) {
+    if (r.sb + r.mem > 0) ranked.emplace_back(r.sb + r.mem, line);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::printf("\ntop stall lines:\n");
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    const std::uint64_t line = ranked[i].second;
+    const Row& r = rows.at(line);
+    std::printf("  %zu. line %llu: %.1f%% of cycles (scoreboard %llu, memory %llu)",
+                i + 1, static_cast<unsigned long long>(line), r.pct,
+                static_cast<unsigned long long>(r.sb),
+                static_cast<unsigned long long>(r.mem));
+    if (prov.count(line)) {
+      const Prov& p = prov.at(line);
+      std::printf("; %d live range(s), %d reg(s)", p.ranges, p.reg_units);
+      if (!p.spills.empty()) {
+        std::printf("; spilled:");
+        for (const std::string& s : p.spills) std::printf(" %s", s.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  if (ranked.empty()) std::printf("  (no stall cycles recorded)\n");
 }
 
 // -- --sim-compare: field-level cross-check of the two dispatch engines ------
@@ -183,12 +448,14 @@ int main(int argc, char** argv) {
   std::string workload_name;
   std::string trace_out;
   std::string metrics_out;
+  std::string sim_profile_out;
   bool emit_vir = false;
   bool dump_vir = false;
   bool emit_source = false;
   bool time_passes = false;
   bool sim_profile = false;
   bool sim_compare = false;
+  bool annotate = false;
   int unroll = 0;
   int max_regs = 0;
   int opt_level = -1;  // -1: keep the CompilerOptions default
@@ -223,6 +490,7 @@ int main(int argc, char** argv) {
     if (eat_value("--workload", &workload_name)) continue;
     if (eat_value("--trace-out", &trace_out)) continue;
     if (eat_value("--metrics-out", &metrics_out)) continue;
+    if (eat_value("--sim-profile-out", &sim_profile_out)) continue;
     if (eat_value("--unroll", &value)) {
       unroll = parse_int_flag("--unroll", value.c_str());
       continue;
@@ -261,6 +529,7 @@ int main(int argc, char** argv) {
     else if (arg == "--time-passes") time_passes = true;
     else if (arg == "--sim-profile") sim_profile = true;
     else if (arg == "--sim-compare") sim_compare = true;
+    else if (arg == "--annotate") annotate = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -277,9 +546,12 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (sim_profile && workload_name.empty()) {
+  // Every attribution view needs dynamic data, i.e. a simulated launch.
+  const bool profiling = sim_profile || annotate || !sim_profile_out.empty();
+  if (profiling && workload_name.empty()) {
     std::fprintf(stderr,
-                 "safcc: --sim-profile needs a runnable input; use --workload NAME "
+                 "safcc: --sim-profile/--annotate/--sim-profile-out need a runnable "
+                 "input; use --workload NAME "
                  "(a file alone has no dataset to launch with)\n");
     return 2;
   }
@@ -313,12 +585,13 @@ int main(int argc, char** argv) {
   // (with --sim-profile) the simulator's per-SM breakdowns all land here.
   obs::Collector collector;
   const bool observing =
-      !trace_out.empty() || !metrics_out.empty() || time_passes || sim_profile;
+      !trace_out.empty() || !metrics_out.empty() || time_passes || profiling;
 
   driver::CompiledProgram prog;
   workloads::RunResult run_result;
   bool ran_workload = false;
   std::string input_label;
+  std::string source_text;
   try {
     if (!workload_name.empty()) {
       const workloads::Workload* w = workloads::find_workload(workload_name);
@@ -332,9 +605,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       input_label = w->name;
+      source_text = w->source;
       // Dedicated mode: run both dispatch engines and diff their results.
       if (sim_compare) return run_sim_compare(*w, opts);
-      if (sim_profile) {
+      if (profiling) {
         run_result = workloads::simulate(*w, opts, opts.device,
                                          observing ? &collector : nullptr);
         ran_workload = true;
@@ -350,6 +624,7 @@ int main(int argc, char** argv) {
       std::ostringstream buf;
       buf << in.rdbuf();
       input_label = path;
+      source_text = buf.str();
       driver::Compiler compiler(opts, observing ? &collector : nullptr);
       prog = compiler.compile(buf.str(), fn_name);
     }
@@ -388,7 +663,16 @@ int main(int argc, char** argv) {
     std::printf("\nworkload %s: %llu cycles, checksum %.6g\n", input_label.c_str(),
                 static_cast<unsigned long long>(run_result.cycles), run_result.checksum);
   }
-  if (sim_profile) print_sim_profile(collector);
+  if (profiling) {
+    const obs::json::Value profile_doc =
+        build_profile_doc(prog, collector, input_label, config);
+    if (sim_profile) print_sim_profile(profile_doc);
+    if (annotate) print_annotate(profile_doc, source_text);
+    if (!sim_profile_out.empty()) {
+      if (!write_file(sim_profile_out, profile_doc.dump(2) + "\n")) return 1;
+      std::printf("profile: wrote %s\n", sim_profile_out.c_str());
+    }
+  }
   if (emit_source) {
     std::printf("\n---- post-optimization source ----\n%s",
                 ast::to_source(*prog.transformed).c_str());

@@ -1,0 +1,296 @@
+// safcc-report: merges the three observability artifacts one safcc run can
+// emit — the Chrome trace (--trace-out), the metrics document
+// (--metrics-out), and the attribution profile (--sim-profile-out) — into a
+// single markdown hotspot report suitable for CI archiving.
+//
+//   safcc-report --profile p.json --trace t.json --metrics m.json -o report.md
+//
+// Any subset of the three inputs is accepted; sections for missing inputs are
+// omitted. With no -o the report goes to stdout.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using safara::obs::json::Value;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: safcc-report [--profile p.json] [--trace t.json]\n"
+               "                    [--metrics m.json] [-o report.md]\n");
+}
+
+bool load_json(const std::string& path, Value& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "safcc-report: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!Value::parse(buf.str(), out, &err)) {
+    std::fprintf(stderr, "safcc-report: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::int64_t num(const Value& v, const char* key, std::int64_t dflt = 0) {
+  const Value* f = v.find(key);
+  return f && f->is_number() ? f->as_int() : dflt;
+}
+
+std::string str(const Value& v, const char* key) {
+  const Value* f = v.find(key);
+  return f && f->is_string() ? f->as_string() : std::string();
+}
+
+/// Top source lines by attributed cycles, the register/spill provenance
+/// behind them, and per-launch totals.
+void profile_section(const Value& doc, std::ostringstream& md) {
+  md << "## Source hotspots\n\n";
+  md << "Input `" << str(doc, "input") << "`, config `" << str(doc, "config")
+     << "`, total " << num(doc, "total_cycles")
+     << " attributed cycles (per-SM busy cycles summed over SMs and launches).\n\n";
+
+  // Pressure provenance per defining line, for the hotspot table's last column.
+  struct Prov {
+    int ranges = 0;
+    std::vector<std::string> spills;
+  };
+  std::map<std::int64_t, Prov> prov;
+  if (const Value* kernels = doc.find("kernels")) {
+    for (std::size_t i = 0; i < kernels->size(); ++i) {
+      const Value* ranges = kernels->at(i).find("ranges");
+      if (!ranges) continue;
+      for (std::size_t j = 0; j < ranges->size(); ++j) {
+        const Value& r = ranges->at(j);
+        Prov& p = prov[num(r, "line")];
+        ++p.ranges;
+        if (num(r, "spill_slot", -1) >= 0) {
+          std::string s = "%r" + std::to_string(num(r, "vreg"));
+          const std::string nm = str(r, "name");
+          if (!nm.empty()) s += " '" + nm + "'";
+          s += " @ local+" + std::to_string(num(r, "spill_slot"));
+          p.spills.push_back(std::move(s));
+        }
+      }
+    }
+  }
+
+  std::vector<const Value*> lines;
+  if (const Value* lj = doc.find("lines")) {
+    for (std::size_t i = 0; i < lj->size(); ++i) lines.push_back(&lj->at(i));
+  }
+  std::sort(lines.begin(), lines.end(), [](const Value* a, const Value* b) {
+    return num(*a, "cycles") > num(*b, "cycles");
+  });
+  md << "| line | cycles | % | issued | scoreboard stall | memory stall | live ranges |\n";
+  md << "|-----:|-------:|--:|-------:|-----------------:|-------------:|------------:|\n";
+  const std::size_t top = std::min<std::size_t>(lines.size(), 10);
+  for (std::size_t i = 0; i < top; ++i) {
+    const Value& l = *lines[i];
+    const std::int64_t line = num(l, "line");
+    char pct[32];
+    const Value* pv = l.find("cycles_pct");
+    std::snprintf(pct, sizeof pct, "%.1f%%", pv ? pv->as_double() : 0.0);
+    md << "| " << (line == 0 ? std::string("??") : std::to_string(line)) << " | "
+       << num(l, "cycles") << " | " << pct << " | " << num(l, "issued") << " | "
+       << num(l, "stall_scoreboard") << " | " << num(l, "stall_memory") << " | "
+       << (prov.count(line) ? prov[line].ranges : 0) << " |\n";
+  }
+  if (lines.size() > top) {
+    md << "\n(" << lines.size() - top << " more line(s) omitted)\n";
+  }
+  md << "\n";
+
+  if (const Value* kernels = doc.find("kernels")) {
+    md << "## Kernels\n\n";
+    md << "| kernel | registers | spill bytes | live ranges | spilled ranges |\n";
+    md << "|--------|----------:|------------:|------------:|---------------:|\n";
+    for (std::size_t i = 0; i < kernels->size(); ++i) {
+      const Value& k = kernels->at(i);
+      std::size_t spilled = 0;
+      const Value* ranges = k.find("ranges");
+      const std::size_t nranges = ranges ? ranges->size() : 0;
+      for (std::size_t j = 0; j < nranges; ++j) {
+        if (num(ranges->at(j), "spill_slot", -1) >= 0) ++spilled;
+      }
+      md << "| " << str(k, "name") << " | " << num(k, "regs_used") << " | "
+         << num(k, "spill_bytes") << " | " << nranges << " | " << spilled << " |\n";
+    }
+    md << "\n";
+  }
+  bool any_spill = false;
+  for (const auto& [line, p] : prov) {
+    if (p.spills.empty()) continue;
+    if (!any_spill) {
+      md << "## Spill provenance\n\n";
+      any_spill = true;
+    }
+    md << "- line " << (line == 0 ? std::string("??") : std::to_string(line)) << ":";
+    for (const std::string& s : p.spills) md << " " << s;
+    md << "\n";
+  }
+  if (any_spill) md << "\n";
+
+  if (const Value* launches = doc.find("launches")) {
+    md << "## Launches\n\n";
+    md << "| # | kernel | cycles | issue cycles | scoreboard | memory | tail | peak warps |\n";
+    md << "|--:|--------|-------:|-------------:|-----------:|-------:|-----:|-----------:|\n";
+    for (std::size_t i = 0; i < launches->size(); ++i) {
+      const Value& l = launches->at(i);
+      const Value* t = l.find("totals");
+      if (!t) continue;
+      md << "| " << num(l, "launch_index") << " | " << str(l, "kernel") << " | "
+         << num(*t, "cycles") << " | " << num(*t, "issue_cycles") << " | "
+         << num(*t, "stall_scoreboard") << " | " << num(*t, "stall_memory") << " | "
+         << num(*t, "stall_no_warp") << " | " << num(*t, "max_resident_warps")
+         << " |\n";
+    }
+    md << "\n";
+  }
+}
+
+/// Wall-clock span aggregation plus counter-track (occupancy) summary.
+void trace_section(const Value& doc, std::ostringstream& md) {
+  const Value* events = doc.find("traceEvents");
+  if (!events) return;
+  struct Span {
+    std::int64_t dur = 0;
+    int count = 0;
+  };
+  std::map<std::string, Span> spans;
+  struct Track {
+    int samples = 0;
+    double peak = 0.0;
+  };
+  std::map<std::string, Track> tracks;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Value& e = events->at(i);
+    const std::string ph = str(e, "ph");
+    if (ph == "X") {
+      Span& s = spans[str(e, "name")];
+      s.dur += num(e, "dur");
+      ++s.count;
+    } else if (ph == "C") {
+      Track& t = tracks[str(e, "name")];
+      ++t.samples;
+      const Value* args = e.find("args");
+      const Value* v = args ? args->find("value") : nullptr;
+      if (v && v->is_number()) t.peak = std::max(t.peak, v->as_double());
+    }
+  }
+  if (!spans.empty()) {
+    md << "## Compilation & run spans\n\n";
+    std::vector<std::pair<std::string, Span>> rows(spans.begin(), spans.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.dur > b.second.dur;
+    });
+    md << "| span | total wall (us) | count |\n|------|----------------:|------:|\n";
+    const std::size_t top = std::min<std::size_t>(rows.size(), 10);
+    for (std::size_t i = 0; i < top; ++i) {
+      md << "| " << rows[i].first << " | " << rows[i].second.dur << " | "
+         << rows[i].second.count << " |\n";
+    }
+    md << "\n";
+  }
+  if (!tracks.empty()) {
+    md << "## Occupancy timelines\n\n";
+    md << "| counter track | samples | peak |\n|---------------|--------:|-----:|\n";
+    for (const auto& [name, t] : tracks) {
+      char peak[32];
+      std::snprintf(peak, sizeof peak, "%g", t.peak);
+      md << "| " << name << " | " << t.samples << " | " << peak << " |\n";
+    }
+    md << "\n";
+  }
+}
+
+void metrics_section(const Value& doc, std::ostringstream& md) {
+  const Value* metrics = doc.find("metrics");
+  const Value* counters = metrics ? metrics->find("counters") : nullptr;
+  if (!counters || !counters->is_object()) return;
+  md << "## Metrics\n\n| counter | value |\n|---------|------:|\n";
+  for (const auto& [name, v] : counters->members()) {
+    md << "| " << name << " | " << (v.is_number() ? std::to_string(v.as_int()) : v.dump())
+       << " |\n";
+  }
+  md << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_path, trace_path, metrics_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "safcc-report: missing value for '%s'\n", arg.c_str());
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--profile") profile_path = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--metrics") metrics_path = next();
+    else if (arg == "-o" || arg == "--out") out_path = next();
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "safcc-report: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (profile_path.empty() && trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr, "safcc-report: need at least one of --profile/--trace/--metrics\n");
+    usage();
+    return 2;
+  }
+
+  std::ostringstream md;
+  md << "# SAFARA run report\n\n";
+  Value doc;
+  if (!profile_path.empty()) {
+    if (!load_json(profile_path, doc)) return 1;
+    if (str(doc, "schema") != "safara.sim_profile/v1") {
+      std::fprintf(stderr, "safcc-report: %s: not a safara.sim_profile/v1 document\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    profile_section(doc, md);
+  }
+  if (!trace_path.empty()) {
+    if (!load_json(trace_path, doc)) return 1;
+    trace_section(doc, md);
+  }
+  if (!metrics_path.empty()) {
+    if (!load_json(metrics_path, doc)) return 1;
+    metrics_section(doc, md);
+  }
+
+  if (out_path.empty()) {
+    std::fputs(md.str().c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "safcc-report: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << md.str();
+    std::printf("safcc-report: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -2,7 +2,9 @@
 //
 //   trace_check t.json                        # Chrome trace-event schema
 //   trace_check t.json --require-span NAME    # ...and demand >= 1 such span
+//   trace_check t.json --require-counter NAME # ...and >= 1 "C" counter track
 //   trace_check --metrics m.json              # metrics/report document
+//   trace_check --profile p.json              # safara.sim_profile/v1 document
 //
 // Exit 0 when every file validates; 1 with a diagnostic otherwise. CI runs
 // this over the smoke-test output so a malformed emitter fails the build.
@@ -24,7 +26,8 @@ bool fail(const std::string& file, const std::string& why) {
 }
 
 bool check_trace(const std::string& file, const Value& root,
-                 const std::vector<std::string>& required_spans) {
+                 const std::vector<std::string>& required_spans,
+                 const std::vector<std::string>& required_counters) {
   if (!root.is_object()) return fail(file, "top level is not an object");
   const Value* events = root.find("traceEvents");
   if (!events || !events->is_array()) {
@@ -49,6 +52,15 @@ bool check_trace(const std::string& file, const Value& root,
         return fail(file, where + " complete event lacks non-negative 'dur'");
       }
     }
+    if (ph->as_string() == "C") {
+      // Counter-track samples must carry a numeric args.value — Perfetto
+      // silently drops the track otherwise.
+      const Value* args = e.find("args");
+      const Value* value = args ? args->find("value") : nullptr;
+      if (!value || !value->is_number()) {
+        return fail(file, where + " counter event lacks numeric 'args.value'");
+      }
+    }
   }
   for (const std::string& want : required_spans) {
     bool found = false;
@@ -57,6 +69,17 @@ bool check_trace(const std::string& file, const Value& root,
       found = name && name->is_string() && name->as_string() == want;
     }
     if (!found) return fail(file, "no span named '" + want + "'");
+  }
+  for (const std::string& want : required_counters) {
+    bool found = false;
+    for (std::size_t i = 0; i < events->size() && !found; ++i) {
+      const Value& e = events->at(i);
+      const Value* name = e.find("name");
+      const Value* ph = e.find("ph");
+      found = name && name->is_string() && ph && ph->is_string() &&
+              ph->as_string() == "C" && name->as_string().find(want) != std::string::npos;
+    }
+    if (!found) return fail(file, "no counter track matching '" + want + "'");
   }
   std::printf("trace_check: %s: ok (%zu events)\n", file.c_str(), events->size());
   return true;
@@ -80,29 +103,102 @@ bool check_metrics(const std::string& file, const Value& root) {
   return true;
 }
 
+/// Validates the `safara.sim_profile/v1` attribution document emitted by
+/// `safcc --sim-profile-out`, including its core accounting invariant: the
+/// per-line cycle rollup sums to total_cycles exactly.
+bool check_profile(const std::string& file, const Value& root) {
+  if (!root.is_object()) return fail(file, "top level is not an object");
+  const Value* schema = root.find("schema");
+  if (!schema || !schema->is_string() || schema->as_string() != "safara.sim_profile/v1") {
+    return fail(file, "missing or unexpected 'schema' (want safara.sim_profile/v1)");
+  }
+  const Value* total = root.find("total_cycles");
+  if (!total || !total->is_number()) return fail(file, "missing numeric 'total_cycles'");
+  const Value* kernels = root.find("kernels");
+  if (!kernels || !kernels->is_array()) return fail(file, "missing 'kernels' array");
+  for (std::size_t i = 0; i < kernels->size(); ++i) {
+    const Value& k = kernels->at(i);
+    const std::string where = "kernels[" + std::to_string(i) + "]";
+    if (!k.find("name")) return fail(file, where + " lacks 'name'");
+    const Value* code = k.find("code");
+    if (!code || !code->is_array()) return fail(file, where + " lacks 'code' array");
+    for (std::size_t j = 0; j < code->size(); ++j) {
+      const Value& row = code->at(j);
+      if (!row.find("pc") || !row.find("op") || !row.find("line")) {
+        return fail(file, where + ".code[" + std::to_string(j) + "] lacks pc/op/line");
+      }
+    }
+    const Value* ranges = k.find("ranges");
+    if (!ranges || !ranges->is_array()) return fail(file, where + " lacks 'ranges' array");
+    for (std::size_t j = 0; j < ranges->size(); ++j) {
+      const Value& r = ranges->at(j);
+      if (!r.find("vreg") || !r.find("start") || !r.find("end") ||
+          !r.find("spill_slot")) {
+        return fail(file, where + ".ranges[" + std::to_string(j) +
+                              "] lacks vreg/start/end/spill_slot");
+      }
+    }
+  }
+  const Value* launches = root.find("launches");
+  if (!launches || !launches->is_array()) return fail(file, "missing 'launches' array");
+  const Value* lines = root.find("lines");
+  if (!lines || !lines->is_array()) return fail(file, "missing 'lines' array");
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < lines->size(); ++i) {
+    const Value& l = lines->at(i);
+    const Value* cycles = l.find("cycles");
+    if (!l.find("line") || !cycles || !cycles->is_number()) {
+      return fail(file, "lines[" + std::to_string(i) + "] lacks line/cycles");
+    }
+    sum += cycles->as_int();
+  }
+  if (sum != total->as_int()) {
+    return fail(file, "per-line cycles sum to " + std::to_string(sum) +
+                          " but total_cycles is " + std::to_string(total->as_int()));
+  }
+  std::printf("trace_check: %s: ok (%zu kernel(s), %zu launch(es), %zu line(s))\n",
+              file.c_str(), kernels->size(), launches->size(), lines->size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool metrics_mode = false;
+  bool profile_mode = false;
   std::vector<std::string> files;
   std::vector<std::string> required_spans;
+  std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
       metrics_mode = true;
+    } else if (arg == "--profile") {
+      profile_mode = true;
     } else if (arg == "--require-span") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "trace_check: --require-span needs a value\n");
         return 2;
       }
       required_spans.push_back(argv[++i]);
+    } else if (arg == "--require-counter") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_check: --require-counter needs a value\n");
+        return 2;
+      }
+      required_counters.push_back(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: trace_check [--metrics] [--require-span NAME] <file.json>...\n");
+                   "usage: trace_check [--metrics|--profile] [--require-span NAME]\n"
+                   "                   [--require-counter NAME] <file.json>...\n");
       return 0;
     } else {
       files.push_back(arg);
     }
+  }
+  if (metrics_mode && profile_mode) {
+    std::fprintf(stderr, "trace_check: --metrics and --profile are mutually exclusive\n");
+    return 2;
   }
   if (files.empty()) {
     std::fprintf(stderr, "trace_check: no input files\n");
@@ -124,8 +220,9 @@ int main(int argc, char** argv) {
       ok = fail(file, "invalid JSON: " + err);
       continue;
     }
-    ok = (metrics_mode ? check_metrics(file, root)
-                       : check_trace(file, root, required_spans)) &&
+    ok = (metrics_mode   ? check_metrics(file, root)
+          : profile_mode ? check_profile(file, root)
+                         : check_trace(file, root, required_spans, required_counters)) &&
          ok;
   }
   return ok ? 0 : 1;
