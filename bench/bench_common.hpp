@@ -19,6 +19,7 @@
 
 #include "driver/eval_grid.hpp"
 #include "obs/json.hpp"
+#include "regalloc/regalloc.hpp"
 #include "vgpu/sim.hpp"
 #include "workloads/harness.hpp"
 
@@ -120,7 +121,10 @@ inline void add_timings(std::map<std::string, double>& counters, const std::stri
 /// row: `regs_after.<config>` is the sum of the ptxas-sim register counts
 /// over the workload's kernels, plus the raw simulated cycles. These are the
 /// counters the register-regression gate in tools/check_perf_regression.py
-/// sums (fail when regs_after grows beyond the baseline tolerance).
+/// sums (fail when regs_after grows beyond the baseline tolerance) and
+/// per-cell gates. `checksum.<config>` is the workload's output checksum:
+/// the gate requires it byte-identical across baseline refreshes, so a
+/// register win can never silently ride on a behavior change.
 inline void add_register_counters(std::map<std::string, double>& counters,
                                   const std::string& config,
                                   const workloads::RunResult& r) {
@@ -128,6 +132,7 @@ inline void add_register_counters(std::map<std::string, double>& counters,
   for (const workloads::KernelMetrics& k : r.kernels) regs += k.regs;
   counters["regs_after." + config] = regs;
   counters["cycles." + config] = static_cast<double>(r.cycles);
+  counters["checksum." + config] = r.checksum;
 }
 
 /// Accumulates every counter set registered by this binary so `--json FILE`
@@ -167,6 +172,8 @@ class JsonSink {
       row["sim_threads"] = obs::json::Value(
           static_cast<double>(grid_parallelism_ > 1 ? 1 : vgpu::sim_threads()));
       row["opt_level"] = obs::json::Value(static_cast<double>(driver::default_opt_level()));
+      row["regalloc"] =
+          obs::json::Value(std::string(regalloc::to_string(regalloc::default_strategy())));
       for (const auto& [key, value] : counters) row[key] = obs::json::Value(value);
       rows.push_back(std::move(row));
     }
@@ -206,9 +213,10 @@ inline void register_counters(const std::string& name,
 }
 
 /// Shared main(): runs the table/figure generator, honours `--json FILE`,
-/// `--sim-threads N`, `--grid-threads N`, and `--sim-dispatch {super,ref}`
-/// (each also in `--flag=value` form; all stripped before google-benchmark
-/// sees the args), then hands the remaining flags to the standard runner.
+/// `--sim-threads N`, `--grid-threads N`, `--sim-dispatch {super,ref}`, and
+/// `--regalloc {linear,color}` (each also in `--flag=value` form; all
+/// stripped before google-benchmark sees the args), then hands the remaining
+/// flags to the standard runner.
 inline int bench_main(int argc, char** argv, const char* binary_name, void (*run)()) {
   std::string json_path;
   auto set_dispatch = [](const char* text) {
@@ -218,6 +226,14 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       std::exit(2);
     }
     vgpu::set_sim_dispatch(d);
+  };
+  auto set_regalloc = [](const char* text) {
+    regalloc::Strategy s;
+    if (!regalloc::parse_strategy(text, s)) {
+      std::fprintf(stderr, "bench: --regalloc expects 'linear' or 'color', got '%s'\n", text);
+      std::exit(2);
+    }
+    regalloc::set_default_strategy(s);
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -242,6 +258,11 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       ++i;
     } else if (arg.rfind("--sim-dispatch=", 0) == 0) {
       set_dispatch(arg.c_str() + 15);
+    } else if (arg == "--regalloc" && i + 1 < argc) {
+      set_regalloc(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--regalloc=", 0) == 0) {
+      set_regalloc(arg.c_str() + 11);
     } else {
       argv[out++] = argv[i];
     }

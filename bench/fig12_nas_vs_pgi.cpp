@@ -41,6 +41,10 @@ void run() {
     add_timings(counters, "openuh_safara", saf);
     add_timings(counters, "openuh_safara_small", cls);
     add_timings(counters, "pgi", pgi);
+    add_register_counters(counters, "openuh_base", base);
+    add_register_counters(counters, "openuh_safara", saf);
+    add_register_counters(counters, "openuh_safara_small", cls);
+    add_register_counters(counters, "pgi", pgi);
     register_counters("fig12/" + w->name, counters);
   }
 }

@@ -56,6 +56,7 @@ std::uint64_t feedback_options_fingerprint(const codegen::CodegenOptions& cg,
   bits |= cg.licm ? 4u : 0u;
   bits |= cg.cse_loads_within_stmt ? 8u : 0u;
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opt_level) & 3u) << 4;
+  bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.strategy) & 3u) << 6;
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.max_registers)) << 8;
   return bits;
 }
@@ -290,7 +291,41 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
     }
     {
       obs::ScopedSpan alloc_span(tracer, "regalloc", "backend");
-      ck.alloc = regalloc::allocate(res.kernel, opts_.regalloc);
+      regalloc::AllocatorOptions ra = opts_.regalloc;
+      // Profile-guided recompile: when the attached collector already holds
+      // a sim profile for this kernel (same name, same code length — i.e. a
+      // recompile of what was measured), fold its per-pc attribution into
+      // the spill-cost weights so hot-loop values outbid cold ones for
+      // registers. First compiles see no profile and use uniform weights.
+      if (collector_ && ra.pc_weights.empty()) {
+        for (auto it = collector_->sim_profiles.rbegin();
+             it != collector_->sim_profiles.rend(); ++it) {
+          if (it->kernel != ck.name) continue;
+          const obs::SmProfile totals = it->totals();
+          if (totals.pcs.size() != res.kernel.code.size()) break;
+          std::uint64_t attributed = 0;
+          for (const obs::PcProfile& p : totals.pcs) {
+            attributed += p.issue_cycles + p.stall_scoreboard + p.stall_memory;
+          }
+          if (attributed == 0) break;
+          // Normalize so a pc carrying the mean attribution weighs 2.0 and a
+          // never-executed pc weighs 1.0: relative heat, not absolute cycles.
+          const double mean =
+              static_cast<double>(attributed) / static_cast<double>(totals.pcs.size());
+          ra.pc_weights.resize(totals.pcs.size(), 1.0);
+          for (std::size_t i = 0; i < totals.pcs.size(); ++i) {
+            const obs::PcProfile& p = totals.pcs[i];
+            ra.pc_weights[i] =
+                1.0 + static_cast<double>(p.issue_cycles + p.stall_scoreboard +
+                                          p.stall_memory) /
+                          mean;
+          }
+          alloc_span.set_arg("profile_guided", obs::json::Value(true));
+          collector_->metrics.add("regalloc.profile_guided");
+          break;
+        }
+      }
+      ck.alloc = regalloc::allocate(res.kernel, ra);
       alloc_span.set_arg("regs_used", obs::json::Value(ck.alloc.regs_used));
       alloc_span.set_arg("spill_bytes", obs::json::Value(ck.alloc.spill_bytes));
     }
@@ -300,11 +335,17 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
       collector_->metrics.add("driver.kernels");
       collector_->metrics.set("regalloc.regs_used." + ck.name, ck.alloc.regs_used);
       collector_->metrics.set("regalloc.spill_bytes." + ck.name, ck.alloc.spill_bytes);
+      collector_->metrics.add("regalloc.coalesced", ck.alloc.coalesced);
+      collector_->metrics.add("regalloc.split_ranges", ck.alloc.split_ranges);
+      collector_->metrics.add("regalloc.remat", ck.alloc.remat_count);
+      collector_->metrics.add("regalloc.spills", ck.alloc.spills);
+      collector_->metrics.add("regalloc.iterations", ck.alloc.iterations);
       collector_->metrics.add("vir.copyprop_removed", ck.vir_stats.copyprop_removed);
       collector_->metrics.add("vir.gvn_hits", ck.vir_stats.gvn_hits);
       collector_->metrics.add("vir.dce_removed", ck.vir_stats.dce_removed);
       collector_->metrics.add("vir.strength_reduced", ck.vir_stats.strength_reduced);
       collector_->metrics.add("vir.sched_moves", ck.vir_stats.sched_moves);
+      collector_->metrics.set("vir.phi_count." + ck.name, ck.vir_stats.phi_count);
       collector_->metrics.set("vir.regs_before." + ck.name, ck.vir_stats.pressure_before);
       collector_->metrics.set("vir.regs_after." + ck.name, ck.vir_stats.pressure_after);
     }

@@ -8,6 +8,7 @@
 #include "ast/printer.hpp"
 #include "driver/compiler.hpp"
 #include "parse/parser.hpp"
+#include "regalloc/regalloc.hpp"
 #include "rt/runtime.hpp"
 #include "support/diagnostics.hpp"
 #include "vgpu/sim.hpp"
@@ -18,6 +19,7 @@ const std::vector<Oracle>& all_oracles() {
   static const std::vector<Oracle> kAll = {
       Oracle::kRoundtrip, Oracle::kRefVsSim, Oracle::kSafaraOnOff,
       Oracle::kDispatch, Oracle::kThreads, Oracle::kOptVsNoopt,
+      Oracle::kLinearVsColor,
   };
   return kAll;
 }
@@ -30,6 +32,7 @@ const char* to_string(Oracle o) {
     case Oracle::kDispatch: return "dispatch";
     case Oracle::kThreads: return "threads";
     case Oracle::kOptVsNoopt: return "opt-vs-noopt";
+    case Oracle::kLinearVsColor: return "linear-vs-color";
   }
   return "?";
 }
@@ -558,6 +561,97 @@ OracleResult opt_vs_noopt_oracle(const std::string& source, bool inject) {
   return r;
 }
 
+/// The allocator differential: linear scan vs graph coloring, same source.
+/// Allocation only redistributes values between registers and spill slots —
+/// it never changes what a kernel computes — so results must be byte-exact.
+/// Under safara_clauses the two sides may legitimately compile *different*
+/// code (the feedback loop reacts to each allocator's register counts), so
+/// only launch count, global stores and atomics are pinned there. The
+/// feedback-free base-config pair compiles identical VIR, so loads must
+/// match too.
+OracleResult linear_vs_color_oracle(const std::string& source, bool inject) {
+  OracleResult r{Oracle::kLinearVsColor, Status::kOk, ""};
+  SimKnobGuard guard;
+  vgpu::set_sim_threads(1);
+
+  driver::CompilerOptions lin = driver::CompilerOptions::openuh_safara_clauses();
+  lin.regalloc.strategy = regalloc::Strategy::kLinear;
+  driver::CompilerOptions col = driver::CompilerOptions::openuh_safara_clauses();
+  col.regalloc.strategy = regalloc::Strategy::kColor;
+  driver::CompiledProgram prog_a = driver::Compiler(lin).compile(source);
+  const std::string source_b = inject ? mutate_source(source) : source;
+  driver::CompiledProgram prog_b = driver::Compiler(col).compile(source_b);
+
+  ast::Program parsed = parse_or_throw(source);
+  ArgSet data_a = derive_args(*parsed.functions.front());
+  ArgSet data_b = derive_args(*parsed.functions.front());
+  std::vector<vgpu::LaunchStats> stats_a = run_on_sim(prog_a, data_a);
+  std::vector<vgpu::LaunchStats> stats_b = run_on_sim(prog_b, data_b);
+
+  std::string why;
+  if (!results_equal(data_a, data_b, &why)) {
+    r.status = Status::kDiverged;
+    r.detail = "linear vs color results: " + why;
+    return r;
+  }
+  if (stats_a.size() != stats_b.size()) {
+    r.status = Status::kDiverged;
+    r.detail = "linear vs color: launch count differs (" +
+               std::to_string(stats_a.size()) + " vs " +
+               std::to_string(stats_b.size()) + ")";
+    return r;
+  }
+  for (std::size_t i = 0; i < stats_a.size(); ++i) {
+    const vgpu::LaunchStats& a = stats_a[i];
+    const vgpu::LaunchStats& b = stats_b[i];
+    std::ostringstream os;
+    if (a.global_stores != b.global_stores) {
+      os << "global_stores " << a.global_stores << " vs " << b.global_stores;
+    } else if (a.atomics != b.atomics) {
+      os << "atomics " << a.atomics << " vs " << b.atomics;
+    }
+    if (!os.str().empty()) {
+      r.status = Status::kDiverged;
+      r.detail = "linear vs color stats for kernel " + std::to_string(i) + ": " + os.str();
+      return r;
+    }
+  }
+
+  // Feedback-free pair: identical VIR, so all memory traffic must agree.
+  driver::CompilerOptions base_lin = driver::CompilerOptions::openuh_base();
+  base_lin.regalloc.strategy = regalloc::Strategy::kLinear;
+  driver::CompilerOptions base_col = driver::CompilerOptions::openuh_base();
+  base_col.regalloc.strategy = regalloc::Strategy::kColor;
+  driver::CompiledProgram base_a = driver::Compiler(base_lin).compile(source);
+  driver::CompiledProgram base_b = driver::Compiler(base_col).compile(source);
+  ArgSet bdata_a = derive_args(*parsed.functions.front());
+  ArgSet bdata_b = derive_args(*parsed.functions.front());
+  std::vector<vgpu::LaunchStats> bstats_a = run_on_sim(base_a, bdata_a);
+  std::vector<vgpu::LaunchStats> bstats_b = run_on_sim(base_b, bdata_b);
+  if (!results_equal(bdata_a, bdata_b, &why)) {
+    r.status = Status::kDiverged;
+    r.detail = "linear vs color base-config results: " + why;
+    return r;
+  }
+  if (bstats_a.size() != bstats_b.size()) {
+    r.status = Status::kDiverged;
+    r.detail = "linear vs color base-config launch count differs";
+    return r;
+  }
+  for (std::size_t i = 0; i < bstats_a.size(); ++i) {
+    const vgpu::LaunchStats& a = bstats_a[i];
+    const vgpu::LaunchStats& b = bstats_b[i];
+    if (a.global_loads != b.global_loads || a.global_stores != b.global_stores ||
+        a.atomics != b.atomics) {
+      r.status = Status::kDiverged;
+      r.detail = "linear vs color base-config memory traffic differs for kernel " +
+                 std::to_string(i);
+      return r;
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 OracleResult run_oracle(const std::string& source, Oracle o,
@@ -572,6 +666,8 @@ OracleResult run_oracle(const std::string& source, Oracle o,
       case Oracle::kThreads: return threads_oracle(source);
       case Oracle::kOptVsNoopt:
         return opt_vs_noopt_oracle(source, opts.inject_miscompile);
+      case Oracle::kLinearVsColor:
+        return linear_vs_color_oracle(source, opts.inject_miscompile);
     }
     return {o, Status::kError, "unknown oracle"};
   } catch (const std::exception& e) {

@@ -19,6 +19,14 @@
 //                 both levels additionally bounds the max live register
 //                 pressure: without the SAFARA feedback loop in play,
 //                 optimizing must never raise a kernel's pressure.
+//   kLinearVsColor — linear-scan vs graph-coloring register allocation on
+//                 openuh_safara_clauses: byte-exact results and compatible
+//                 launch metadata (same launch count, global stores and
+//                 atomics; loads are unconstrained because the SAFARA
+//                 feedback loop reacts to each allocator's register counts).
+//                 A feedback-free base-config pair must additionally agree
+//                 on loads: there the generated code is identical and only
+//                 the allocation may differ.
 //
 // run_oracle never throws: compile/runtime exceptions become Status::kError,
 // which the harness counts as a divergence too (a generated program that one
@@ -44,12 +52,14 @@ enum class Oracle : std::uint8_t {
   kDispatch,
   kThreads,
   kOptVsNoopt,
+  kLinearVsColor,
 };
 
 const std::vector<Oracle>& all_oracles();
 const char* to_string(Oracle o);
 /// Parses an oracle name ("roundtrip", "ref-vs-sim", "safara-on-off",
-/// "dispatch", "threads", "opt-vs-noopt"). Returns false on unknown names.
+/// "dispatch", "threads", "opt-vs-noopt", "linear-vs-color"). Returns false
+/// on unknown names.
 bool parse_oracle(std::string_view name, Oracle& out);
 
 enum class Status : std::uint8_t { kOk, kDiverged, kError };

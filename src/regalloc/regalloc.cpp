@@ -64,6 +64,34 @@ struct Active {
 
 }  // namespace
 
+const char* to_string(Strategy s) {
+  return s == Strategy::kLinear ? "linear" : "color";
+}
+
+bool parse_strategy(std::string_view text, Strategy& out) {
+  if (text == "linear") {
+    out = Strategy::kLinear;
+    return true;
+  }
+  if (text == "color") {
+    out = Strategy::kColor;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+Strategy g_default_strategy = Strategy::kColor;
+}  // namespace
+
+Strategy default_strategy() { return g_default_strategy; }
+void set_default_strategy(Strategy s) { g_default_strategy = s; }
+
+AllocationResult allocate(const vir::Kernel& kernel, const AllocatorOptions& opts) {
+  return opts.strategy == Strategy::kLinear ? allocate_linear(kernel, opts)
+                                            : allocate_color(kernel, opts);
+}
+
 std::string AllocationResult::ptxas_info(const std::string& kernel_name) const {
   std::ostringstream os;
   os << "ptxas info    : Function '" << kernel_name << "': Used " << regs_used
@@ -77,9 +105,10 @@ std::string AllocationResult::ptxas_info(const std::string& kernel_name) const {
   return os.str();
 }
 
-AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
+AllocationResult allocate_linear(const Kernel& kernel, const AllocatorOptions& opts) {
   AllocationResult result;
   result.spilled.assign(kernel.num_vregs(), false);
+  result.iterations = 1;
 
   std::vector<LiveInterval> intervals = vir::compute_live_intervals(kernel);
 
@@ -188,6 +217,9 @@ AllocationResult allocate(const Kernel& kernel, const AllocatorOptions& opts) {
     vir::for_each_use(in, [&](std::uint32_t r) {
       if (result.spilled[r]) ++result.spill_loads;
     });
+  }
+  for (std::uint32_t v = 0; v < kernel.num_vregs(); ++v) {
+    if (result.spilled[v]) ++result.spills;
   }
   return result;
 }

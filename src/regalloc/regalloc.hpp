@@ -1,17 +1,24 @@
 // ptxas-sim: the register-allocation stage that plays the role of NVIDIA's
 // closed-source PTX assembler in the paper's feedback loop.
 //
-// The allocator runs linear scan over the kernel's live intervals against a
-// bank of 32-bit hardware registers (64-bit values occupy an aligned pair).
-// Its outputs are the signals SAFARA consumes: the hardware register count
-// and spill traffic, formatted like `ptxas -v` output. The allocation is
-// also consumed by the GPU simulator, which charges local-memory latency to
-// accesses of spilled virtual registers and feeds the register count into
-// the occupancy calculation.
+// Two allocators share this interface: the default Chaitin–Briggs
+// graph-coloring allocator (color.cpp — precise per-point liveness, live
+// ranges split into continuous segments, iterated copy coalescing, and
+// rematerialization of cheap recomputable values instead of reloading them),
+// and the original linear scan over hole-free intervals (kept as a
+// differential-testing reference behind `--regalloc linear`). Both run
+// against a bank of 32-bit hardware registers (64-bit values occupy an
+// aligned pair). Their outputs are the signals SAFARA consumes: the hardware
+// register count and spill traffic, formatted like `ptxas -v` output. The
+// allocation is also consumed by the GPU simulator, which charges
+// local-memory latency to accesses of spilled virtual registers (ALU
+// latency for rematerialized ones) and feeds the register count into the
+// occupancy calculation.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vir/vir.hpp"
@@ -47,10 +54,24 @@ struct AllocationResult {
   /// Static number of loads/stores the spills introduce.
   int spill_loads = 0;
   int spill_stores = 0;
-  /// One provenance record per non-predicate live interval, in interval
+  /// Per-vreg (parallel to `spilled`, may be empty for the linear allocator):
+  /// true when the spilled value is rematerialized — recomputed by one cheap
+  /// pure instruction at each use instead of reloaded from local memory. A
+  /// rematerialized vreg still counts as spilled (it owns no register and
+  /// its slot is still reserved); only the simulator's latency model and the
+  /// `regalloc.remat` metric distinguish it.
+  std::vector<bool> remat;
+  /// One provenance record per non-predicate live range segment, in start
   /// order. Purely observational: nothing downstream of the allocator keys
   /// off it except reporting.
   std::vector<LiveRange> ranges;
+  /// Coloring-allocator statistics (zero under linear scan except `spills`
+  /// and `iterations`), surfaced as `regalloc.*` metrics.
+  int coalesced = 0;     // copy-related live ranges merged
+  int split_ranges = 0;  // extra segments beyond one per live vreg
+  int remat_count = 0;   // spilled vregs served by rematerialization
+  int spills = 0;        // vregs demoted to local memory
+  int iterations = 0;    // build/simplify/select rounds until colorable
 
   bool any_spills() const { return spill_bytes > 0; }
 
@@ -59,12 +80,37 @@ struct AllocationResult {
   std::string ptxas_info(const std::string& kernel_name) const;
 };
 
+enum class Strategy : std::uint8_t {
+  kLinear = 0,  // Poletto–Sarkar linear scan (the reference allocator)
+  kColor = 1,   // Chaitin–Briggs graph coloring (default)
+};
+
+const char* to_string(Strategy s);
+bool parse_strategy(std::string_view text, Strategy& out);
+
+/// Process-wide default consumed by AllocatorOptions. Deliberately not
+/// environment-driven: golden snapshots and in-process tests must be
+/// deterministic, so only explicit flags (`safcc --regalloc`, bench
+/// `--regalloc`) change it.
+Strategy default_strategy();
+void set_default_strategy(Strategy s);
+
 struct AllocatorOptions {
   /// Hardware limit per thread (255 on Kepler). Lowering it models
   /// __launch_bounds__-style pressure and forces spilling.
   int max_registers = 255;
+  Strategy strategy = default_strategy();
+  /// Optional per-instruction spill-cost weights (index = instruction pc),
+  /// e.g. the per-pc cycle attribution from `--sim-profile`: accesses at
+  /// hot pcs make a vreg more expensive to spill. Empty = uniform weights.
+  std::vector<double> pc_weights;
 };
 
+/// Dispatches on `opts.strategy`.
 AllocationResult allocate(const vir::Kernel& kernel, const AllocatorOptions& opts = {});
+
+/// The two allocators, callable directly (the fuzz oracle compares them).
+AllocationResult allocate_linear(const vir::Kernel& kernel, const AllocatorOptions& opts = {});
+AllocationResult allocate_color(const vir::Kernel& kernel, const AllocatorOptions& opts = {});
 
 }  // namespace safara::regalloc

@@ -410,17 +410,27 @@ DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
   const LatencyModel& lat = spec.lat;
   DecodedKernel dk;
   dk.code.reserve(k.code.size());
+  // Rematerialized vregs (coloring allocator): the value is recomputed by a
+  // one-ALU-op sequence instead of reloaded from a local-memory spill slot,
+  // so their accesses cost ALU latency and are not spill traffic.
+  auto is_remat = [&](std::uint32_t r) {
+    return r < alloc.remat.size() && alloc.remat[r];
+  };
   for (const Instr& in : k.code) {
     DecodedInstr d;
     vir::for_each_use(in, [&](std::uint32_t r) {
       d.uses[d.num_uses++] = r;
       if (alloc.spilled[r]) {
-        d.spill_extra += lat.local_mem;
-        ++d.spill_uses;
+        if (is_remat(r)) {
+          d.spill_extra += lat.alu;
+        } else {
+          d.spill_extra += lat.local_mem;
+          ++d.spill_uses;
+        }
       }
     });
     d.writes_dst = vir::has_dst(in.op) && in.dst != vir::kNoReg;
-    d.dst_spilled = d.writes_dst && alloc.spilled[in.dst];
+    d.dst_spilled = d.writes_dst && alloc.spilled[in.dst] && !is_remat(in.dst);
     // Memory/control ops compute their latency dynamically; the static class
     // recorded here for them (lat.alu) is never read.
     const SuperblockOpInfo info = superblock_op_info(in.op, in.type, spec);
@@ -1464,6 +1474,10 @@ class SmSimulator {
         }
         return;
       }
+      case Opcode::kPhi:
+        // Phis exist only between SSA construction and destruction inside the
+        // pass pipeline; the allocator and simulator operate on phi-free code.
+        throw std::runtime_error("vgpu: phi instruction reached the simulator");
       case Opcode::kExit:
         w.finished = true;
         return;

@@ -1,0 +1,242 @@
+#include "vir/cfg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace safara::vir {
+
+namespace {
+
+/// Like liveness.cpp's build_cfg, but every label position is also a block
+/// leader, so no instruction range spans a point the SIMT interpreter can
+/// transfer control to. Blocks are never empty: each leader is a real
+/// instruction index and a block runs to the next leader.
+std::vector<BasicBlock> build_label_blocks(const Kernel& k) {
+  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
+  std::vector<char> leader(static_cast<std::size_t>(n), 0);
+  if (n > 0) leader[0] = 1;
+  auto mark = [&](std::int32_t i) {
+    if (i >= 0 && i < n) leader[static_cast<std::size_t>(i)] = 1;
+  };
+  for (std::int32_t t : k.labels) mark(t);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Instr& in = k.code[i];
+    if (in.op == Opcode::kBra || in.op == Opcode::kCbr) {
+      mark(k.target(static_cast<std::int32_t>(in.imm)));
+      mark(i + 1);
+    } else if (in.op == Opcode::kExit) {
+      mark(i + 1);
+    }
+  }
+
+  std::vector<BasicBlock> blocks;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (leader[static_cast<std::size_t>(i)]) {
+      if (!blocks.empty()) blocks.back().end = i;
+      blocks.push_back({i, n, {}});
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+Cfg build_dominator_cfg(const Kernel& k) {
+  Cfg cfg;
+  cfg.blocks = build_label_blocks(k);
+  const std::size_t nb = cfg.blocks.size();
+  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
+
+  cfg.block_of.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::int32_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
+      cfg.block_of[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(b);
+    }
+  }
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    BasicBlock& bb = cfg.blocks[b];
+    const Instr& last = k.code[bb.end - 1];
+    if (last.op == Opcode::kBra) {
+      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
+      if (t < n) bb.succs.push_back(cfg.block_of[static_cast<std::size_t>(t)]);
+    } else if (last.op == Opcode::kCbr) {
+      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
+      if (t < n) bb.succs.push_back(cfg.block_of[static_cast<std::size_t>(t)]);
+      if (b + 1 < nb) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    } else if (last.op != Opcode::kExit) {
+      if (b + 1 < nb) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
+    }
+  }
+
+  cfg.preds.assign(nb, {});
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::int32_t s : cfg.blocks[b].succs) {
+      cfg.preds[static_cast<std::size_t>(s)].push_back(static_cast<std::int32_t>(b));
+    }
+  }
+  for (auto& p : cfg.preds) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+  }
+
+  cfg.reachable.assign(nb, 0);
+  if (nb > 0) {
+    std::deque<std::int32_t> work{0};
+    cfg.reachable[0] = 1;
+    while (!work.empty()) {
+      const std::int32_t b = work.front();
+      work.pop_front();
+      for (std::int32_t s : cfg.blocks[static_cast<std::size_t>(b)].succs) {
+        if (!cfg.reachable[static_cast<std::size_t>(s)]) {
+          cfg.reachable[static_cast<std::size_t>(s)] = 1;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Iterative dominator sets over block bitsets (the CFGs are tiny).
+  cfg.idom.assign(nb, -1);
+  cfg.dom_children.assign(nb, {});
+  cfg.dom_frontier.assign(nb, {});
+  if (nb == 0) return cfg;
+
+  const std::size_t words = (nb + 63) / 64;
+  auto bit_get = [&](const std::vector<std::uint64_t>& bs, std::size_t i) {
+    return (bs[i / 64] >> (i % 64)) & 1;
+  };
+  std::vector<std::vector<std::uint64_t>> dom(nb, std::vector<std::uint64_t>(words, ~0ull));
+  dom[0].assign(words, 0);
+  dom[0][0] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 1; b < nb; ++b) {
+      if (!cfg.reachable[b]) continue;
+      std::vector<std::uint64_t> next(words, ~0ull);
+      bool any_pred = false;
+      for (std::int32_t p : cfg.preds[b]) {
+        if (!cfg.reachable[static_cast<std::size_t>(p)]) continue;
+        any_pred = true;
+        for (std::size_t w = 0; w < words; ++w) next[w] &= dom[static_cast<std::size_t>(p)][w];
+      }
+      if (!any_pred) next.assign(words, 0);
+      next[b / 64] |= std::uint64_t{1} << (b % 64);
+      if (next != dom[b]) {
+        dom[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  auto popcount = [&](const std::vector<std::uint64_t>& bs) {
+    int c = 0;
+    for (std::uint64_t w : bs) {
+      while (w) {
+        w &= w - 1;
+        ++c;
+      }
+    }
+    return c;
+  };
+
+  // idom(b) is the strict dominator with the largest dominator set.
+  for (std::size_t b = 1; b < nb; ++b) {
+    if (!cfg.reachable[b]) continue;
+    std::int32_t idom = -1;
+    int best = -1;
+    for (std::size_t d = 0; d < nb; ++d) {
+      if (d == b || !bit_get(dom[b], d)) continue;
+      const int size = popcount(dom[d]);
+      if (size > best) {
+        best = size;
+        idom = static_cast<std::int32_t>(d);
+      }
+    }
+    cfg.idom[b] = idom;
+    if (idom >= 0) {
+      cfg.dom_children[static_cast<std::size_t>(idom)].push_back(static_cast<std::int32_t>(b));
+    }
+  }
+
+  // Dominance frontiers (Cooper–Harvey–Kennedy): walk from each join's
+  // predecessors up the dominator tree until the join's idom.
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (!cfg.reachable[b]) continue;
+    std::vector<std::int32_t> rpreds;
+    for (std::int32_t p : cfg.preds[b]) {
+      if (cfg.reachable[static_cast<std::size_t>(p)]) rpreds.push_back(p);
+    }
+    if (rpreds.size() < 2) continue;
+    for (std::int32_t p : rpreds) {
+      std::int32_t runner = p;
+      while (runner >= 0 && runner != cfg.idom[b]) {
+        cfg.dom_frontier[static_cast<std::size_t>(runner)].push_back(
+            static_cast<std::int32_t>(b));
+        runner = cfg.idom[static_cast<std::size_t>(runner)];
+      }
+    }
+  }
+  for (auto& df : cfg.dom_frontier) {
+    std::sort(df.begin(), df.end());
+    df.erase(std::unique(df.begin(), df.end()), df.end());
+  }
+  return cfg;
+}
+
+BlockLiveness compute_block_liveness(const Kernel& k,
+                                     const std::vector<BasicBlock>& blocks) {
+  const std::uint32_t nregs = k.num_vregs();
+  const std::size_t nblocks = blocks.size();
+  BlockLiveness lv;
+  lv.words = (nregs + 63) / 64;
+  const std::size_t words = lv.words;
+
+  auto bit_get = [&](const std::vector<std::uint64_t>& bs, std::uint32_t r) {
+    return (bs[r / 64] >> (r % 64)) & 1;
+  };
+  auto bit_set = [&](std::vector<std::uint64_t>& bs, std::uint32_t r) {
+    bs[r / 64] |= std::uint64_t{1} << (r % 64);
+  };
+
+  std::vector<std::vector<std::uint64_t>> use(nblocks), def(nblocks);
+  lv.live_in.assign(nblocks, std::vector<std::uint64_t>(words, 0));
+  lv.live_out.assign(nblocks, std::vector<std::uint64_t>(words, 0));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    use[b].assign(words, 0);
+    def[b].assign(words, 0);
+    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      const Instr& in = k.code[i];
+      for_each_use(in, [&](std::uint32_t r) {
+        if (!bit_get(def[b], r)) bit_set(use[b], r);
+      });
+      if (has_dst(in.op) && in.dst != kNoReg) bit_set(def[b], in.dst);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nblocks; bi-- > 0;) {
+      std::vector<std::uint64_t> out(words, 0);
+      for (std::int32_t s : blocks[bi].succs) {
+        for (std::size_t w = 0; w < words; ++w) {
+          out[w] |= lv.live_in[static_cast<std::size_t>(s)][w];
+        }
+      }
+      std::vector<std::uint64_t> in_set(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        in_set[w] = use[bi][w] | (out[w] & ~def[bi][w]);
+      }
+      if (in_set != lv.live_in[bi] || out != lv.live_out[bi]) {
+        changed = true;
+        lv.live_in[bi] = std::move(in_set);
+        lv.live_out[bi] = std::move(out);
+      }
+    }
+  }
+  return lv;
+}
+
+}  // namespace safara::vir

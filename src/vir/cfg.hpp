@@ -1,0 +1,60 @@
+// Dominator-annotated CFG over VIR kernels, shared by GVN and the SSA
+// construction/destruction passes.
+//
+// The block partition follows the pass pipeline's convention (every label
+// position is a leader, so reconvergence labels are block boundaries), which
+// is stricter than liveness.cpp's branch-only partition. That matters for
+// SSA: phis are placed at label-led joins and the SIMT interpreter can
+// transfer control to any label, so labels must start blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vir/liveness.hpp"
+#include "vir/vir.hpp"
+
+namespace safara::vir {
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  /// Per block: predecessor block indices, ascending, deduplicated.
+  std::vector<std::vector<std::int32_t>> preds;
+  /// Per block: reachable from the entry block.
+  std::vector<char> reachable;
+  /// Immediate dominator block index (-1 for the entry and unreachable
+  /// blocks).
+  std::vector<std::int32_t> idom;
+  /// Dominator-tree children, ascending.
+  std::vector<std::vector<std::int32_t>> dom_children;
+  /// Dominance frontier per block, ascending.
+  std::vector<std::vector<std::int32_t>> dom_frontier;
+  /// Instruction index -> block index.
+  std::vector<std::int32_t> block_of;
+};
+
+/// Builds blocks (labels-as-leaders), predecessor lists, reachability, the
+/// dominator tree (iterative bitset dataflow — the CFGs are tiny), and
+/// dominance frontiers.
+Cfg build_dominator_cfg(const Kernel& k);
+
+/// Per-block liveness bitsets over an arbitrary block partition; the backward
+/// dataflow underlying compute_live_intervals, exposed so SSA pruning and the
+/// coloring allocator can share it.
+struct BlockLiveness {
+  std::size_t words = 0;  // 64-bit words per bitset
+  std::vector<std::vector<std::uint64_t>> live_in;
+  std::vector<std::vector<std::uint64_t>> live_out;
+
+  bool live_in_at(std::size_t block, std::uint32_t vreg) const {
+    return (live_in[block][vreg / 64] >> (vreg % 64)) & 1;
+  }
+  bool live_out_at(std::size_t block, std::uint32_t vreg) const {
+    return (live_out[block][vreg / 64] >> (vreg % 64)) & 1;
+  }
+};
+
+BlockLiveness compute_block_liveness(const Kernel& k,
+                                     const std::vector<BasicBlock>& blocks);
+
+}  // namespace safara::vir

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <map>
 #include <tuple>
 #include <vector>
 
+#include "vir/cfg.hpp"
 #include "vir/liveness.hpp"
+#include "vir/ssa.hpp"
 
 namespace safara::vir::passes {
 
@@ -65,60 +66,6 @@ int remove_dead(Kernel& k, const std::vector<char>& dead) {
     if (target >= 0 && target <= n) target = new_index[static_cast<std::size_t>(target)];
   }
   return n - kept;
-}
-
-/// Like liveness.cpp's build_cfg, but every label position is also a block
-/// leader. Reconvergence labels (kCbr imm2) are thereby boundaries too, so
-/// in-block reordering can never move an instruction across any point the
-/// SIMT interpreter can transfer control to.
-std::vector<BasicBlock> build_pass_blocks(const Kernel& k) {
-  const std::int32_t n = static_cast<std::int32_t>(k.code.size());
-  std::vector<char> leader(static_cast<std::size_t>(n), 0);
-  if (n > 0) leader[0] = 1;
-  auto mark = [&](std::int32_t i) {
-    if (i >= 0 && i < n) leader[static_cast<std::size_t>(i)] = 1;
-  };
-  for (std::int32_t t : k.labels) mark(t);
-  for (std::int32_t i = 0; i < n; ++i) {
-    const Instr& in = k.code[i];
-    if (in.op == Opcode::kBra || in.op == Opcode::kCbr) {
-      mark(k.target(static_cast<std::int32_t>(in.imm)));
-      mark(i + 1);
-    } else if (in.op == Opcode::kExit) {
-      mark(i + 1);
-    }
-  }
-
-  std::vector<BasicBlock> blocks;
-  for (std::int32_t i = 0; i < n; ++i) {
-    if (leader[static_cast<std::size_t>(i)]) {
-      if (!blocks.empty()) blocks.back().end = i;
-      blocks.push_back({i, n, {}});
-    }
-  }
-
-  std::vector<std::int32_t> block_of(static_cast<std::size_t>(n), -1);
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
-      block_of[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(b);
-    }
-  }
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    BasicBlock& bb = blocks[b];
-    if (bb.begin == bb.end) continue;
-    const Instr& last = k.code[bb.end - 1];
-    if (last.op == Opcode::kBra) {
-      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
-      if (t < n) bb.succs.push_back(block_of[static_cast<std::size_t>(t)]);
-    } else if (last.op == Opcode::kCbr) {
-      std::int32_t t = k.target(static_cast<std::int32_t>(last.imm));
-      if (t < n) bb.succs.push_back(block_of[static_cast<std::size_t>(t)]);
-      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
-    } else if (last.op != Opcode::kExit) {
-      if (b + 1 < blocks.size()) bb.succs.push_back(static_cast<std::int32_t>(b + 1));
-    }
-  }
-  return blocks;
 }
 
 }  // namespace
@@ -202,86 +149,7 @@ int run_gvn(Kernel& k) {
   const Kernel snapshot = k;
   const int pressure_before = max_live_pressure(k);
   const std::vector<int> defs = def_counts(k);
-  const std::vector<BasicBlock> blocks = build_pass_blocks(k);
-  const std::size_t nb = blocks.size();
-
-  std::vector<std::vector<std::int32_t>> preds(nb);
-  for (std::size_t b = 0; b < nb; ++b) {
-    for (std::int32_t s : blocks[b].succs) {
-      preds[static_cast<std::size_t>(s)].push_back(static_cast<std::int32_t>(b));
-    }
-  }
-
-  std::vector<char> reachable(nb, 0);
-  std::deque<std::int32_t> work{0};
-  reachable[0] = 1;
-  while (!work.empty()) {
-    const std::int32_t b = work.front();
-    work.pop_front();
-    for (std::int32_t s : blocks[static_cast<std::size_t>(b)].succs) {
-      if (!reachable[static_cast<std::size_t>(s)]) {
-        reachable[static_cast<std::size_t>(s)] = 1;
-        work.push_back(s);
-      }
-    }
-  }
-
-  // Iterative dominator sets over block bitsets (the CFGs are tiny).
-  const std::size_t words = (nb + 63) / 64;
-  auto bit_get = [&](const std::vector<std::uint64_t>& bs, std::size_t i) {
-    return (bs[i / 64] >> (i % 64)) & 1;
-  };
-  std::vector<std::vector<std::uint64_t>> dom(nb, std::vector<std::uint64_t>(words, ~0ull));
-  dom[0].assign(words, 0);
-  dom[0][0] = 1;
-  bool dom_changed = true;
-  while (dom_changed) {
-    dom_changed = false;
-    for (std::size_t b = 1; b < nb; ++b) {
-      if (!reachable[b]) continue;
-      std::vector<std::uint64_t> next(words, ~0ull);
-      bool any_pred = false;
-      for (std::int32_t p : preds[b]) {
-        if (!reachable[static_cast<std::size_t>(p)]) continue;
-        any_pred = true;
-        for (std::size_t w = 0; w < words; ++w) next[w] &= dom[static_cast<std::size_t>(p)][w];
-      }
-      if (!any_pred) next.assign(words, 0);
-      next[b / 64] |= std::uint64_t{1} << (b % 64);
-      if (next != dom[b]) {
-        dom[b] = std::move(next);
-        dom_changed = true;
-      }
-    }
-  }
-
-  auto popcount = [&](const std::vector<std::uint64_t>& bs) {
-    int c = 0;
-    for (std::uint64_t w : bs) {
-      while (w) {
-        w &= w - 1;
-        ++c;
-      }
-    }
-    return c;
-  };
-
-  // idom(b) is the strict dominator with the largest dominator set.
-  std::vector<std::vector<std::int32_t>> children(nb);
-  for (std::size_t b = 1; b < nb; ++b) {
-    if (!reachable[b]) continue;
-    std::int32_t idom = -1;
-    int best = -1;
-    for (std::size_t d = 0; d < nb; ++d) {
-      if (d == b || !bit_get(dom[b], d)) continue;
-      const int size = popcount(dom[d]);
-      if (size > best) {
-        best = size;
-        idom = static_cast<std::int32_t>(d);
-      }
-    }
-    if (idom >= 0) children[static_cast<std::size_t>(idom)].push_back(static_cast<std::int32_t>(b));
-  }
+  const Cfg cfg = build_dominator_cfg(k);
 
   int hits = 0;
   std::vector<char> dead(k.code.size(), 0);
@@ -296,10 +164,13 @@ int run_gvn(Kernel& k) {
   while (!stack.empty()) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
-    const BasicBlock& bb = blocks[static_cast<std::size_t>(frame.block)];
+    const BasicBlock& bb = cfg.blocks[static_cast<std::size_t>(frame.block)];
     for (std::int32_t i = bb.begin; i < bb.end; ++i) {
       Instr& in = k.code[i];
       if (dead[static_cast<std::size_t>(i)]) continue;
+      // Phis are pure but their value depends on the edge taken, not on
+      // their operand tuple — never number them.
+      if (in.op == Opcode::kPhi) continue;
       if (!is_pure(in.op) || !has_dst(in.op) || in.dst == kNoReg) continue;
       if (defs[in.dst] != 1) continue;
       bool stable = true;
@@ -317,7 +188,7 @@ int run_gvn(Kernel& k) {
         frame.table.emplace(key, in.dst);
       }
     }
-    for (std::int32_t c : children[static_cast<std::size_t>(frame.block)]) {
+    for (std::int32_t c : cfg.dom_children[static_cast<std::size_t>(frame.block)]) {
       stack.push_back({c, frame.table});
     }
   }
@@ -472,7 +343,7 @@ int run_pressure_scheduling(Kernel& k) {
   const Kernel snapshot = k;
   const int pressure_before = max_live_pressure(k);
   const std::vector<int> defs = def_counts(k);
-  const std::vector<BasicBlock> blocks = build_pass_blocks(k);
+  const std::vector<BasicBlock> blocks = build_dominator_cfg(k).blocks;
 
   int moves = 0;
   for (const BasicBlock& bb : blocks) {
@@ -481,6 +352,8 @@ int run_pressure_scheduling(Kernel& k) {
     // below the cursor stable.
     for (std::int32_t i = bb.end - 2; i >= bb.begin; --i) {
       const Instr in = k.code[i];
+      // Phis must stay contiguous at their block head.
+      if (in.op == Opcode::kPhi) continue;
       if (!is_pure(in.op) || !has_dst(in.op) || in.dst == kNoReg) continue;
       if (defs[in.dst] != 1) continue;
       bool movable = true;
@@ -517,16 +390,54 @@ PassStats run_pipeline(Kernel& k, int opt_level) {
   s.pressure_before = max_live_pressure(k);
   s.pressure_after = s.pressure_before;
   if (opt_level <= 0) return s;
-  s.copyprop_removed += run_copy_propagation(k);
-  s.dce_removed += run_dce(k);
-  if (opt_level >= 2) {
-    s.strength_reduced = run_strength_reduction(k);
-    // Strength reduction mints movs; fold them before value numbering so GVN
-    // sees canonical operands.
-    s.copyprop_removed += run_copy_propagation(k);
-    s.gvn_hits = run_gvn(k);
-    s.dce_removed += run_dce(k);
-    s.sched_moves = run_pressure_scheduling(k);
+
+  // Each iteration: SSA in, passes, SSA out. An iteration is kept only when
+  // it performed counted optimization work, strictly shrank the kernel, and
+  // did not raise peak pressure — otherwise it is reverted wholesale and the
+  // loop stops. The strict-shrink rule bounds the loop by the kernel size
+  // and makes the pipeline a fixpoint: re-running it repeats the final
+  // (reverted) iteration deterministically and reverts it again, so the
+  // second run is byte-identical and reports zero work.
+  bool first_round = true;
+  while (true) {
+    const Kernel snapshot = k;
+    const int pressure_in = max_live_pressure(k);
+    const ssa::ConstructStats cs = ssa::construct(k);
+    if (first_round) s.phi_count = cs.phis;
+
+    PassStats it;
+    it.copyprop_removed += run_copy_propagation(k);
+    it.dce_removed += run_dce(k);
+    if (opt_level >= 2) {
+      it.strength_reduced = run_strength_reduction(k);
+      // Strength reduction mints movs; fold them before value numbering so
+      // GVN sees canonical operands.
+      it.copyprop_removed += run_copy_propagation(k);
+      it.gvn_hits = run_gvn(k);
+      it.dce_removed += run_dce(k);
+      it.sched_moves = run_pressure_scheduling(k);
+    }
+    const int counted = it.copyprop_removed + it.gvn_hits + it.dce_removed +
+                        it.strength_reduced + it.sched_moves;
+    if (counted == 0) {
+      k = snapshot;
+      break;
+    }
+    ssa::DestructStats ds;
+    if (cs.converted) ds = ssa::destruct(k);
+    if (!ds.ok || k.code.size() >= snapshot.code.size() ||
+        max_live_pressure(k) > pressure_in) {
+      k = snapshot;
+      break;
+    }
+    s.copyprop_removed += it.copyprop_removed;
+    s.gvn_hits += it.gvn_hits;
+    s.dce_removed += it.dce_removed;
+    s.strength_reduced += it.strength_reduced;
+    s.sched_moves += it.sched_moves;
+    s.ssa_copies_folded += cs.copies_folded;
+    s.phi_copies_coalesced += ds.coalesced;
+    first_round = false;
   }
   s.pressure_after = max_live_pressure(k);
   return s;

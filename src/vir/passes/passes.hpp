@@ -3,11 +3,15 @@
 // the quantity the paper's whole feedback loop is built around — not to
 // minimize instruction count for its own sake.
 //
-// VIR is not SSA: codegen materializes variables and loop induction
-// variables as multi-def "mutable slots". Every pass therefore restricts
-// itself to single-def virtual registers (def count == 1), which excludes
-// the slots automatically and makes the classic SSA arguments go through
-// unchanged. See docs/PASSES.md for each pass's legality argument.
+// Codegen materializes variables and loop induction values as multi-def
+// "mutable slots"; each standalone pass restricts itself to single-def
+// virtual registers (def count == 1) so it stays sound on raw codegen
+// output. `run_pipeline` lifts that restriction by converting the kernel to
+// SSA form first (src/vir/ssa.hpp): after renaming, every slot def is its
+// own single-def vreg, so the guards are trivially true and the passes see
+// all values. Phis are destroyed again before the pipeline returns — no
+// consumer outside this file ever observes `Opcode::kPhi`. See
+// docs/PASSES.md for each pass's legality argument.
 #pragma once
 
 #include "vir/vir.hpp"
@@ -24,6 +28,12 @@ struct PassStats {
   int sched_moves = 0;        // pure ops sunk toward their first use
   int pressure_before = 0;    // peak live 32-bit register units pre-pipeline
   int pressure_after = 0;     // ... and post-pipeline
+  // SSA bookkeeping. These are not "optimization work": the pipeline's
+  // fixpoint contract is defined over the five counters above, and an
+  // iteration that only churns SSA form (zero counted work) is reverted.
+  int phi_count = 0;            // phis placed by SSA construction (first round)
+  int ssa_copies_folded = 0;    // movs folded into SSA renaming (kept rounds)
+  int phi_copies_coalesced = 0; // phi-elimination copies coalesced (kept rounds)
 };
 
 /// Peak number of simultaneously live 32-bit register units (predicates are
@@ -60,9 +70,14 @@ int run_strength_reduction(Kernel& k);
 int run_pressure_scheduling(Kernel& k);
 
 /// The pipeline behind --opt-level:
-///   0: nothing (today's behaviour)
+///   0: nothing (the seed behaviour)
 ///   1: copy propagation + DCE
 ///   2: + strength reduction, GVN, pressure scheduling
+/// At level >= 1 each iteration runs SSA construction, the passes, then SSA
+/// destruction, and repeats while an iteration both performs counted work
+/// and strictly shrinks the kernel without raising pressure; the final
+/// no-progress iteration is reverted wholesale, which is what makes the
+/// pipeline a fixpoint (running it again is byte-identical).
 PassStats run_pipeline(Kernel& k, int opt_level);
 
 }  // namespace safara::vir::passes

@@ -56,6 +56,7 @@ const char* to_string(Opcode op) {
     case Opcode::kMovSpecial: return "mov.special";
     case Opcode::kBra: return "bra";
     case Opcode::kCbr: return "cbr";
+    case Opcode::kPhi: return "phi";
     case Opcode::kExit: return "exit";
   }
   return "?";
@@ -158,6 +159,11 @@ std::string to_string(const Instr& in, const Kernel& k) {
     case Opcode::kSelp:
       os << ' ' << reg(in.dst) << ", " << reg(in.a) << ", " << reg(in.b) << ", "
          << reg(in.c);
+      break;
+    case Opcode::kPhi:
+      os << ' ' << reg(in.dst) << ", " << reg(in.a);
+      if (in.b != kNoReg) os << ", " << reg(in.b);
+      if (in.c != kNoReg) os << ", " << reg(in.c);
       break;
     default:
       os << ' ' << reg(in.dst);

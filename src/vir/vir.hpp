@@ -85,6 +85,12 @@ enum class Opcode : std::uint8_t {
   // Control flow.
   kBra,   // goto label imm
   kCbr,   // if a(pred) goto label imm, else fall through; reconverge at imm2
+  /// SSA phi: dst <- value of the operand matching the predecessor edge the
+  /// block was entered from (operands a/b/c, ordered by ascending predecessor
+  /// block index). Exists only inside the pass pipeline, between SSA
+  /// construction and destruction — codegen never emits it and the simulator
+  /// and allocator never see it.
+  kPhi,
   kExit,
 };
 

@@ -271,6 +271,59 @@ TEST(ObsCompiler, EmitsPipelineAndSafaraSpans) {
             iterations);
 }
 
+TEST(ObsCompiler, EmitsRegallocAndSsaMetrics) {
+  obs::Collector collector;
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+  compiler.compile(kBlurSource);
+
+  // The coloring allocator's counters must exist (created even at zero) so
+  // dashboards can rely on the keys, and the iteration counter must cover at
+  // least one build/simplify/select round per compiled kernel.
+  const auto& metrics = collector.metrics;
+  for (const char* key : {"regalloc.coalesced", "regalloc.split_ranges",
+                          "regalloc.remat", "regalloc.spills", "regalloc.iterations"}) {
+    EXPECT_NE(metrics.counters().find(key), metrics.counters().end())
+        << "missing counter " << key;
+  }
+  EXPECT_GE(metrics.counter("regalloc.iterations"), 1);
+
+  // SSA construction ran inside the pipeline: every kernel gets a
+  // vir.phi_count.<kernel> gauge (zero for straight-line kernels).
+  bool phi_gauge = false;
+  for (const auto& [k, v] : metrics.gauges()) {
+    if (k.rfind("vir.phi_count.", 0) == 0) {
+      phi_gauge = true;
+      EXPECT_GE(v, 0.0) << k;
+    }
+  }
+  EXPECT_TRUE(phi_gauge) << "no vir.phi_count.* gauge was set";
+}
+
+TEST(ObsCompiler, RecompileUnderSameCollectorIsProfileGuided) {
+  obs::Collector collector;
+  driver::Compiler compiler(driver::CompilerOptions::openuh_safara_clauses(), &collector);
+  auto prog = compiler.compile(kBlurSource);
+
+  // First compile: no sim profile exists yet, so allocation is unweighted.
+  EXPECT_EQ(collector.metrics.counters().find("regalloc.profile_guided"),
+            collector.metrics.counters().end());
+
+  Data data = blur_data(64, 64);
+  run_sim(prog, data, vgpu::DeviceSpec::k20xm(), &collector);
+  ASSERT_FALSE(collector.sim_profiles.empty());
+
+  // Recompiling the same source under the same collector must pick up the
+  // per-pc attribution (same kernel name, same code length) and feed it into
+  // the allocator's spill-cost weights.
+  auto prog2 = compiler.compile(kBlurSource);
+  EXPECT_GE(collector.metrics.counter("regalloc.profile_guided"), 1);
+
+  // Profile weighting may only reorder spill *choices*; the register count
+  // and program behaviour must stay sane. Same kernel count is the cheap
+  // structural check.
+  EXPECT_EQ(prog.kernels.size(), prog2.kernels.size());
+}
+
 TEST(ObsCompiler, MetricsDeterministicAcrossRuns) {
   auto run_once = [] {
     // The feedback cache is process-wide, so a second compile of the same

@@ -121,6 +121,43 @@ TEST(Liveness, LoopCarriedValueSpansLoop) {
   EXPECT_GE(iv_interval->end, 5);  // live across the whole loop
 }
 
+TEST(Liveness, MultiBlockValueCoversAllUses) {
+  // Diamond: `a` is defined in the entry block and read in both arms plus the
+  // join — its interval must span from the def to the join's use even though
+  // no single block contains both endpoints.
+  KB b;
+  auto a = b.reg(VType::kI32);
+  auto p = b.reg(VType::kPred);
+  auto t = b.reg(VType::kI32);
+  auto e = b.reg(VType::kI32);
+  auto j = b.reg(VType::kI32);
+  std::int32_t else_l = b.label();
+  std::int32_t join_l = b.label();
+  b.emit(Opcode::kMovImmI, VType::kI32, a).imm = 5;            // 0
+  b.emit(Opcode::kSetLt, VType::kI32, p, a, a);                // 1
+  {
+    Instr& br = b.emit(Opcode::kCbr, VType::kI32, kNoReg, p);  // 2
+    br.imm = else_l;
+    br.imm2 = join_l;
+  }
+  b.emit(Opcode::kAdd, VType::kI32, t, a, a);                  // 3 (then arm)
+  b.emit(Opcode::kBra, VType::kI32).imm = join_l;              // 4
+  b.place(else_l);
+  b.emit(Opcode::kAdd, VType::kI32, e, a, a);                  // 5 (else arm)
+  b.place(join_l);
+  b.emit(Opcode::kAdd, VType::kI32, j, a, a);                  // 6 (join)
+  b.emit(Opcode::kExit, VType::kI32);                          // 7
+
+  auto intervals = compute_live_intervals(b.k);
+  const LiveInterval* ai = nullptr;
+  for (const LiveInterval& li : intervals) {
+    if (li.vreg == a) ai = &li;
+  }
+  ASSERT_NE(ai, nullptr);
+  EXPECT_LE(ai->start, 0);
+  EXPECT_GE(ai->end, 6);
+}
+
 TEST(Liveness, DeadRegisterGetsNoInterval) {
   KB b;
   auto used = b.reg(VType::kI32);
@@ -313,6 +350,134 @@ TEST(Regalloc, SpilledF64CostsEightBytes) {
     if (res.spilled[v]) ++spilled_count;
   }
   EXPECT_EQ(res.spill_bytes, spilled_count * 8);
+}
+
+TEST(Regalloc, ColoringReusesHolesLinearScanCannot) {
+  // `x` dies, other values pass through, then `x` is redefined: linear scan's
+  // hole-free interval pins a register across the gap, while the coloring
+  // allocator's per-segment live ranges release and re-take it. The crafted
+  // kernel needs strictly fewer registers under coloring.
+  KB b;
+  auto x = b.reg(VType::kI32);
+  auto y = b.reg(VType::kI32);
+  auto z = b.reg(VType::kI32);
+  auto w = b.reg(VType::kI32);
+  b.emit(Opcode::kMovImmI, VType::kI32, x).imm = 1;  // 0: x segment 1
+  b.emit(Opcode::kAdd, VType::kI32, y, x, x);        // 1: x dies
+  b.emit(Opcode::kAdd, VType::kI32, z, y, y);        // 2
+  b.emit(Opcode::kMovImmI, VType::kI32, x).imm = 2;  // 3: x segment 2
+  b.emit(Opcode::kAdd, VType::kI32, w, x, z);        // 4
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions linear;
+  linear.strategy = regalloc::Strategy::kLinear;
+  regalloc::AllocatorOptions color;
+  color.strategy = regalloc::Strategy::kColor;
+  auto lin = regalloc::allocate(b.k, linear);
+  auto col = regalloc::allocate(b.k, color);
+  EXPECT_LT(col.regs_used, lin.regs_used);
+  EXPECT_FALSE(col.any_spills());
+  EXPECT_GE(col.split_ranges, 1) << "x was not split across its hole";
+}
+
+TEST(Regalloc, RangeEndingAtBlockBoundaryFreesItsRegister) {
+  // `a`'s last use is the final instruction of the entry block; `c` is born
+  // in the successor. Per-point liveness must not leak `a` across the block
+  // boundary, so coloring can give both the same register.
+  KB b;
+  auto a = b.reg(VType::kI32);
+  auto s = b.reg(VType::kI32);
+  auto c = b.reg(VType::kI32);
+  auto d = b.reg(VType::kI32);
+  std::int32_t next = b.label();
+  b.emit(Opcode::kMovImmI, VType::kI32, a).imm = 3;  // 0
+  b.emit(Opcode::kAdd, VType::kI32, s, a, a);        // 1: a's last use
+  b.emit(Opcode::kBra, VType::kI32).imm = next;      // 2: block ends
+  b.place(next);
+  b.emit(Opcode::kMovImmI, VType::kI32, c).imm = 4;  // 3
+  b.emit(Opcode::kAdd, VType::kI32, d, c, s);        // 4
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions color;
+  color.strategy = regalloc::Strategy::kColor;
+  auto col = regalloc::allocate(b.k, color);
+  EXPECT_LE(col.regs_used, 2) << "a's register was not reused after its range "
+                                 "ended at the block boundary";
+  EXPECT_FALSE(col.any_spills());
+}
+
+TEST(Regalloc, RematPrefersRecomputableValues) {
+  // Under a tight cap, spilled constants are rematerialized: they stay in
+  // the spilled set (slot reserved, static traffic counted) but are flagged
+  // for the simulator to recompute at ALU latency.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 16; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  auto sink = b.reg(VType::kI32);
+  for (int i = 0; i + 1 < 16; ++i) {
+    b.emit(Opcode::kAdd, VType::kI32, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions opts;
+  opts.strategy = regalloc::Strategy::kColor;
+  opts.max_registers = 8;
+  auto res = regalloc::allocate(b.k, opts);
+  ASSERT_TRUE(res.any_spills());
+  EXPECT_GT(res.remat_count, 0);
+  EXPECT_EQ(res.spills, res.remat_count)
+      << "every spilled value here is a constant and should rematerialize";
+  ASSERT_EQ(res.remat.size(), b.k.num_vregs());
+  for (std::uint32_t v = 0; v < b.k.num_vregs(); ++v) {
+    if (res.remat[v]) EXPECT_TRUE(res.spilled[v]) << "remat'd vreg " << v << " not spilled";
+  }
+}
+
+TEST(Regalloc, ProfileWeightsSteerSpillChoice) {
+  // Two equally-referenced values under a cap that can only hold one of
+  // them alongside the rest: the one whose accesses sit at hot pcs (high
+  // pc_weights) must survive, the cold one spills.
+  KB b;
+  std::vector<std::uint32_t> regs;
+  for (int i = 0; i < 6; ++i) {
+    regs.push_back(b.reg(VType::kI32));
+    b.emit(Opcode::kMovImmI, VType::kI32, regs.back()).imm = i;
+  }
+  auto sink = b.reg(VType::kI32);
+  for (int i = 0; i + 1 < 6; ++i) {
+    b.emit(Opcode::kAdd, VType::kI32, sink, regs[static_cast<std::size_t>(i)],
+           regs[static_cast<std::size_t>(i + 1)]);
+  }
+  b.emit(Opcode::kExit, VType::kI32);
+
+  regalloc::AllocatorOptions opts;
+  opts.strategy = regalloc::Strategy::kColor;
+  opts.max_registers = 5;
+  auto cold = regalloc::allocate(b.k, opts);
+  ASSERT_TRUE(cold.any_spills());
+  std::uint32_t cold_victim = kNoReg;
+  for (std::uint32_t v = 0; v < b.k.num_vregs(); ++v) {
+    if (cold.spilled[v]) cold_victim = v;
+  }
+  ASSERT_NE(cold_victim, kNoReg);
+
+  // Make every access of the unweighted victim's pcs scorching hot: the
+  // allocator must now pick a different (cheaper) victim.
+  opts.pc_weights.assign(b.k.code.size(), 1.0);
+  for (std::size_t pc = 0; pc < b.k.code.size(); ++pc) {
+    const Instr& in = b.k.code[pc];
+    bool touches = has_dst(in.op) && in.dst == cold_victim;
+    for_each_use(in, [&](std::uint32_t u) { touches = touches || u == cold_victim; });
+    if (touches) opts.pc_weights[pc] = 1000.0;
+  }
+  auto hot = regalloc::allocate(b.k, opts);
+  ASSERT_TRUE(hot.any_spills());
+  EXPECT_FALSE(hot.spilled[cold_victim])
+      << "profile-hot value was still chosen as the spill victim";
 }
 
 TEST(Regalloc, PtxasInfoFormat) {

@@ -19,6 +19,18 @@ are what the VIR pass pipeline and SAFARA optimize; silently growing them
 is a product regression even when wall-clock looks fine. Baselines
 produced before these counters existed are skipped with a note.
 
+On top of the aggregate, every individual `regs_after.*` cell (one per
+row x config, i.e. per kernel-group x compiler persona) is gated at
+--max-cell-reg-regression with a small absolute slack (--cell-reg-slack,
+default 2 registers) so a big aggregate win can't smuggle in a localized
+blow-up on one kernel. Rows whose `checksum.*` cells exist in both
+documents must match bit-for-bit: a register improvement that changes
+workload output is a miscompile, not a win.
+
+`--write-delta FILE` dumps a machine-readable per-cell register delta
+report (baseline vs current, plus the aggregate percentage) for CI to
+archive as an artifact.
+
 Refresh the baseline after intentional perf changes:
 
     ./build/bench/fig11_spec_vs_pgi --json bench/baselines/fig11_baseline.json
@@ -44,8 +56,12 @@ def total_sim_ms(doc):
     return total_counter(doc, "sim_ms.")
 
 
+def rows_by_name(doc):
+    return {row.get("name", f"#{i}"): row for i, row in enumerate(doc.get("rows", []))}
+
+
 def check_registers(baseline, current, max_reg_regression):
-    """Deterministic register-footprint gate. Returns 0/1 like main."""
+    """Deterministic aggregate register-footprint gate. Returns 0/1 like main."""
     base_regs, base_cells = total_counter(baseline, "regs_after.")
     cur_regs, cur_cells = total_counter(current, "regs_after.")
     if base_cells == 0:
@@ -71,6 +87,105 @@ def check_registers(baseline, current, max_reg_regression):
     return 0
 
 
+def check_register_cells(baseline, current, max_cell_reg_regression, cell_reg_slack):
+    """Per-kernel register gate: every regs_after.* cell individually.
+
+    A cell fails only when it exceeds BOTH the relative limit and the
+    absolute slack, so tiny kernels (where +1 register is a huge ratio)
+    don't flap, while a 30% blow-up on one big kernel is caught even when
+    the aggregate improves.
+    """
+    base_rows = rows_by_name(baseline)
+    failures = 0
+    checked = 0
+    for name, cur_row in rows_by_name(current).items():
+        base_row = base_rows.get(name)
+        if base_row is None:
+            continue
+        for key, cur_val in cur_row.items():
+            if not key.startswith("regs_after."):
+                continue
+            if key not in base_row:
+                continue
+            base_val = float(base_row[key])
+            cur_val = float(cur_val)
+            checked += 1
+            limit = base_val * (1.0 + max_cell_reg_regression) + cell_reg_slack
+            if cur_val > limit:
+                print(
+                    f"FAIL: {name} {key}: {base_val:.0f} -> {cur_val:.0f} "
+                    f"(limit {limit:.1f})"
+                )
+                failures += 1
+    print(f"per-kernel register gate: {checked} cells checked, {failures} over limit")
+    return 1 if failures else 0
+
+
+def check_checksums(baseline, current):
+    """Workload-output checksums must be bit-identical where both sides
+    have them. Baselines stamped before checksum.* cells existed simply
+    have nothing to compare."""
+    base_rows = rows_by_name(baseline)
+    mismatches = 0
+    compared = 0
+    for name, cur_row in rows_by_name(current).items():
+        base_row = base_rows.get(name)
+        if base_row is None:
+            continue
+        for key, cur_val in cur_row.items():
+            if not key.startswith("checksum.") or key not in base_row:
+                continue
+            compared += 1
+            if float(base_row[key]) != float(cur_val):
+                print(
+                    f"FAIL: {name} {key}: checksum changed "
+                    f"({base_row[key]!r} -> {cur_val!r}); register/perf deltas "
+                    f"are meaningless across a behavior change"
+                )
+                mismatches += 1
+    if compared:
+        print(f"checksum gate: {compared} cells compared, {mismatches} mismatched")
+    else:
+        print("checksum gate: no overlapping checksum.* cells; skipped "
+              "(refresh the baseline to arm it)")
+    return 1 if mismatches else 0
+
+
+def write_delta(baseline, current, path):
+    """Per-cell register delta report for CI artifacts."""
+    base_rows = rows_by_name(baseline)
+    base_total, _ = total_counter(baseline, "regs_after.")
+    cur_total, _ = total_counter(current, "regs_after.")
+    report = {
+        "counter": "regs_after",
+        "baseline_total": base_total,
+        "current_total": cur_total,
+        "delta": cur_total - base_total,
+        "delta_pct": (100.0 * (cur_total - base_total) / base_total)
+        if base_total > 0
+        else 0.0,
+        "rows": [],
+    }
+    for name, cur_row in rows_by_name(current).items():
+        base_row = base_rows.get(name, {})
+        cells = {}
+        for key, cur_val in sorted(cur_row.items()):
+            if not key.startswith("regs_after."):
+                continue
+            entry = {"current": float(cur_val)}
+            if key in base_row:
+                entry["baseline"] = float(base_row[key])
+                entry["delta"] = float(cur_val) - float(base_row[key])
+            cells[key] = entry
+        if cells:
+            report["rows"].append({"name": name, "cells": cells})
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote register delta report to {path} "
+          f"({report['delta_pct']:+.2f}% vs baseline)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -87,6 +202,25 @@ def main():
         default=0.10,
         help="allowed fractional growth of the summed regs_after.* counters "
         "(default 0.10; deterministic, so much tighter than wall-clock)",
+    )
+    parser.add_argument(
+        "--max-cell-reg-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional growth of any single regs_after.* cell "
+        "(per kernel-group x config; default 0.20)",
+    )
+    parser.add_argument(
+        "--cell-reg-slack",
+        type=float,
+        default=2.0,
+        help="absolute registers of slack added to every per-cell limit so "
+        "tiny kernels don't flap (default 2)",
+    )
+    parser.add_argument(
+        "--write-delta",
+        metavar="FILE",
+        help="write a per-cell regs_after delta report (JSON) for CI artifacts",
     )
     args = parser.parse_args()
 
@@ -123,10 +257,20 @@ def main():
                 f"grid_parallelism={meta.get('grid_parallelism', '?')} "
                 f"sim_threads={meta.get('sim_threads', '?')}"
             )
-    if ratio > limit:
+    if args.write_delta:
+        write_delta(baseline, current, args.write_delta)
+
+    failed = ratio > limit
+    if failed:
         print(f"FAIL: simulation wall-clock regressed beyond {args.max_regression:.0%}")
-        return 1
-    if check_registers(baseline, current, args.max_reg_regression):
+    failed |= bool(check_registers(baseline, current, args.max_reg_regression))
+    failed |= bool(
+        check_register_cells(
+            baseline, current, args.max_cell_reg_regression, args.cell_reg_slack
+        )
+    )
+    failed |= bool(check_checksums(baseline, current))
+    if failed:
         return 1
     print("OK")
     return 0

@@ -49,7 +49,7 @@ void usage() {
                "usage: safcc <file.acc> [--fn name] [--config base|small|small_dim|"
                "safara|safara_clauses|pgi]\n"
                "             [--opt-level 0|1|2] [--emit-vir] [--dump-vir] [--emit-source]\n"
-               "             [--unroll N] [--max-regs N]\n"
+               "             [--unroll N] [--max-regs N] [--regalloc linear|color]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
                "             [--time-passes] [--workload NAME] [--sim-profile]\n"
                "             [--sim-profile-out=FILE] [--annotate]\n"
@@ -460,6 +460,8 @@ int main(int argc, char** argv) {
   int max_regs = 0;
   int opt_level = -1;  // -1: keep the CompilerOptions default
   bool verify = false;
+  bool have_regalloc = false;
+  regalloc::Strategy regalloc_strategy = regalloc::Strategy::kColor;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -511,6 +513,15 @@ int main(int argc, char** argv) {
     }
     if (eat_value("--max-regs", &value)) {
       max_regs = parse_int_flag("--max-regs", value.c_str());
+      continue;
+    }
+    if (eat_value("--regalloc", &value)) {
+      if (!regalloc::parse_strategy(value, regalloc_strategy)) {
+        std::fprintf(stderr, "safcc: --regalloc expects 'linear' or 'color', got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      have_regalloc = true;
       continue;
     }
     if (eat_value("--opt-level", &value)) {
@@ -578,6 +589,7 @@ int main(int argc, char** argv) {
     opts.unroll.factor = unroll;
   }
   if (max_regs > 0) opts.regalloc.max_registers = max_regs;
+  if (have_regalloc) opts.regalloc.strategy = regalloc_strategy;
   if (opt_level >= 0) opts.opt_level = opt_level;
   if (verify) opts.verify_clauses = true;
 

@@ -30,7 +30,7 @@ void usage() {
                "                  [--corpus-dir DIR] [--reduce] [--inject-miscompile]\n"
                "                  [--json FILE] [--emit-seed N]\n"
                "oracles: roundtrip ref-vs-sim safara-on-off dispatch threads "
-               "opt-vs-noopt\n");
+               "opt-vs-noopt linear-vs-color\n");
 }
 
 long long parse_int_flag(const char* flag, const char* value) {
