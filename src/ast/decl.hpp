@@ -38,7 +38,7 @@ struct Param {
   Param clone() const;
 };
 
-struct Function {
+struct Function : support::ArenaAllocated {
   ScalarType ret = ScalarType::kVoid;
   std::string name;
   std::vector<Param> params;
@@ -55,6 +55,12 @@ struct Program {
 
   Function* find(const std::string& name) const;
 };
+
+/// Deep-clones `fn` with every node of the copy bump-allocated from `arena`
+/// (installs a support::ArenaScope around the clone). The returned tree must
+/// not outlive the arena, and no pointer into it may be held across the
+/// arena's reset() — see docs/ALLOCATION.md.
+FunctionPtr clone_into(const Function& fn, support::Arena& arena);
 
 const char* to_string(ArrayDeclKind k);
 

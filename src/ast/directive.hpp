@@ -40,7 +40,7 @@ struct DimGroup {
   SourceLoc loc;
 };
 
-struct AccDirective {
+struct AccDirective : support::ArenaAllocated {
   DirectiveKind kind = DirectiveKind::kLoop;
   SourceLoc loc;
 

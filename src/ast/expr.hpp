@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ast/type.hpp"
+#include "support/arena.hpp"
 #include "support/source_location.hpp"
 
 namespace safara::sema {
@@ -34,7 +35,13 @@ enum class ExprKind : std::uint8_t {
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
-struct Expr {
+// AST nodes derive from support::ArenaAllocated: inside an
+// support::ArenaScope (the driver installs one per CompiledProgram and one
+// per parse) node construction bump-allocates and delete is a no-op — the
+// whole tree is reclaimed wholesale with the arena. Without a scope the
+// nodes live on the heap exactly as before, so hand-built ASTs in tests and
+// tools need no changes.
+struct Expr : support::ArenaAllocated {
   Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
   virtual ~Expr() = default;
 

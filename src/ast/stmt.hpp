@@ -23,7 +23,7 @@ enum class StmtKind : std::uint8_t {
 struct Stmt;
 using StmtPtr = std::unique_ptr<Stmt>;
 
-struct Stmt {
+struct Stmt : support::ArenaAllocated {
   Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
   virtual ~Stmt() = default;
   virtual StmtPtr clone() const = 0;

@@ -134,10 +134,16 @@ codegen::CodegenOptions Compiler::codegen_options() const {
 
 CompiledProgram Compiler::compile(std::string_view source, const std::string& fn_name) {
   DiagnosticEngine diags;
+  // The parsed program only lives until the selected function has been
+  // cloned into the CompiledProgram's arena, so it bump-allocates from a
+  // scratch arena the next compile re-uses wholesale. `program` is declared
+  // after `parse_arena_` was reset and is destroyed before the next reset.
+  parse_arena_.reset();
   ast::Program program;
   {
     obs::ScopedSpan span(obs::tracer_of(collector_), "frontend.parse", "frontend");
     span.set_arg("bytes", obs::json::Value(static_cast<std::int64_t>(source.size())));
+    support::ArenaScope scope(parse_arena_);
     program = parse::parse_source(source, diags);
   }
   if (!diags.ok()) {
@@ -165,6 +171,12 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
   if (collector_) collector_->metrics.add("driver.compiles");
 
   CompiledProgram out;
+  out.arena = std::make_unique<support::Arena>();
+  // Every AST node this compile creates — the working clone, the scalars the
+  // optimization passes introduce, the clause-check expressions — lands in
+  // the program's arena. The scope covers the whole compile, including the
+  // fallback twin compile, which nests its own program arena inside.
+  support::ArenaScope ast_scope(*out.arena);
   out.function_name = fn.name;
   out.transformed = fn.clone();
   ast::Function& work = *out.transformed;

@@ -21,6 +21,7 @@
 #include "opt/safara.hpp"
 #include "opt/unroll.hpp"
 #include "regalloc/regalloc.hpp"
+#include "support/arena.hpp"
 #include "vgpu/device.hpp"
 #include "vir/passes/passes.hpp"
 
@@ -106,6 +107,12 @@ struct CompiledKernel {
 };
 
 struct CompiledProgram {
+  /// Backing store for `transformed` and every AST node the optimization
+  /// passes grew onto it (clause-check expressions included): the whole tree
+  /// is bump-allocated here and reclaimed wholesale when the program dies.
+  /// Declared first so it is destroyed last, after every member that owns
+  /// nodes inside it.
+  std::unique_ptr<support::Arena> arena;
   std::string function_name;
   /// The post-optimization AST (inspectable; printable via ast::to_source).
   ast::FunctionPtr transformed;
@@ -157,6 +164,12 @@ class Compiler {
 
   CompilerOptions opts_;
   obs::Collector* collector_ = nullptr;
+  // Scratch arena for the front-end AST of compile(source): the parsed
+  // program is discarded once the selected function has been cloned into the
+  // CompiledProgram's own arena, so each compile resets and re-uses these
+  // chunks wholesale (one Compiler must not run concurrent compiles — it
+  // never has been safe to: the collector and options are shared too).
+  support::Arena parse_arena_;
 };
 
 }  // namespace safara::driver

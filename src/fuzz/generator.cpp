@@ -132,6 +132,7 @@ class Generator {
   /// A non-negative integer atom usable under `% extent`.
   std::string nonneg_atom(const BodyCtx& ctx) {
     std::vector<std::string> atoms;
+    atoms.reserve(ctx.ivs.size() + ctx.seq_ivs.size() + 2);
     for (const Iv& iv : ctx.ivs) atoms.push_back(iv.name);
     for (const std::string& k : ctx.seq_ivs) atoms.push_back(k);
     if (has_c0_) atoms.push_back("c0");
@@ -150,6 +151,7 @@ class Generator {
   std::string index_expr(char ext, const BodyCtx& ctx) {
     const char* e = ext == 'n' ? "n" : "m";
     std::vector<std::string> aligned;
+    aligned.reserve(ctx.ivs.size() * 3);
     for (const Iv& iv : ctx.ivs) {
       if (iv.extent != ext) continue;
       aligned.push_back(iv.name);
@@ -213,7 +215,11 @@ class Generator {
   /// never used as an index). Values stay far from overflow.
   std::string int_expr(const BodyCtx& ctx, int depth) {
     if (depth <= 0 || rng_.chance(40)) {
-      std::vector<std::string> atoms = {std::to_string(rng_.range(1, 7)), "n", "m"};
+      std::vector<std::string> atoms;
+      atoms.reserve(4 + ctx.ivs.size() + ctx.locals.size());
+      atoms.push_back(std::to_string(rng_.range(1, 7)));
+      atoms.push_back("n");
+      atoms.push_back("m");
       if (has_c0_) atoms.push_back("c0");
       for (const Iv& iv : ctx.ivs) atoms.push_back(iv.name);
       for (const Local& l : ctx.locals) {

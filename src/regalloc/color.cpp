@@ -51,17 +51,21 @@ struct Seg {
   std::int32_t end = 0;  // inclusive
 };
 
-bool remat_eligible(const Kernel& k, std::uint32_t v) {
-  bool any_def = false;
+/// Flags every vreg whose definitions are all cheap pure constants
+/// (mov-immediate / special-register read) in one pass over the code.
+std::vector<char> remat_eligible_all(const Kernel& k, std::uint32_t nv) {
+  std::vector<char> any_def(nv, 0), expensive(nv, 0);
   for (const Instr& in : k.code) {
-    if (!vir::has_dst(in.op) || in.dst != v) continue;
-    any_def = true;
+    if (!vir::has_dst(in.op) || in.dst == vir::kNoReg || in.dst >= nv) continue;
+    any_def[in.dst] = 1;
     if (in.op != Opcode::kMovImmI && in.op != Opcode::kMovImmF &&
         in.op != Opcode::kMovSpecial) {
-      return false;
+      expensive[in.dst] = 1;
     }
   }
-  return any_def;
+  std::vector<char> ok(nv, 0);
+  for (std::uint32_t v = 0; v < nv; ++v) ok[v] = any_def[v] && !expensive[v];
+  return ok;
 }
 
 /// Approximate loop depth per instruction: every backward branch nests the
@@ -114,8 +118,9 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
   auto before = [&](std::int32_t i) {
     return live_before.data() + static_cast<std::size_t>(i) * words;
   };
+  std::vector<std::uint64_t> running(words, 0);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    std::vector<std::uint64_t> running = bl.live_out[b];
+    running.assign(bl.live_out[b].begin(), bl.live_out[b].end());
     for (std::int32_t i = blocks[b].end - 1; i >= blocks[b].begin; --i) {
       const Instr& in = kernel.code[static_cast<std::size_t>(i)];
       if (vir::has_dst(in.op) && in.dst != vir::kNoReg) {
@@ -133,10 +138,9 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     const Instr& in = kernel.code[static_cast<std::size_t>(i)];
     if (vir::has_dst(in.op) && in.dst != vir::kNoReg) def_at[static_cast<std::size_t>(i)] = in.dst;
   }
-  auto occupied = [&](std::uint32_t v, std::int32_t i) {
-    return ((before(i)[v / 64] >> (v % 64)) & 1) != 0 ||
-           def_at[static_cast<std::size_t>(i)] == v;
-  };
+  // "Occupied at i" throughout this file means: live before i, or defined
+  // at i. The loops below evaluate it with word scans over live_before plus
+  // a def_at check instead of a per-(vreg, position) predicate.
   // live_after(i) as a bitset pointer: the next instruction's live_before
   // inside a block, the block's live_out at its last instruction.
   std::vector<std::uint64_t> after_buf(words, 0);
@@ -148,13 +152,28 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     return after_buf.data();
   };
 
-  // Predicates live in their own file: peak concurrency only.
+  std::vector<std::uint64_t> pred_mask(words, 0);
+  for (std::uint32_t v = 0; v < nv; ++v) {
+    if (kernel.vreg_types[v] == VType::kPred) {
+      pred_mask[v / 64] |= std::uint64_t{1} << (v % 64);
+    }
+  }
+
+  // Predicates live in their own file: peak concurrency only. occupied() is
+  // "live-before bit OR defined here", so count the masked live bits and add
+  // the definition when it isn't already live.
   {
     int peak = 0;
     for (std::int32_t i = 0; i < n; ++i) {
+      const std::uint64_t* lb = before(i);
       int live = 0;
-      for (std::uint32_t v = 0; v < nv; ++v) {
-        if (kernel.vreg_types[v] == VType::kPred && occupied(v, i)) ++live;
+      for (std::size_t wi = 0; wi < words; ++wi) {
+        live += __builtin_popcountll(lb[wi] & pred_mask[wi]);
+      }
+      const std::uint32_t d = def_at[static_cast<std::size_t>(i)];
+      if (d != vir::kNoReg && kernel.vreg_types[d] == VType::kPred &&
+          ((lb[d / 64] >> (d % 64)) & 1) == 0) {
+        ++live;
       }
       peak = std::max(peak, live);
     }
@@ -167,10 +186,9 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
   const std::vector<int> depth = loop_depth(kernel);
   std::vector<std::int32_t> first_pos(nv, -1), last_pos(nv, -1);
   std::vector<double> access_cost(nv, 0.0);
-  std::vector<char> remat_ok(nv, 0);
+  std::vector<char> remat_ok = remat_eligible_all(kernel, nv);
   for (std::uint32_t v = 0; v < nv; ++v) {
-    if (kernel.vreg_types[v] == VType::kPred) continue;
-    remat_ok[v] = remat_eligible(kernel, v) ? 1 : 0;
+    if (kernel.vreg_types[v] == VType::kPred) remat_ok[v] = 0;
   }
   for (std::int32_t i = 0; i < n; ++i) {
     const Instr& in = kernel.code[static_cast<std::size_t>(i)];
@@ -187,10 +205,23 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     };
     if (vir::has_dst(in.op) && in.dst != vir::kNoReg) touch(in.dst);
     vir::for_each_use(in, touch);
-    for (std::uint32_t v = 0; v < nv; ++v) {
-      if (kernel.vreg_types[v] == VType::kPred || !occupied(v, i)) continue;
+    const std::uint64_t* lb = before(i);
+    auto extend = [&](std::uint32_t v) {
       if (first_pos[v] < 0) first_pos[v] = i;
       last_pos[v] = i;
+    };
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      std::uint64_t bits = lb[wi] & ~pred_mask[wi];
+      while (bits) {
+        extend(static_cast<std::uint32_t>(wi * 64 +
+                                          static_cast<std::uint32_t>(__builtin_ctzll(bits))));
+        bits &= bits - 1;
+      }
+    }
+    const std::uint32_t d = def_at[static_cast<std::size_t>(i)];
+    if (d != vir::kNoReg && kernel.vreg_types[d] != VType::kPred &&
+        ((lb[d / 64] >> (d % 64)) & 1) == 0) {
+      extend(d);
     }
   }
 
@@ -212,21 +243,63 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     return x;
   };
 
+  // Per-round scratch, hoisted so each rebuild re-uses the same capacity.
+  std::vector<std::uint64_t> tracked_mask(words, 0);
+  std::vector<std::uint64_t> occ_cur(words, 0), occ_prev(words, 0);
+  std::vector<std::int32_t> run_start(nv, -1);
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> runs(nv);
+  std::vector<char> taken;
+
   for (;;) {
     ++iterations;
     segs.clear();
     for (auto& s : vsegs) s.clear();
+    // One occupancy sweep over the code finds every maximal run of every
+    // tracked (non-pred, non-spilled) vreg: a position is occupied when the
+    // value is live before it or defined at it, exactly as occupied() says.
+    // Runs are collected per vreg (in ascending start order, since i only
+    // grows) and emitted grouped by vreg index, preserving the segment
+    // numbering the rest of the round keys its tie-breaking off.
+    for (std::size_t wi = 0; wi < words; ++wi) tracked_mask[wi] = ~pred_mask[wi];
     for (std::uint32_t v = 0; v < nv; ++v) {
-      if (kernel.vreg_types[v] == VType::kPred || spilled[v]) continue;
-      std::int32_t start = -1;
-      for (std::int32_t i = 0; i <= n; ++i) {
-        const bool occ = i < n && occupied(v, i);
-        if (occ && start < 0) start = i;
-        if (!occ && start >= 0) {
-          vsegs[v].push_back(static_cast<std::int32_t>(segs.size()));
-          segs.push_back(Seg{v, start, i - 1});
-          start = -1;
+      if (spilled[v]) tracked_mask[v / 64] &= ~(std::uint64_t{1} << (v % 64));
+    }
+    std::fill(occ_prev.begin(), occ_prev.end(), 0);
+    for (auto& r : runs) r.clear();
+    for (std::int32_t i = 0; i <= n; ++i) {
+      if (i < n) {
+        const std::uint64_t* lb = before(i);
+        for (std::size_t wi = 0; wi < words; ++wi) occ_cur[wi] = lb[wi] & tracked_mask[wi];
+        const std::uint32_t d = def_at[static_cast<std::size_t>(i)];
+        if (d != vir::kNoReg &&
+            ((tracked_mask[d / 64] >> (d % 64)) & 1) != 0) {
+          occ_cur[d / 64] |= std::uint64_t{1} << (d % 64);
         }
+      } else {
+        std::fill(occ_cur.begin(), occ_cur.end(), 0);
+      }
+      for (std::size_t wi = 0; wi < words; ++wi) {
+        std::uint64_t opened = occ_cur[wi] & ~occ_prev[wi];
+        while (opened) {
+          const std::uint32_t v = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::uint32_t>(__builtin_ctzll(opened)));
+          opened &= opened - 1;
+          run_start[v] = i;
+        }
+        std::uint64_t closed = occ_prev[wi] & ~occ_cur[wi];
+        while (closed) {
+          const std::uint32_t v = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::uint32_t>(__builtin_ctzll(closed)));
+          closed &= closed - 1;
+          runs[v].emplace_back(run_start[v], i - 1);
+        }
+      }
+      std::swap(occ_cur, occ_prev);
+    }
+    for (std::uint32_t v = 0; v < nv; ++v) {
+      for (const auto& [start, end] : runs[v]) {
+        vsegs[v].push_back(static_cast<std::int32_t>(segs.size()));
+        segs.push_back(Seg{v, start, end});
       }
     }
     const std::size_t N = segs.size();
@@ -279,6 +352,20 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     auto units_of = [&](std::int32_t s) {
       return vir::registers_of(kernel.vreg_types[segs[static_cast<std::size_t>(s)].vreg]);
     };
+    // Per-rep member lists, maintained through every union so neighbor
+    // collection only walks the rep's own adjacency rows instead of scanning
+    // the whole graph. The set of neighbor reps is unchanged (only the order
+    // they are discovered in differs, and every consumer is a sum, a
+    // membership test, or a mark — all order-independent).
+    std::vector<std::vector<std::int32_t>> members(N);
+    for (std::size_t s = 0; s < N; ++s) members[s].assign(1, static_cast<std::int32_t>(s));
+    auto merge_into = [&](std::int32_t rd, std::int32_t rs) {
+      parent[static_cast<std::size_t>(rs)] = rd;
+      auto& md = members[static_cast<std::size_t>(rd)];
+      auto& ms = members[static_cast<std::size_t>(rs)];
+      md.insert(md.end(), ms.begin(), ms.end());
+      ms.clear();
+    };
     // Rep-level neighbor collection (dedup via stamp vector).
     std::vector<std::int32_t> stamp(N, -1);
     int stamp_id = 0;
@@ -287,10 +374,9 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
       ++stamp_id;
       out.clear();
       const std::int32_t rx = find(x);
-      for (std::size_t s = 0; s < N; ++s) {
-        if (find(static_cast<std::int32_t>(s)) != rx) continue;
+      for (std::int32_t s : members[static_cast<std::size_t>(rx)]) {
         for (std::size_t wi = 0; wi < nw; ++wi) {
-          std::uint64_t bits = adj[s * nw + wi];
+          std::uint64_t bits = adj[static_cast<std::size_t>(s) * nw + wi];
           while (bits) {
             const std::int32_t y = static_cast<std::int32_t>(
                 wi * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
@@ -351,7 +437,7 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
           if (r != rd && r != rs) deg_units += units_of(r);
         }
         if (deg_units + units_of(rd) > cap) continue;
-        parent[static_cast<std::size_t>(rs)] = rd;
+        merge_into(rd, rs);
         ++round_coalesced;
         changed = true;
       }
@@ -367,14 +453,6 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     }
     std::vector<char> peeled(N, 0);
     std::vector<std::int32_t> stack;
-    auto current_degree = [&](std::int32_t r) {
-      rep_neighbors(r, nbuf);
-      int deg = 0;
-      for (std::int32_t w : nbuf) {
-        if (!peeled[static_cast<std::size_t>(w)]) deg += units_of(w);
-      }
-      return deg;
-    };
     // Full interference degree per rep, captured before simplification peels
     // the graph (the spill-cost denominator).
     std::vector<int> full_degree(N, 0);
@@ -385,12 +463,16 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
       for (std::int32_t w : nbuf) deg += units_of(w);
       full_degree[s] = deg;
     }
+    // Unit-weighted degree among the still-unpeeled reps, seeded from the
+    // full degree and decremented as neighbors peel off — the same quantity
+    // the peel loop used to recompute from the graph on every probe.
+    std::vector<int> deg_units_left = full_degree;
     std::size_t remaining = reps.size();
     while (remaining > 0) {
       std::int32_t pick = -1;
       for (std::int32_t r : reps) {
         if (peeled[static_cast<std::size_t>(r)]) continue;
-        if (current_degree(r) + units_of(r) <= cap) {
+        if (deg_units_left[static_cast<std::size_t>(r)] + units_of(r) <= cap) {
           pick = r;
           break;
         }
@@ -410,6 +492,12 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
       peeled[static_cast<std::size_t>(pick)] = 1;
       stack.push_back(pick);
       --remaining;
+      rep_neighbors(pick, nbuf);
+      for (std::int32_t w : nbuf) {
+        if (!peeled[static_cast<std::size_t>(w)]) {
+          deg_units_left[static_cast<std::size_t>(w)] -= units_of(pick);
+        }
+      }
     }
 
     // Select: pop in reverse, first-fit with even-aligned pairs.
@@ -419,7 +507,7 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     for (std::size_t idx = stack.size(); idx-- > 0;) {
       const std::int32_t r = stack[idx];
       rep_neighbors(r, nbuf);
-      std::vector<char> taken(static_cast<std::size_t>(cap), 0);
+      taken.assign(static_cast<std::size_t>(cap), 0);
       for (std::int32_t w : nbuf) {
         if (color[static_cast<std::size_t>(w)] < 0) continue;
         for (int u = 0; u < units_of(w); ++u) {
@@ -446,8 +534,8 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
       }
       if (unit < 0) {
         any_failed = true;
-        for (std::size_t s = 0; s < N; ++s) {
-          if (find(static_cast<std::int32_t>(s)) == r) failed_vreg[segs[s].vreg] = 1;
+        for (std::int32_t s : members[static_cast<std::size_t>(r)]) {
+          failed_vreg[segs[static_cast<std::size_t>(s)].vreg] = 1;
         }
         continue;
       }

@@ -162,7 +162,8 @@ vgpu::LaunchStats Runtime::launch(const vir::Kernel& kernel,
                                   obs::Collector* collector) {
   vgpu::LaunchConfig cfg = configure(plan, args);
   std::vector<std::uint64_t> params = marshal_params(kernel, args);
-  return vgpu::launch(kernel, alloc, dev_.spec(), dev_.memory(), params, cfg, collector);
+  return vgpu::launch(kernel, alloc, dev_.spec(), dev_.memory(), params, cfg, collector,
+                      &launch_ctx_[&kernel]);
 }
 
 }  // namespace safara::rt

@@ -338,6 +338,9 @@ void build_superblocks(const Kernel& k, const DeviceSpec& spec, DecodedKernel& d
   const std::size_t n = k.code.size();
   dk.micro.assign(n, MicroOp{});
   dk.block_of.assign(n, -1);
+  // Each pc contributes at most one ext_pool entry (per-block dedup), so n
+  // bounds the pool: reserve once instead of growing through the loop below.
+  dk.ext_pool.reserve(n);
 
   std::vector<std::uint8_t> barrier(n, 0);  // terminator or label target
   for (std::size_t pc = 0; pc < n; ++pc) {
@@ -480,9 +483,9 @@ class SmSimulator {
   /// Runs the given linear block indices to completion; returns SM cycles.
   std::uint64_t run(const std::vector<std::int64_t>& block_ids, int blocks_per_sm) {
     if (prof_) prof_->pcs.assign(k_.code.size(), obs::PcProfile{});
-    pending_ = block_ids;
+    pending_ = &block_ids;
     next_pending_ = 0;
-    for (int i = 0; i < blocks_per_sm && next_pending_ < pending_.size(); ++i) {
+    for (int i = 0; i < blocks_per_sm && next_pending_ < pending_->size(); ++i) {
       admit_block();
     }
     cycle_ = 0;
@@ -581,7 +584,7 @@ class SmSimulator {
 
  private:
   void admit_block() {
-    std::int64_t linear = pending_[next_pending_++];
+    std::int64_t linear = (*pending_)[next_pending_++];
     ResidentBlock rb;
     rb.coords[0] = static_cast<int>(linear % cfg_.grid[0]);
     rb.coords[1] = static_cast<int>((linear / cfg_.grid[0]) % cfg_.grid[1]);
@@ -593,7 +596,24 @@ class SmSimulator {
     const int block_index = static_cast<int>(blocks_.size() - 1);
 
     for (int wi = 0; wi < nwarps; ++wi) {
-      auto w = std::make_unique<Warp>();
+      // Retired warps park in a free list; re-admitting reuses their
+      // register-file / scoreboard storage (the assigns below overwrite
+      // every element) instead of reallocating per block.
+      std::unique_ptr<Warp> w;
+      if (!warp_pool_.empty()) {
+        w = std::move(warp_pool_.back());
+        warp_pool_.pop_back();
+        w->pc = 0;
+        w->finished = false;
+        w->wait_reason = kWaitPipeline;
+        w->stack.clear();
+        w->sb_next = -1;
+        w->sb_end = 0;
+        w->pending_mask = 0;
+        w->pending_until = 0;
+      } else {
+        w = std::make_unique<Warp>();
+      }
       w->block_index = block_index;
       w->warp_in_block = wi;
       const int first_thread = wi * spec_.warp_size;
@@ -621,10 +641,11 @@ class SmSimulator {
         continue;
       }
       int bi = warps_[i]->block_index;
+      warp_pool_.push_back(std::move(warps_[i]));
       warps_.erase(warps_.begin() + static_cast<std::ptrdiff_t>(i));
       ready_mirror_.erase(ready_mirror_.begin() + static_cast<std::ptrdiff_t>(i));
       if (--blocks_[static_cast<std::size_t>(bi)].warps_left == 0 &&
-          next_pending_ < pending_.size()) {
+          next_pending_ < pending_->size()) {
         admit_block();
       }
     }
@@ -1501,10 +1522,11 @@ class SmSimulator {
 
   static constexpr std::int64_t kFinishedMirror = std::numeric_limits<std::int64_t>::max();
 
-  std::vector<std::int64_t> pending_;
+  const std::vector<std::int64_t>* pending_ = nullptr;  // run()'s block list, not copied
   std::size_t next_pending_ = 0;
   std::vector<ResidentBlock> blocks_;
   std::vector<std::unique_ptr<Warp>> warps_;
+  std::vector<std::unique_ptr<Warp>> warp_pool_;  // retired warps, reused by admit_block
   // ready_mirror_[i] mirrors warps_[i]->ready_cycle (kFinishedMirror once
   // finished) so the per-cycle scheduler scan stays in contiguous memory.
   std::vector<std::int64_t> ready_mirror_;
@@ -1701,10 +1723,28 @@ obs::json::Value LaunchStats::to_json() const {
   return v;
 }
 
+// The pimpl keeps DecodedKernel (an implementation detail of this file) out
+// of the public header while letting callers hold decoded state across
+// launches.
+struct LaunchContext::Impl {
+  DecodedKernel dk;
+  // Revalidation identity: rebuilt when any of these changes.
+  const Kernel* kernel = nullptr;
+  const regalloc::AllocationResult* alloc = nullptr;
+  const DeviceSpec* spec = nullptr;
+  bool super = false;
+  std::size_t code_size = 0;
+};
+
+LaunchContext::LaunchContext() = default;
+LaunchContext::~LaunchContext() = default;
+LaunchContext::LaunchContext(LaunchContext&&) noexcept = default;
+LaunchContext& LaunchContext::operator=(LaunchContext&&) noexcept = default;
+
 LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc,
                    const DeviceSpec& spec, DeviceMemory& mem,
                    const std::vector<std::uint64_t>& params, const LaunchConfig& cfg,
-                   obs::Collector* collector) {
+                   obs::Collector* collector, LaunchContext* ctx) {
   if (params.size() != kernel.params.size()) {
     throw std::runtime_error("launch: parameter count mismatch for kernel " + kernel.name);
   }
@@ -1723,14 +1763,48 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
       collector ? &collector->begin_kernel_profile(kernel.name) : nullptr;
 
   const SimDispatch dispatch = sim_dispatch();
-  const DecodedKernel dk = decode(kernel, alloc, spec, dispatch == SimDispatch::kSuper);
+  const bool want_super = dispatch == SimDispatch::kSuper;
+  // Decode (or reuse) the per-instruction side table and superblock
+  // partition. The decoded state is a pure function of the revalidation
+  // identity, so a context hit skips the rebuild entirely; the simulation
+  // below only ever reads it, keeping results bit-identical either way.
+  DecodedKernel local_dk;
+  const DecodedKernel* dk_ptr;
+  if (ctx) {
+    const bool stale = !ctx->impl_ || ctx->impl_->kernel != &kernel ||
+                       ctx->impl_->alloc != &alloc || ctx->impl_->spec != &spec ||
+                       ctx->impl_->super != want_super ||
+                       ctx->impl_->code_size != kernel.code.size();
+    if (stale) {
+      auto impl = std::make_unique<LaunchContext::Impl>();
+      impl->dk = decode(kernel, alloc, spec, want_super);
+      impl->kernel = &kernel;
+      impl->alloc = &alloc;
+      impl->spec = &spec;
+      impl->super = want_super;
+      impl->code_size = kernel.code.size();
+      ctx->impl_ = std::move(impl);
+    } else if (collector) {
+      collector->metrics.add("sim.decode_cache_hits");
+    }
+    dk_ptr = &ctx->impl_->dk;
+  } else {
+    local_dk = decode(kernel, alloc, spec, want_super);
+    dk_ptr = &local_dk;
+  }
+  const DecodedKernel& dk = *dk_ptr;
 
   // Static round-robin distribution of blocks over SMs (documented
   // simplification); empty SMs are skipped, matching the seed loop.
   const std::int64_t total = cfg.total_blocks();
   std::vector<SmWork> work;
+  work.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(spec.num_sms, std::max<std::int64_t>(total, 0))));
   for (int sm = 0; sm < spec.num_sms; ++sm) {
     std::vector<std::int64_t> mine;
+    if (sm < total) {
+      mine.reserve(static_cast<std::size_t>((total - sm + spec.num_sms - 1) / spec.num_sms));
+    }
     for (std::int64_t b = sm; b < total; b += spec.num_sms) mine.push_back(b);
     if (mine.empty()) continue;
     SmWork wk;

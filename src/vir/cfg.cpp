@@ -109,22 +109,23 @@ Cfg build_dominator_cfg(const Kernel& k) {
   std::vector<std::vector<std::uint64_t>> dom(nb, std::vector<std::uint64_t>(words, ~0ull));
   dom[0].assign(words, 0);
   dom[0][0] = 1;
+  std::vector<std::uint64_t> next(words);
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t b = 1; b < nb; ++b) {
       if (!cfg.reachable[b]) continue;
-      std::vector<std::uint64_t> next(words, ~0ull);
+      std::fill(next.begin(), next.end(), ~0ull);
       bool any_pred = false;
       for (std::int32_t p : cfg.preds[b]) {
         if (!cfg.reachable[static_cast<std::size_t>(p)]) continue;
         any_pred = true;
         for (std::size_t w = 0; w < words; ++w) next[w] &= dom[static_cast<std::size_t>(p)][w];
       }
-      if (!any_pred) next.assign(words, 0);
+      if (!any_pred) std::fill(next.begin(), next.end(), 0);
       next[b / 64] |= std::uint64_t{1} << (b % 64);
       if (next != dom[b]) {
-        dom[b] = std::move(next);
+        dom[b].assign(next.begin(), next.end());
         changed = true;
       }
     }
@@ -140,6 +141,10 @@ Cfg build_dominator_cfg(const Kernel& k) {
     }
     return c;
   };
+  // Dominator-set sizes, computed once: the idom scan below reads them
+  // O(nb^2) times and the sets are frozen at this point.
+  std::vector<int> dom_size(nb, 0);
+  for (std::size_t d = 0; d < nb; ++d) dom_size[d] = popcount(dom[d]);
 
   // idom(b) is the strict dominator with the largest dominator set.
   for (std::size_t b = 1; b < nb; ++b) {
@@ -148,7 +153,7 @@ Cfg build_dominator_cfg(const Kernel& k) {
     int best = -1;
     for (std::size_t d = 0; d < nb; ++d) {
       if (d == b || !bit_get(dom[b], d)) continue;
-      const int size = popcount(dom[d]);
+      const int size = dom_size[d];
       if (size > best) {
         best = size;
         idom = static_cast<std::int32_t>(d);
@@ -215,24 +220,23 @@ BlockLiveness compute_block_liveness(const Kernel& k,
     }
   }
 
+  std::vector<std::uint64_t> out(words), in_set(words);
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t bi = nblocks; bi-- > 0;) {
-      std::vector<std::uint64_t> out(words, 0);
+      std::fill(out.begin(), out.end(), 0);
       for (std::int32_t s : blocks[bi].succs) {
-        for (std::size_t w = 0; w < words; ++w) {
-          out[w] |= lv.live_in[static_cast<std::size_t>(s)][w];
-        }
+        const std::vector<std::uint64_t>& sin = lv.live_in[static_cast<std::size_t>(s)];
+        for (std::size_t w = 0; w < words; ++w) out[w] |= sin[w];
       }
-      std::vector<std::uint64_t> in_set(words);
       for (std::size_t w = 0; w < words; ++w) {
         in_set[w] = use[bi][w] | (out[w] & ~def[bi][w]);
       }
       if (in_set != lv.live_in[bi] || out != lv.live_out[bi]) {
         changed = true;
-        lv.live_in[bi] = std::move(in_set);
-        lv.live_out[bi] = std::move(out);
+        lv.live_in[bi].assign(in_set.begin(), in_set.end());
+        lv.live_out[bi].assign(out.begin(), out.end());
       }
     }
   }

@@ -1,41 +1,53 @@
 #include "vir/liveness.hpp"
 
 #include <algorithm>
-#include <set>
 
 namespace safara::vir {
 
 std::vector<BasicBlock> build_cfg(const Kernel& k) {
   const std::int32_t n = static_cast<std::int32_t>(k.code.size());
-  std::set<std::int32_t> leaders;
-  leaders.insert(0);
+  // Leader positions as a flat boolean array: emitting blocks by scanning it
+  // ascending yields the same order a sorted set would, without the
+  // node-per-leader churn on every compile.
+  std::vector<char> leader(static_cast<std::size_t>(n) + 1, 0);
+  if (n > 0) leader[0] = 1;
   for (std::int32_t i = 0; i < n; ++i) {
     const Instr& in = k.code[i];
     if (in.op == Opcode::kBra || in.op == Opcode::kCbr) {
       std::int32_t t = k.target(static_cast<std::int32_t>(in.imm));
-      if (t < n) leaders.insert(t);
-      if (i + 1 < n) leaders.insert(i + 1);
+      if (t >= 0 && t < n) leader[static_cast<std::size_t>(t)] = 1;
+      if (i + 1 < n) leader[static_cast<std::size_t>(i) + 1] = 1;
     } else if (in.op == Opcode::kExit && i + 1 < n) {
-      leaders.insert(i + 1);
+      leader[static_cast<std::size_t>(i) + 1] = 1;
     }
   }
 
   std::vector<BasicBlock> blocks;
-  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+  if (n == 0) {
+    // An empty kernel still has its one (empty) entry block.
+    blocks.push_back(BasicBlock{});
+    return blocks;
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (!leader[static_cast<std::size_t>(i)]) continue;
     BasicBlock bb;
-    bb.begin = *it;
-    auto next = std::next(it);
-    bb.end = next == leaders.end() ? n : *next;
+    bb.begin = i;
+    std::int32_t next = i + 1;
+    while (next < n && !leader[static_cast<std::size_t>(next)]) ++next;
+    bb.end = next;
     blocks.push_back(bb);
   }
 
-  auto block_of = [&](std::int32_t index) -> std::int32_t {
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      if (index >= blocks[b].begin && index < blocks[b].end) {
-        return static_cast<std::int32_t>(b);
-      }
+  // Index -> block lookup as a direct array instead of a per-query scan.
+  std::vector<std::int32_t> block_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      block_index[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(b);
     }
-    return -1;
+  }
+  auto block_of = [&](std::int32_t index) -> std::int32_t {
+    if (index < 0 || index >= n) return -1;
+    return block_index[static_cast<std::size_t>(index)];
   };
 
   for (std::size_t b = 0; b < blocks.size(); ++b) {
@@ -87,24 +99,25 @@ std::vector<LiveInterval> compute_live_intervals(const Kernel& k) {
   }
 
   // Iterate to fixpoint (reverse order converges fast on reducible CFGs).
+  // The out/in scratch sets live outside the loop: the fixpoint typically
+  // runs several sweeps and there is no reason to reallocate per block.
+  std::vector<std::uint64_t> out(words), in_set(words);
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t bi = nblocks; bi-- > 0;) {
-      std::vector<std::uint64_t> out(words, 0);
+      std::fill(out.begin(), out.end(), 0);
       for (std::int32_t s : blocks[bi].succs) {
-        for (std::size_t w = 0; w < words; ++w) {
-          out[w] |= live_in[static_cast<std::size_t>(s)][w];
-        }
+        const std::vector<std::uint64_t>& sin = live_in[static_cast<std::size_t>(s)];
+        for (std::size_t w = 0; w < words; ++w) out[w] |= sin[w];
       }
-      std::vector<std::uint64_t> in_set(words);
       for (std::size_t w = 0; w < words; ++w) {
         in_set[w] = use[bi][w] | (out[w] & ~def[bi][w]);
       }
       if (in_set != live_in[bi] || out != live_out[bi]) {
         changed = true;
-        live_in[bi] = std::move(in_set);
-        live_out[bi] = std::move(out);
+        live_in[bi].assign(in_set.begin(), in_set.end());
+        live_out[bi].assign(out.begin(), out.end());
       }
     }
   }
@@ -116,11 +129,20 @@ std::vector<LiveInterval> compute_live_intervals(const Kernel& k) {
     if (start[r] == kUnset || pos < start[r]) start[r] = pos;
     if (end[r] == kUnset || pos > end[r]) end[r] = pos;
   };
-  for (std::size_t b = 0; b < nblocks; ++b) {
-    for (std::uint32_t r = 0; r < nregs; ++r) {
-      if (bit_get(live_in[b], r)) extend(r, blocks[b].begin);
-      if (bit_get(live_out[b], r)) extend(r, blocks[b].end - 1);
+  auto extend_bits = [&](const std::vector<std::uint64_t>& bs, std::int32_t pos) {
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = bs[w];
+      while (bits) {
+        const std::uint32_t r = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::uint32_t>(__builtin_ctzll(bits)));
+        bits &= bits - 1;
+        extend(r, pos);
+      }
     }
+  };
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    extend_bits(live_in[b], blocks[b].begin);
+    extend_bits(live_out[b], blocks[b].end - 1);
     for (std::int32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
       const Instr& in = k.code[i];
       for_each_use(in, [&](std::uint32_t r) { extend(r, i); });

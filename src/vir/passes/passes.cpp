@@ -188,8 +188,15 @@ int run_gvn(Kernel& k) {
         frame.table.emplace(key, in.dst);
       }
     }
-    for (std::int32_t c : cfg.dom_children[static_cast<std::size_t>(frame.block)]) {
-      stack.push_back({c, frame.table});
+    // Each child inherits the parent's table; the frame is discarded after
+    // this loop, so the last child can take it by move instead of by copy.
+    const auto& children = cfg.dom_children[static_cast<std::size_t>(frame.block)];
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      if (ci + 1 == children.size()) {
+        stack.push_back({children[ci], std::move(frame.table)});
+      } else {
+        stack.push_back({children[ci], frame.table});
+      }
     }
   }
 

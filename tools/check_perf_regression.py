@@ -12,6 +12,12 @@ noisy and differ from the machine that produced the baseline, so the gate is
 meant to catch algorithmic regressions (the interpreter losing its fast
 path, a pass going quadratic), not percent-level drift.
 
+Compilation wall-clock (the sum of every `compile_ms.*` counter) is gated
+the same way under its own tolerance (--max-compile-regression, default
+25%): the compiler's allocation/scratch-reuse optimizations are exactly as
+easy to lose as the simulator's fast path. Baselines stamped before
+compile_ms counters existed are skipped with a note.
+
 A second, tighter gate guards the simulated register footprint: the sum of
 every `regs_after.*` counter is deterministic (no host noise), so it fails
 at --max-reg-regression (default 10%) over the baseline. Register counts
@@ -29,7 +35,8 @@ workload output is a miscompile, not a win.
 
 `--write-delta FILE` dumps a machine-readable per-cell register delta
 report (baseline vs current, plus the aggregate percentage) for CI to
-archive as an artifact.
+archive as an artifact, stamped with the compile_ms and sim_ms aggregate
+deltas so the wall-clock trajectory is reconstructable from CI history.
 
 Refresh the baseline after intentional perf changes:
 
@@ -52,8 +59,37 @@ def total_counter(doc, prefix):
     return total, cells
 
 
-def total_sim_ms(doc):
-    return total_counter(doc, "sim_ms.")
+def check_wall_clock(baseline, current, prefix, tolerance, *, required):
+    """Noisy wall-clock gate over one counter prefix ("sim_ms." or
+    "compile_ms."). Returns 0/1 like main. When the baseline lacks the
+    counters entirely the gate is skipped (or failed, if `required`)."""
+    label = prefix.rstrip(".")
+    base_ms, base_cells = total_counter(baseline, prefix)
+    cur_ms, cur_cells = total_counter(current, prefix)
+    if base_cells == 0 or base_ms <= 0.0:
+        if required:
+            print(f"check_perf_regression: baseline has no {label} counters")
+            return 1
+        print(f"check_perf_regression: baseline predates {label} counters; "
+              f"{label} gate skipped (refresh the baseline to arm it)")
+        return 0
+    if cur_cells != base_cells:
+        print(
+            f"check_perf_regression: {label} cell count changed "
+            f"({base_cells} baseline vs {cur_cells} current); "
+            f"refresh the baseline alongside the bench change"
+        )
+        return 1
+    ratio = cur_ms / base_ms
+    limit = 1.0 + tolerance
+    print(
+        f"{label} total: baseline {base_ms:.1f} ms, current {cur_ms:.1f} ms "
+        f"({ratio:.3f}x, limit {limit:.2f}x, {cur_cells} cells)"
+    )
+    if ratio > limit:
+        print(f"FAIL: {label} wall-clock regressed beyond {tolerance:.0%}")
+        return 1
+    return 0
 
 
 def rows_by_name(doc):
@@ -166,6 +202,18 @@ def write_delta(baseline, current, path):
         else 0.0,
         "rows": [],
     }
+    # Wall-clock aggregates ride along so the compile/sim trajectory can be
+    # reconstructed from archived artifacts alone.
+    wall = {}
+    for prefix in ("compile_ms.", "sim_ms."):
+        b, _ = total_counter(baseline, prefix)
+        c, _ = total_counter(current, prefix)
+        wall[prefix.rstrip(".")] = {
+            "baseline_total": b,
+            "current_total": c,
+            "delta_pct": (100.0 * (c - b) / b) if b > 0 else 0.0,
+        }
+    report["wall_clock"] = wall
     for name, cur_row in rows_by_name(current).items():
         base_row = base_rows.get(name, {})
         cells = {}
@@ -195,6 +243,13 @@ def main():
         type=float,
         default=0.25,
         help="allowed fractional slowdown over the baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-compile-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the summed compile_ms.* counters "
+        "(default 0.25; wall-clock, so as generous as --max-regression)",
     )
     parser.add_argument(
         "--max-reg-regression",
@@ -229,25 +284,6 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    base_ms, base_cells = total_sim_ms(baseline)
-    cur_ms, cur_cells = total_sim_ms(current)
-    if base_cells == 0 or base_ms <= 0.0:
-        print(f"check_perf_regression: baseline '{args.baseline}' has no sim_ms counters")
-        return 1
-    if cur_cells != base_cells:
-        print(
-            f"check_perf_regression: cell count changed "
-            f"({base_cells} baseline vs {cur_cells} current); "
-            f"refresh the baseline alongside the bench change"
-        )
-        return 1
-
-    ratio = cur_ms / base_ms
-    limit = 1.0 + args.max_regression
-    print(
-        f"sim_ms total: baseline {base_ms:.1f} ms, current {cur_ms:.1f} ms "
-        f"({ratio:.3f}x, limit {limit:.2f}x, {cur_cells} cells)"
-    )
     for name, doc in (("baseline", baseline), ("current", current)):
         rows = doc.get("rows", [])
         if rows:
@@ -260,9 +296,16 @@ def main():
     if args.write_delta:
         write_delta(baseline, current, args.write_delta)
 
-    failed = ratio > limit
-    if failed:
-        print(f"FAIL: simulation wall-clock regressed beyond {args.max_regression:.0%}")
+    # A baseline with no sim_ms counters is unusable; compile_ms only
+    # arrived later, so its gate degrades to a skip on stale baselines.
+    failed = bool(
+        check_wall_clock(baseline, current, "sim_ms.", args.max_regression,
+                         required=True)
+    )
+    failed |= bool(
+        check_wall_clock(baseline, current, "compile_ms.",
+                         args.max_compile_regression, required=False)
+    )
     failed |= bool(check_registers(baseline, current, args.max_reg_regression))
     failed |= bool(
         check_register_cells(

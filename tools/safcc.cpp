@@ -36,6 +36,7 @@
 #include "ast/printer.hpp"
 #include "driver/compiler.hpp"
 #include "obs/collector.hpp"
+#include "support/arena.hpp"
 #include "regalloc/regalloc.hpp"
 #include "vir/vir.hpp"
 #include "workloads/harness.hpp"
@@ -51,7 +52,7 @@ void usage() {
                "             [--opt-level 0|1|2] [--emit-vir] [--dump-vir] [--emit-source]\n"
                "             [--unroll N] [--max-regs N] [--regalloc linear|color]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
-               "             [--time-passes] [--workload NAME] [--sim-profile]\n"
+               "             [--time-passes] [--alloc-stats] [--workload NAME] [--sim-profile]\n"
                "             [--sim-profile-out=FILE] [--annotate]\n"
                "             [--sim-threads N] [--sim-dispatch super|ref] [--sim-compare]\n");
 }
@@ -453,6 +454,7 @@ int main(int argc, char** argv) {
   bool dump_vir = false;
   bool emit_source = false;
   bool time_passes = false;
+  bool alloc_stats = false;
   bool sim_profile = false;
   bool sim_compare = false;
   bool annotate = false;
@@ -538,6 +540,7 @@ int main(int argc, char** argv) {
     else if (arg == "--emit-source") emit_source = true;
     else if (arg == "--verify-clauses") verify = true;
     else if (arg == "--time-passes") time_passes = true;
+    else if (arg == "--alloc-stats") alloc_stats = true;
     else if (arg == "--sim-profile") sim_profile = true;
     else if (arg == "--sim-compare") sim_compare = true;
     else if (arg == "--annotate") annotate = true;
@@ -697,6 +700,20 @@ int main(int argc, char** argv) {
   }
   if (time_passes) {
     std::printf("\n%s", collector.tracer.time_report().c_str());
+  }
+  // Publish the allocator counters into whatever sinks this invocation
+  // writes: the trace's counter tracks, the metrics document, and (with
+  // --alloc-stats) a terminal summary.
+  if (observing) collector.record_alloc_stats();
+  if (alloc_stats) {
+    const support::GlobalAllocStats a = support::global_alloc_stats();
+    std::printf("\n---- allocation stats ----\n");
+    std::printf("alloc.arena_bytes_peak  %llu\n",
+                static_cast<unsigned long long>(a.arena_bytes_peak));
+    std::printf("alloc.arena_resets      %llu\n",
+                static_cast<unsigned long long>(a.arena_resets));
+    std::printf("alloc.heap_fallbacks    %llu\n",
+                static_cast<unsigned long long>(a.heap_fallbacks));
   }
   if (!trace_out.empty()) {
     if (!write_file(trace_out, collector.tracer.chrome_trace().dump(2) + "\n")) return 1;
