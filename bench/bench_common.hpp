@@ -133,6 +133,11 @@ inline void add_register_counters(std::map<std::string, double>& counters,
   counters["regs_after." + config] = regs;
   counters["cycles." + config] = static_cast<double>(r.cycles);
   counters["checksum." + config] = r.checksum;
+  // Shared-memory spill traffic cost: 0 whenever RegDem didn't run (the
+  // default --spill-mem local), nonzero only for demoted slots. Carried
+  // into check_perf_regression.py's --write-delta aggregates.
+  counters["shared_bank_conflicts." + config] =
+      static_cast<double>(r.shared_bank_conflicts);
 }
 
 /// Accumulates every counter set registered by this binary so `--json FILE`
@@ -145,8 +150,9 @@ class JsonSink {
     return sink;
   }
 
-  void add(const std::string& name, const std::map<std::string, double>& counters) {
-    rows_.emplace_back(name, counters);
+  void add(const std::string& name, const std::map<std::string, double>& counters,
+           std::map<std::string, std::string> attrs = {}) {
+    rows_.push_back(Row{name, counters, std::move(attrs)});
   }
 
   /// The grid parallelism the binary's run_grid calls actually used (max over
@@ -164,9 +170,9 @@ class JsonSink {
     obs::json::Value doc = obs::json::Value::object();
     doc["benchmark"] = obs::json::Value(binary_name);
     obs::json::Value rows = obs::json::Value::array();
-    for (const auto& [name, counters] : rows_) {
+    for (const Row& r : rows_) {
       obs::json::Value row = obs::json::Value::object();
-      row["name"] = obs::json::Value(name);
+      row["name"] = obs::json::Value(r.name);
       row["dispatch"] = obs::json::Value(vgpu::to_string(vgpu::sim_dispatch()));
       row["grid_parallelism"] = obs::json::Value(static_cast<double>(grid_parallelism_));
       row["sim_threads"] = obs::json::Value(
@@ -174,7 +180,13 @@ class JsonSink {
       row["opt_level"] = obs::json::Value(static_cast<double>(driver::default_opt_level()));
       row["regalloc"] =
           obs::json::Value(std::string(regalloc::to_string(regalloc::default_strategy())));
-      for (const auto& [key, value] : counters) row[key] = obs::json::Value(value);
+      row["spill_mem"] =
+          obs::json::Value(std::string(regalloc::to_string(regalloc::default_spill_mem())));
+      for (const auto& [key, value] : r.counters) row[key] = obs::json::Value(value);
+      // Per-row string attributes override the process-wide stamps (the
+      // occupancy sweep varies spill_mem within one run, so the frontier
+      // rows each carry their own).
+      for (const auto& [key, value] : r.attrs) row[key] = obs::json::Value(value);
       rows.push_back(std::move(row));
     }
     doc["rows"] = std::move(rows);
@@ -188,7 +200,12 @@ class JsonSink {
   }
 
  private:
-  std::vector<std::pair<std::string, std::map<std::string, double>>> rows_;
+  struct Row {
+    std::string name;
+    std::map<std::string, double> counters;
+    std::map<std::string, std::string> attrs;
+  };
+  std::vector<Row> rows_;
   int grid_parallelism_ = 1;
 };
 
@@ -200,8 +217,9 @@ inline void note_grid_parallelism(int parallelism) {
 /// as counters (the heavy simulation ran once, up front), and mirrors the
 /// row into the JSON sink.
 inline void register_counters(const std::string& name,
-                              std::map<std::string, double> counters) {
-  JsonSink::instance().add(name, counters);
+                              std::map<std::string, double> counters,
+                              std::map<std::string, std::string> attrs = {}) {
+  JsonSink::instance().add(name, counters, std::move(attrs));
   benchmark::RegisterBenchmark(name.c_str(), [counters](benchmark::State& state) {
     for (auto _ : state) {
       benchmark::DoNotOptimize(counters.size());
@@ -213,10 +231,10 @@ inline void register_counters(const std::string& name,
 }
 
 /// Shared main(): runs the table/figure generator, honours `--json FILE`,
-/// `--sim-threads N`, `--grid-threads N`, `--sim-dispatch {super,ref}`, and
-/// `--regalloc {linear,color}` (each also in `--flag=value` form; all
-/// stripped before google-benchmark sees the args), then hands the remaining
-/// flags to the standard runner.
+/// `--sim-threads N`, `--grid-threads N`, `--sim-dispatch {super,ref}`,
+/// `--regalloc {linear,color}`, and `--spill-mem {local,shared,auto}` (each
+/// also in `--flag=value` form; all stripped before google-benchmark sees
+/// the args), then hands the remaining flags to the standard runner.
 inline int bench_main(int argc, char** argv, const char* binary_name, void (*run)()) {
   std::string json_path;
   auto set_dispatch = [](const char* text) {
@@ -234,6 +252,15 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       std::exit(2);
     }
     regalloc::set_default_strategy(s);
+  };
+  auto set_spill_mem = [](const char* text) {
+    regalloc::SpillMem m;
+    if (!regalloc::parse_spill_mem(text, m)) {
+      std::fprintf(stderr, "bench: --spill-mem expects 'local', 'shared', or 'auto', got '%s'\n",
+                   text);
+      std::exit(2);
+    }
+    regalloc::set_default_spill_mem(m);
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -263,6 +290,11 @@ inline int bench_main(int argc, char** argv, const char* binary_name, void (*run
       ++i;
     } else if (arg.rfind("--regalloc=", 0) == 0) {
       set_regalloc(arg.c_str() + 11);
+    } else if (arg == "--spill-mem" && i + 1 < argc) {
+      set_spill_mem(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--spill-mem=", 0) == 0) {
+      set_spill_mem(arg.c_str() + 12);
     } else {
       argv[out++] = argv[i];
     }

@@ -59,25 +59,53 @@ workloads::Workload make_microbench() {
 void run() {
   workloads::Workload w = make_microbench();
 
-  TablePrinter table({"reg limit", "regs used", "spill B", "occupancy", "cycles"}, 12);
-  table.print_header("Occupancy sweep: per-thread register limit vs performance");
+  // The regs x spill-mem frontier: every register limit under both spill
+  // backing stores. `local` is the pre-RegDem behaviour; `auto` lets RegDem
+  // demote the hottest slots to shared memory while occupancy holds, so the
+  // two series bracket what a spill's backing store is worth at each
+  // pressure point.
+  const std::vector<int> limits = {255, 168, 128, 96, 64, 48, 32, 24};
+  const std::vector<regalloc::SpillMem> mems = {regalloc::SpillMem::kLocal,
+                                                regalloc::SpillMem::kAuto};
+
+  TablePrinter table({"reg limit", "spill mem", "regs used", "spill B", "shared B",
+                      "occupancy", "cycles"},
+                     12);
+  table.print_header(
+      "Occupancy sweep: register limit x spill memory vs performance");
   std::vector<NamedConfig> configs;
-  for (int limit : {255, 168, 128, 96, 64, 48, 32, 24}) {
-    driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
-    opts.regalloc.max_registers = limit;
-    configs.push_back({"limit" + std::to_string(limit), opts});
+  for (int limit : limits) {
+    for (regalloc::SpillMem mem : mems) {
+      driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+      opts.regalloc.max_registers = limit;
+      opts.regalloc.spill_mem = mem;
+      configs.push_back({"limit" + std::to_string(limit) + "/" +
+                             regalloc::to_string(mem),
+                         opts});
+    }
   }
   auto grid = run_grid(w, configs);
-  for (int limit : {255, 168, 128, 96, 64, 48, 32, 24}) {
-    const workloads::RunResult& res = grid.at("limit" + std::to_string(limit));
-    table.print_row({std::to_string(limit), std::to_string(res.kernels[0].regs),
-                     std::to_string(res.kernels[0].spill_bytes),
-                     fmt(res.min_occupancy, 3), std::to_string(res.cycles)});
-    register_counters("occupancy_sweep/limit" + std::to_string(limit),
-                      {{"regs", double(res.kernels[0].regs)},
-                       {"spill_bytes", double(res.kernels[0].spill_bytes)},
-                       {"occupancy", res.min_occupancy},
-                       {"cycles", double(res.cycles)}});
+  for (int limit : limits) {
+    for (regalloc::SpillMem mem : mems) {
+      const std::string mem_name = regalloc::to_string(mem);
+      const workloads::RunResult& res =
+          grid.at("limit" + std::to_string(limit) + "/" + mem_name);
+      table.print_row({std::to_string(limit), mem_name,
+                       std::to_string(res.kernels[0].regs),
+                       std::to_string(res.kernels[0].spill_bytes),
+                       std::to_string(res.kernels[0].shared_spill_bytes),
+                       fmt(res.min_occupancy, 3), std::to_string(res.cycles)});
+      register_counters(
+          "occupancy_sweep/limit" + std::to_string(limit) + "/" + mem_name,
+          {{"regs", double(res.kernels[0].regs)},
+           {"spill_bytes", double(res.kernels[0].spill_bytes)},
+           {"shared_spill_bytes", double(res.kernels[0].shared_spill_bytes)},
+           {"shared_accesses", double(res.shared_accesses)},
+           {"shared_bank_conflicts", double(res.shared_bank_conflicts)},
+           {"occupancy", res.min_occupancy},
+           {"cycles", double(res.cycles)}},
+          {{"spill_mem", mem_name}});
+    }
   }
 }
 

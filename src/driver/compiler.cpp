@@ -8,6 +8,7 @@
 
 #include "ast/hash.hpp"
 #include "parse/parser.hpp"
+#include "regalloc/regdem.hpp"
 #include "sema/sema.hpp"
 #include "support/string_util.hpp"
 
@@ -58,6 +59,9 @@ std::uint64_t feedback_options_fingerprint(const codegen::CodegenOptions& cg,
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(opt_level) & 3u) << 4;
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.strategy) & 3u) << 6;
   bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.max_registers)) << 8;
+  // The spill backing store rides along even though RegDem never changes
+  // regs_used: a cache entry must answer for exactly one option tuple.
+  bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(ra.spill_mem) & 3u) << 40;
   return bits;
 }
 
@@ -338,8 +342,21 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
         }
       }
       ck.alloc = regalloc::allocate(res.kernel, ra);
+      // RegDem: redirect the hottest spill slots to shared memory while the
+      // per-block budget keeps occupancy intact. Post-allocation only — it
+      // never changes regs_used, so SAFARA's feedback compiles (which only
+      // ask for the register count) stay untouched. The admission check
+      // assumes the compile-time default block size; the simulator recomputes
+      // occupancy with the actual launch config.
+      const regalloc::RegDemReport regdem = regalloc::demote_spill_slots(
+          res.kernel, ck.alloc, ra, opts_.device,
+          codegen::LaunchPlan::kDefaultVectorLen);
       alloc_span.set_arg("regs_used", obs::json::Value(ck.alloc.regs_used));
       alloc_span.set_arg("spill_bytes", obs::json::Value(ck.alloc.spill_bytes));
+      if (regdem.demoted_slots > 0) {
+        alloc_span.set_arg("shared_spill_bytes",
+                           obs::json::Value(ck.alloc.shared_spill_bytes));
+      }
     }
     ck.kernel = std::move(res.kernel);
     span.set_arg("kernel", obs::json::Value(ck.name));
@@ -347,6 +364,8 @@ CompiledProgram Compiler::compile(const ast::Function& fn) {
       collector_->metrics.add("driver.kernels");
       collector_->metrics.set("regalloc.regs_used." + ck.name, ck.alloc.regs_used);
       collector_->metrics.set("regalloc.spill_bytes." + ck.name, ck.alloc.spill_bytes);
+      collector_->metrics.add("regalloc.shared_spill_slots", ck.alloc.shared_spill_slots);
+      collector_->metrics.add("regalloc.shared_spill_bytes", ck.alloc.shared_spill_bytes);
       collector_->metrics.add("regalloc.coalesced", ck.alloc.coalesced);
       collector_->metrics.add("regalloc.split_ranges", ck.alloc.split_ranges);
       collector_->metrics.add("regalloc.remat", ck.alloc.remat_count);

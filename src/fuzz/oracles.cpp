@@ -19,7 +19,7 @@ const std::vector<Oracle>& all_oracles() {
   static const std::vector<Oracle> kAll = {
       Oracle::kRoundtrip, Oracle::kRefVsSim, Oracle::kSafaraOnOff,
       Oracle::kDispatch, Oracle::kThreads, Oracle::kOptVsNoopt,
-      Oracle::kLinearVsColor,
+      Oracle::kLinearVsColor, Oracle::kSpillMem,
   };
   return kAll;
 }
@@ -33,6 +33,7 @@ const char* to_string(Oracle o) {
     case Oracle::kThreads: return "threads";
     case Oracle::kOptVsNoopt: return "opt-vs-noopt";
     case Oracle::kLinearVsColor: return "linear-vs-color";
+    case Oracle::kSpillMem: return "spillmem-local-vs-shared";
   }
   return "?";
 }
@@ -652,6 +653,94 @@ OracleResult linear_vs_color_oracle(const std::string& source, bool inject) {
   return r;
 }
 
+/// The spill-memory differential: --spill-mem local vs auto (RegDem), same
+/// source and config otherwise. RegDem only moves spill slots between
+/// backing stores — regs_used is untouched, so even the SAFARA feedback
+/// loop sees identical register counts and compiles identical code. Every
+/// latency-independent launch statistic is therefore pinned: results
+/// byte-exact, and per-kernel regs/warp instructions/global traffic/total
+/// spill accesses equal. Only cycles, stalls, occupancy, and the shared
+/// counters may move. A second pressure pair (base config, 24-register cap)
+/// makes spilling near-certain so demotion actually runs on most inputs.
+OracleResult spillmem_oracle(const std::string& source, bool inject) {
+  OracleResult r{Oracle::kSpillMem, Status::kOk, ""};
+  SimKnobGuard guard;
+  vgpu::set_sim_threads(1);
+
+  ast::Program parsed = parse_or_throw(source);
+
+  auto compare_pair = [&](driver::CompilerOptions opts,
+                          const std::string& label) -> bool {
+    driver::CompilerOptions local = opts;
+    local.regalloc.spill_mem = regalloc::SpillMem::kLocal;
+    driver::CompilerOptions shared = opts;
+    shared.regalloc.spill_mem = regalloc::SpillMem::kAuto;
+    driver::CompiledProgram prog_a = driver::Compiler(local).compile(source);
+    const std::string source_b = inject ? mutate_source(source) : source;
+    driver::CompiledProgram prog_b = driver::Compiler(shared).compile(source_b);
+
+    ArgSet data_a = derive_args(*parsed.functions.front());
+    ArgSet data_b = derive_args(*parsed.functions.front());
+    std::vector<vgpu::LaunchStats> stats_a = run_on_sim(prog_a, data_a);
+    std::vector<vgpu::LaunchStats> stats_b = run_on_sim(prog_b, data_b);
+
+    std::string why;
+    if (!results_equal(data_a, data_b, &why)) {
+      r.status = Status::kDiverged;
+      r.detail = label + " results: " + why;
+      return false;
+    }
+    if (stats_a.size() != stats_b.size()) {
+      r.status = Status::kDiverged;
+      r.detail = label + ": launch count differs (" +
+                 std::to_string(stats_a.size()) + " vs " +
+                 std::to_string(stats_b.size()) + ")";
+      return false;
+    }
+    for (std::size_t i = 0; i < stats_a.size(); ++i) {
+      const vgpu::LaunchStats& a = stats_a[i];
+      const vgpu::LaunchStats& b = stats_b[i];
+      std::ostringstream os;
+      if (a.regs_per_thread != b.regs_per_thread) {
+        os << "regs_per_thread " << a.regs_per_thread << " vs " << b.regs_per_thread;
+      } else if (a.warp_instructions != b.warp_instructions) {
+        os << "warp_instructions " << a.warp_instructions << " vs "
+           << b.warp_instructions;
+      } else if (a.global_loads != b.global_loads) {
+        os << "global_loads " << a.global_loads << " vs " << b.global_loads;
+      } else if (a.global_stores != b.global_stores) {
+        os << "global_stores " << a.global_stores << " vs " << b.global_stores;
+      } else if (a.atomics != b.atomics) {
+        os << "atomics " << a.atomics << " vs " << b.atomics;
+      } else if (a.spill_accesses != b.spill_accesses) {
+        os << "spill_accesses " << a.spill_accesses << " vs " << b.spill_accesses;
+      } else if (a.shared_accesses != 0) {
+        // The local side must never touch shared memory.
+        os << "local side reports " << a.shared_accesses << " shared accesses";
+      } else if (b.shared_accesses > b.spill_accesses) {
+        // Shared traffic is a subset of spill traffic by construction.
+        os << "shared_accesses " << b.shared_accesses << " exceeds spill_accesses "
+           << b.spill_accesses;
+      }
+      if (!os.str().empty()) {
+        r.status = Status::kDiverged;
+        r.detail = label + " stats for kernel " + std::to_string(i) + ": " + os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!compare_pair(driver::CompilerOptions::openuh_safara_clauses(),
+                    "spill-mem local vs auto")) {
+    return r;
+  }
+  driver::CompilerOptions pressure = driver::CompilerOptions::openuh_base();
+  pressure.regalloc.max_registers = 24;
+  compare_pair(pressure, "spill-mem local vs auto under pressure");
+  return r;
+}
+
 }  // namespace
 
 OracleResult run_oracle(const std::string& source, Oracle o,
@@ -668,6 +757,8 @@ OracleResult run_oracle(const std::string& source, Oracle o,
         return opt_vs_noopt_oracle(source, opts.inject_miscompile);
       case Oracle::kLinearVsColor:
         return linear_vs_color_oracle(source, opts.inject_miscompile);
+      case Oracle::kSpillMem:
+        return spillmem_oracle(source, opts.inject_miscompile);
     }
     return {o, Status::kError, "unknown oracle"};
   } catch (const std::exception& e) {

@@ -27,6 +27,15 @@
 //                 A feedback-free base-config pair must additionally agree
 //                 on loads: there the generated code is identical and only
 //                 the allocation may differ.
+//   kSpillMem   — --spill-mem local vs auto (RegDem): the spill backing
+//                 store is pure placement, so results must be byte-exact and
+//                 the launch metadata that doesn't depend on latency must be
+//                 identical (registers, warp instructions, global traffic,
+//                 total spill accesses); only cycles/stalls and the
+//                 shared-memory counters may differ. Runs twice: once on
+//                 openuh_safara_clauses at the default register budget, and
+//                 once on a pressure pair (base config, 24-register cap)
+//                 where spilling — and hence demotion — is near-certain.
 //
 // run_oracle never throws: compile/runtime exceptions become Status::kError,
 // which the harness counts as a divergence too (a generated program that one
@@ -53,13 +62,14 @@ enum class Oracle : std::uint8_t {
   kThreads,
   kOptVsNoopt,
   kLinearVsColor,
+  kSpillMem,
 };
 
 const std::vector<Oracle>& all_oracles();
 const char* to_string(Oracle o);
 /// Parses an oracle name ("roundtrip", "ref-vs-sim", "safara-on-off",
-/// "dispatch", "threads", "opt-vs-noopt", "linear-vs-color"). Returns false
-/// on unknown names.
+/// "dispatch", "threads", "opt-vs-noopt", "linear-vs-color",
+/// "spillmem-local-vs-shared"). Returns false on unknown names.
 bool parse_oracle(std::string_view name, Oracle& out);
 
 enum class Status : std::uint8_t { kOk, kDiverged, kError };

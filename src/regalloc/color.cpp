@@ -68,9 +68,9 @@ std::vector<char> remat_eligible_all(const Kernel& k, std::uint32_t nv) {
   return ok;
 }
 
-/// Approximate loop depth per instruction: every backward branch nests the
-/// span it jumps over one level deeper. Good enough for spill-cost weighting.
-std::vector<int> loop_depth(const Kernel& k) {
+}  // namespace
+
+std::vector<int> instruction_loop_depth(const Kernel& k) {
   const std::int32_t n = static_cast<std::int32_t>(k.code.size());
   std::vector<int> depth(static_cast<std::size_t>(n), 0);
   auto deepen = [&](std::int32_t target, std::int32_t branch) {
@@ -88,8 +88,6 @@ std::vector<int> loop_depth(const Kernel& k) {
   }
   return depth;
 }
-
-}  // namespace
 
 AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& opts) {
   AllocationResult result;
@@ -183,7 +181,7 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
   // First/last occupied position per vreg (for spilled-range provenance) and
   // the static spill-cost numerator: accesses weighted by loop depth and the
   // optional per-pc profile weights.
-  const std::vector<int> depth = loop_depth(kernel);
+  const std::vector<int> depth = instruction_loop_depth(kernel);
   std::vector<std::int32_t> first_pos(nv, -1), last_pos(nv, -1);
   std::vector<double> access_cost(nv, 0.0);
   std::vector<char> remat_ok = remat_eligible_all(kernel, nv);
@@ -598,9 +596,8 @@ AllocationResult allocate_color(const Kernel& kernel, const AllocatorOptions& op
     range.end = last_pos[v] >= 0 ? last_pos[v] : 0;
     range.first_unit = -1;
     range.units = vir::registers_of(kernel.vreg_types[v]);
-    range.spill_slot = result.spill_bytes;
+    range.spill_slot = reserve_spill_slot(result, kernel.vreg_types[v]);
     result.ranges.push_back(range);
-    result.spill_bytes += vir::size_of(kernel.vreg_types[v]);
   }
   std::stable_sort(result.ranges.begin(), result.ranges.end(),
                    [](const LiveRange& a, const LiveRange& b) {

@@ -82,23 +82,65 @@ bool parse_strategy(std::string_view text, Strategy& out) {
 
 namespace {
 Strategy g_default_strategy = Strategy::kColor;
+SpillMem g_default_spill_mem = SpillMem::kLocal;
 }  // namespace
 
 Strategy default_strategy() { return g_default_strategy; }
 void set_default_strategy(Strategy s) { g_default_strategy = s; }
+
+const char* to_string(SpillMem m) {
+  switch (m) {
+    case SpillMem::kLocal: return "local";
+    case SpillMem::kShared: return "shared";
+    case SpillMem::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool parse_spill_mem(std::string_view text, SpillMem& out) {
+  if (text == "local") {
+    out = SpillMem::kLocal;
+    return true;
+  }
+  if (text == "shared") {
+    out = SpillMem::kShared;
+    return true;
+  }
+  if (text == "auto") {
+    out = SpillMem::kAuto;
+    return true;
+  }
+  return false;
+}
+
+SpillMem default_spill_mem() { return g_default_spill_mem; }
+void set_default_spill_mem(SpillMem m) { g_default_spill_mem = m; }
 
 AllocationResult allocate(const vir::Kernel& kernel, const AllocatorOptions& opts) {
   return opts.strategy == Strategy::kLinear ? allocate_linear(kernel, opts)
                                             : allocate_color(kernel, opts);
 }
 
+int reserve_spill_slot(AllocationResult& result, VType type) {
+  // Natural alignment equals the scalar size (4 for f32/i32, 8 for f64/i64);
+  // without the rounding an f64 slot after an f32 slot sat at offset 4.
+  const int size = vir::size_of(type);
+  result.spill_bytes = (result.spill_bytes + size - 1) / size * size;
+  const int slot = result.spill_bytes;
+  result.spill_bytes += size;
+  return slot;
+}
+
 std::string AllocationResult::ptxas_info(const std::string& kernel_name) const {
   std::ostringstream os;
   os << "ptxas info    : Function '" << kernel_name << "': Used " << regs_used
      << " registers";
-  if (spill_bytes > 0) {
-    os << ", " << spill_bytes << " bytes local spill (" << spill_loads
-       << " loads, " << spill_stores << " stores)";
+  if (spill_bytes > 0 || shared_spill_bytes > 0) {
+    os << ", " << spill_bytes << " bytes local spill";
+    if (shared_spill_bytes > 0) {
+      os << " + " << shared_spill_bytes << " bytes shared spill";
+    }
+    os << " (" << spill_loads << " loads, " << spill_stores << " stores)";
   } else {
     os << ", 0 bytes spill";
   }
@@ -182,17 +224,18 @@ AllocationResult allocate_linear(const Kernel& kernel, const AllocatorOptions& o
           LiveRange& evicted =
               result.ranges[static_cast<std::size_t>(range_of[furthest->interval.vreg])];
           evicted.first_unit = -1;
-          evicted.spill_slot = result.spill_bytes;
+          evicted.spill_slot =
+              reserve_spill_slot(result, kernel.vreg_types[furthest->interval.vreg]);
+        } else {
+          reserve_spill_slot(result, kernel.vreg_types[furthest->interval.vreg]);
         }
-        result.spill_bytes += vir::size_of(kernel.vreg_types[furthest->interval.vreg]);
         bank.release(furthest->first_unit, furthest->units);
         active.erase(furthest);
         unit = bank.take(units);
       }
       if (unit < 0) {
         result.spilled[iv.vreg] = true;
-        record(iv, -1, units, result.spill_bytes);
-        result.spill_bytes += vir::size_of(type);
+        record(iv, -1, units, reserve_spill_slot(result, type));
         continue;
       }
     }

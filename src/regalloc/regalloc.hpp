@@ -37,8 +37,12 @@ struct LiveRange {
   /// First 32-bit register unit, or -1 when the range lives in a spill slot.
   int first_unit = -1;
   int units = 0;
-  /// Byte offset of the spill slot in local memory (-1 when in a register).
+  /// Byte offset of the spill slot (-1 when in a register). Slots are
+  /// naturally aligned for the vreg's type within the per-thread frame.
   int spill_slot = -1;
+  /// True when the RegDem pass redirected this range's spill slot to shared
+  /// memory (spill_slot then offsets into the shared frame, not local).
+  bool in_shared = false;
 };
 
 struct AllocationResult {
@@ -47,10 +51,19 @@ struct AllocationResult {
   int regs_used = 0;
   /// Peak simultaneously live predicate registers (separate file).
   int pred_regs_used = 0;
-  /// Per-vreg: true if this virtual register was spilled to local memory.
+  /// Per-vreg: true if this virtual register was spilled to memory.
   std::vector<bool> spilled;
-  /// Total local-memory bytes reserved for spill slots.
+  /// Per-vreg (parallel to `spilled`; empty until RegDem runs): true when
+  /// the spill slot lives in shared memory rather than L1-cached local.
+  std::vector<bool> in_shared;
+  /// Total local-memory bytes reserved for spill slots (each slot naturally
+  /// aligned; this is the aligned frame size). After RegDem, slots demoted
+  /// to shared memory are re-packed out of this into `shared_spill_bytes`.
   int spill_bytes = 0;
+  /// Per-thread bytes of spill slots RegDem moved to shared memory, and how
+  /// many slots those are (0 until the pass runs / when it moves nothing).
+  int shared_spill_bytes = 0;
+  int shared_spill_slots = 0;
   /// Static number of loads/stores the spills introduce.
   int spill_loads = 0;
   int spill_stores = 0;
@@ -95,6 +108,21 @@ bool parse_strategy(std::string_view text, Strategy& out);
 Strategy default_strategy();
 void set_default_strategy(Strategy s);
 
+/// Where spilled values live (src/regalloc/regdem.hpp implements the pass).
+enum class SpillMem : std::uint8_t {
+  kLocal = 0,   // every spill slot in L1-cached local memory (pre-RegDem)
+  kShared = 1,  // demote as many slots as the shared budget admits
+  kAuto = 2,    // demote hottest-first while occupancy is preserved (RegDem)
+};
+
+const char* to_string(SpillMem m);
+bool parse_spill_mem(std::string_view text, SpillMem& out);
+
+/// Process-wide default consumed by AllocatorOptions; same determinism
+/// contract as default_strategy() (explicit flags only, no environment).
+SpillMem default_spill_mem();
+void set_default_spill_mem(SpillMem m);
+
 struct AllocatorOptions {
   /// Hardware limit per thread (255 on Kepler). Lowering it models
   /// __launch_bounds__-style pressure and forces spilling.
@@ -104,7 +132,23 @@ struct AllocatorOptions {
   /// e.g. the per-pc cycle attribution from `--sim-profile`: accesses at
   /// hot pcs make a vreg more expensive to spill. Empty = uniform weights.
   std::vector<double> pc_weights;
+  /// Spill backing store; anything but kLocal arms the post-allocation
+  /// RegDem pass in the driver (the allocators themselves always lay out a
+  /// local frame — RegDem rewrites the placement afterwards).
+  SpillMem spill_mem = default_spill_mem();
 };
+
+/// Approximate loop depth per instruction (every backward branch nests the
+/// span it jumps over one level deeper, capped at 6). The coloring
+/// allocator's spill-cost weighting and RegDem's slot ranking share it so
+/// "hot" means the same thing in both places.
+std::vector<int> instruction_loop_depth(const vir::Kernel& k);
+
+/// Reserves a spill slot for `type` in the local frame at the type's natural
+/// alignment, growing `result.spill_bytes` to the aligned total, and returns
+/// the slot's byte offset. Shared by both allocators (and by RegDem when it
+/// re-packs the frame), so every layout rounds identically.
+int reserve_spill_slot(AllocationResult& result, vir::VType type);
 
 /// Dispatches on `opts.strategy`.
 AllocationResult allocate(const vir::Kernel& kernel, const AllocatorOptions& opts = {});

@@ -19,6 +19,12 @@ struct LatencyModel {
   int ro_cache_hit = 140;      // read-only data cache hit
   int ro_cache_miss = 480;     // read-only data cache miss
   int local_mem = 80;          // register spill traffic (local, L1-cached)
+  /// On-chip shared memory (the RegDem spill target): far faster than the
+  /// L1-cached local path, but a per-warp access serializes when lanes hit
+  /// the same bank — each extra serialized transaction adds
+  /// `shared_conflict` cycles on top of the base latency.
+  int shared_mem = 28;
+  int shared_conflict = 8;     // per extra bank-serialized transaction
   int atomic = 400;            // global atomic
   int store_issue = 4;         // stores are fire-and-forget but cost issue
   /// Cycles each 128-byte transaction occupies the SM's memory pipeline:
@@ -40,6 +46,14 @@ struct DeviceSpec {
   /// Register allocation granularity: regs/thread rounds up to a multiple.
   int reg_granularity = 8;
   int schedulers_per_sm = 4;
+  /// Shared memory per SM: the fourth occupancy limiter. Spilling to shared
+  /// memory (RegDem) buys latency at the cost of this budget — a block's
+  /// shared footprint is rounded up to `shared_alloc_granularity` and the SM
+  /// fits at most shared_mem_per_sm / footprint such blocks.
+  std::int64_t shared_mem_per_sm = 48 * 1024;
+  int shared_mem_banks = 32;
+  int shared_bank_bytes = 4;  // bank width; one bank serves 4B per cycle
+  int shared_alloc_granularity = 256;
   int ro_cache_bytes = 48 * 1024;
   int ro_cache_line = 128;
   int ro_cache_ways = 4;

@@ -1,6 +1,7 @@
 #include "vgpu/occupancy.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace safara::vgpu {
 
@@ -10,12 +11,14 @@ const char* to_string(OccupancyLimiter l) {
     case OccupancyLimiter::kRegisters: return "registers";
     case OccupancyLimiter::kBlocks: return "blocks";
     case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kSharedMem: return "shared_mem";
   }
   return "?";
 }
 
 Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
-                            int threads_per_block) {
+                            int threads_per_block,
+                            std::int64_t shared_mem_per_block) {
   Occupancy occ;
   threads_per_block = std::max(1, threads_per_block);
   regs_per_thread = std::max(1, regs_per_thread);
@@ -28,26 +31,48 @@ Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
   const std::int64_t regs_per_block =
       static_cast<std::int64_t>(rounded_regs) * warps_per_block * spec.warp_size;
 
+  // Shared memory allocates in fixed-size chunks too.
+  const std::int64_t sg = spec.shared_alloc_granularity;
+  const std::int64_t rounded_shared =
+      shared_mem_per_block > 0 ? ((shared_mem_per_block + sg - 1) / sg) * sg : 0;
+
   const int by_warps = spec.max_warps_per_sm / warps_per_block;
   const int by_regs = static_cast<int>(spec.registers_per_sm / regs_per_block);
   const int by_blocks = spec.max_blocks_per_sm;
   const int by_threads = spec.max_threads_per_sm / threads_per_block;
+  // A zero footprint never participates — neither in the minimum nor in the
+  // limiter attribution (by_blocks already caps the count).
+  const int by_shared =
+      rounded_shared > 0 ? static_cast<int>(spec.shared_mem_per_sm / rounded_shared)
+                         : std::numeric_limits<int>::max();
 
-  int blocks = std::min(std::min(by_warps, by_regs), std::min(by_blocks, by_threads));
+  // The limiter is whichever cap equals the binding minimum; ties resolve by
+  // this fixed priority order. That also defines the zero-blocks case: the
+  // resource that drove the count to zero is reported, not a fallback.
+  struct Cap {
+    int blocks;
+    OccupancyLimiter limiter;
+  };
+  const Cap caps[] = {
+      {by_regs, OccupancyLimiter::kRegisters},
+      {by_warps, OccupancyLimiter::kWarps},
+      {by_threads, OccupancyLimiter::kThreads},
+      {by_shared, OccupancyLimiter::kSharedMem},
+      {by_blocks, OccupancyLimiter::kBlocks},
+  };
+  int blocks = by_blocks;
+  for (const Cap& c : caps) blocks = std::min(blocks, c.blocks);
   blocks = std::max(blocks, 0);
 
   occ.blocks_per_sm = blocks;
   occ.warps_per_sm = blocks * warps_per_block;
   occ.ratio = static_cast<double>(occ.warps_per_sm) / spec.max_warps_per_sm;
-  if (blocks == by_regs && by_regs <= by_warps && by_regs <= by_blocks &&
-      by_regs <= by_threads) {
-    occ.limiter = OccupancyLimiter::kRegisters;
-  } else if (blocks == by_warps && by_warps <= by_blocks && by_warps <= by_threads) {
-    occ.limiter = OccupancyLimiter::kWarps;
-  } else if (blocks == by_threads && by_threads <= by_blocks) {
-    occ.limiter = OccupancyLimiter::kThreads;
-  } else {
-    occ.limiter = OccupancyLimiter::kBlocks;
+  occ.limiter = OccupancyLimiter::kBlocks;
+  for (const Cap& c : caps) {
+    if (c.blocks <= blocks) {
+      occ.limiter = c.limiter;
+      break;
+    }
   }
   return occ;
 }

@@ -9,7 +9,7 @@
 
 namespace safara::vgpu {
 
-enum class OccupancyLimiter { kWarps, kRegisters, kBlocks, kThreads };
+enum class OccupancyLimiter { kWarps, kRegisters, kBlocks, kThreads, kSharedMem };
 
 struct Occupancy {
   int blocks_per_sm = 0;
@@ -21,8 +21,15 @@ struct Occupancy {
 const char* to_string(OccupancyLimiter l);
 
 /// `regs_per_thread` is the ptxas-sim register count (before granularity
-/// rounding); `threads_per_block` is the full block size (x*y*z).
+/// rounding); `threads_per_block` is the full block size (x*y*z);
+/// `shared_mem_per_block` is the block's shared-memory footprint in bytes
+/// (0 = none; rounded up to the allocation granularity). The limiter is
+/// always the resource whose cap equals the binding minimum; ties resolve
+/// deterministically in the order registers > warps > threads > shared-mem >
+/// blocks, and a kernel too big to launch at all (0 blocks) reports the
+/// resource that forced it to zero.
 Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
-                            int threads_per_block);
+                            int threads_per_block,
+                            std::int64_t shared_mem_per_block = 0);
 
 }  // namespace safara::vgpu

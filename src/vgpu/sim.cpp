@@ -290,8 +290,19 @@ struct DecodedInstr {
   std::uint8_t num_uses = 0;
   bool writes_dst = false;
   bool dst_spilled = false;
+  /// Spilled dst lives in a RegDem shared-memory slot (vs local memory).
+  bool dst_shared = false;
   std::uint16_t spill_uses = 0;   // operand reads that hit a spilled vreg
-  std::int32_t spill_extra = 0;   // local-memory latency those reads add
+  /// Subset of spill_uses served from shared memory, and the extra
+  /// bank-serialized transactions those reads cost. Conflict degree is
+  /// static — the warp-interleaved slot layout makes it a pure function of
+  /// the value's size on 32x4B banks — which is what keeps the superblock
+  /// MicroOp latency tables valid.
+  std::uint16_t shared_uses = 0;
+  std::uint16_t shared_conflicts = 0;
+  std::uint8_t dst_shared_conflicts = 0;
+  std::int32_t spill_extra = 0;   // spill-memory latency those reads add
+  std::int32_t dst_spill_latency = 0;  // latency a spilled dst write adds
   std::int32_t exec_latency = 0;  // static issue latency for ALU/SFU-class ops
 };
 
@@ -315,6 +326,8 @@ struct Superblock {
   std::uint64_t read_mask = 0;   // upward-exposed external reads, bit r & 63
   std::uint64_t write_mask = 0;  // every register the block writes, bit r & 63
   std::uint32_t spill_accesses = 0;  // aggregate spill traffic of the block
+  std::uint32_t shared_accesses = 0;   // subset served by shared memory
+  std::uint32_t shared_conflicts = 0;  // extra bank-serialized transactions
   // Unique upward-exposed read registers, as [ext_begin, ext_end) into
   // DecodedKernel::ext_pool — the precise readiness check used when the
   // pending mask is stale or aliased.
@@ -386,13 +399,19 @@ void build_superblocks(const Kernel& k, const DeviceSpec& spec, DecodedKernel& d
           }
         }
         b.spill_accesses += d.spill_uses;
+        b.shared_accesses += d.shared_uses;
+        b.shared_conflicts += d.shared_conflicts;
         m.latency = d.exec_latency + d.spill_extra;
         if (d.writes_dst) {
           m.dst = in.dst;
           if (d.dst_spilled) {
-            m.latency += spec.lat.local_mem;
+            m.latency += d.dst_spill_latency;
             m.dst_from_mem = 1;
             ++b.spill_accesses;
+            if (d.dst_shared) {
+              ++b.shared_accesses;
+              b.shared_conflicts += d.dst_shared_conflicts;
+            }
           }
           written_gen[in.dst] = gen;
           b.write_mask |= 1ull << (in.dst & 63);
@@ -419,6 +438,19 @@ DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
   auto is_remat = [&](std::uint32_t r) {
     return r < alloc.remat.size() && alloc.remat[r];
   };
+  auto in_shared = [&](std::uint32_t r) {
+    return r < alloc.in_shared.size() && alloc.in_shared[r];
+  };
+  // A RegDem-demoted slot is warp-interleaved, so a warp's access of it
+  // serializes over size/bank_bytes banksets: the conflict degree (and thus
+  // the latency) is static per vreg.
+  auto shared_degree = [&](std::uint32_t r) {
+    return std::max(1, vir::size_of(k.vreg_types[r]) /
+                           std::max(1, spec.shared_bank_bytes));
+  };
+  auto shared_latency = [&](int degree) {
+    return lat.shared_mem + (degree - 1) * lat.shared_conflict;
+  };
   for (const Instr& in : k.code) {
     DecodedInstr d;
     vir::for_each_use(in, [&](std::uint32_t r) {
@@ -426,6 +458,12 @@ DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
       if (alloc.spilled[r]) {
         if (is_remat(r)) {
           d.spill_extra += lat.alu;
+        } else if (in_shared(r)) {
+          const int degree = shared_degree(r);
+          d.spill_extra += shared_latency(degree);
+          ++d.spill_uses;
+          ++d.shared_uses;
+          d.shared_conflicts += static_cast<std::uint16_t>(degree - 1);
         } else {
           d.spill_extra += lat.local_mem;
           ++d.spill_uses;
@@ -434,6 +472,16 @@ DecodedKernel decode(const Kernel& k, const regalloc::AllocationResult& alloc,
     });
     d.writes_dst = vir::has_dst(in.op) && in.dst != vir::kNoReg;
     d.dst_spilled = d.writes_dst && alloc.spilled[in.dst] && !is_remat(in.dst);
+    if (d.dst_spilled) {
+      if (in_shared(in.dst)) {
+        const int degree = shared_degree(in.dst);
+        d.dst_shared = true;
+        d.dst_shared_conflicts = static_cast<std::uint8_t>(degree - 1);
+        d.dst_spill_latency = shared_latency(degree);
+      } else {
+        d.dst_spill_latency = lat.local_mem;
+      }
+    }
     // Memory/control ops compute their latency dynamically; the static class
     // recorded here for them (lat.alu) is never read.
     const SuperblockOpInfo info = superblock_op_info(in.op, in.type, spec);
@@ -741,8 +789,10 @@ class SmSimulator {
       return false;
     }
 
-    // Spill traffic: reads of spilled vregs are local-memory loads.
+    // Spill traffic: reads of spilled vregs are local- or shared-memory loads.
     stats_.spill_accesses += d.spill_uses;
+    stats_.shared_accesses += d.shared_uses;
+    stats_.shared_bank_conflicts += d.shared_conflicts;
 
     ++stats_.warp_instructions;
     if (prof_) last_issue_pc_ = w.pc;
@@ -754,9 +804,13 @@ class SmSimulator {
     const DecodedInstr& d = dk_.code[static_cast<std::size_t>(w.pc)];
     if (d.writes_dst) {
       if (d.dst_spilled) {
-        latency += spec_.lat.local_mem;
+        latency += d.dst_spill_latency;
         ++stats_.spill_accesses;
-        mem_result = true;  // the result arrives from local memory
+        if (d.dst_shared) {
+          ++stats_.shared_accesses;
+          stats_.shared_bank_conflicts += d.dst_shared_conflicts;
+        }
+        mem_result = true;  // the result arrives from spill memory
       }
       const std::int64_t t = cycle_ + latency;
       w.reg_ready[in.dst] = t;
@@ -802,6 +856,8 @@ class SmSimulator {
     bulk_execute(w, b);
     stats_.warp_instructions += static_cast<std::uint64_t>(b.end - b.begin);
     stats_.spill_accesses += b.spill_accesses;
+    stats_.shared_accesses += b.shared_accesses;
+    stats_.shared_bank_conflicts += b.shared_conflicts;
     ++superblock_retires_;
     w.sb_next = b.begin;
     w.sb_end = b.end;
@@ -1717,6 +1773,8 @@ obs::json::Value LaunchStats::to_json() const {
   v["ro_misses"] = obs::json::Value(ro_misses);
   v["atomics"] = obs::json::Value(atomics);
   v["spill_accesses"] = obs::json::Value(spill_accesses);
+  v["shared_accesses"] = obs::json::Value(shared_accesses);
+  v["shared_bank_conflicts"] = obs::json::Value(shared_bank_conflicts);
   v["regs_per_thread"] = obs::json::Value(regs_per_thread);
   v["occupancy"] = obs::json::Value(occupancy);
   v["occupancy_limiter"] = obs::json::Value(to_string(occupancy_limiter));
@@ -1754,7 +1812,12 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
   LaunchStats stats;
   stats.regs_per_thread = std::max(alloc.regs_used, 1);
 
-  Occupancy occ = compute_occupancy(spec, stats.regs_per_thread, cfg.threads_per_block());
+  // A RegDem shared spill frame is per-thread; the whole block's frames are
+  // one shared-memory allocation competing with occupancy.
+  const std::int64_t shared_per_block =
+      static_cast<std::int64_t>(alloc.shared_spill_bytes) * cfg.threads_per_block();
+  Occupancy occ = compute_occupancy(spec, stats.regs_per_thread,
+                                    cfg.threads_per_block(), shared_per_block);
   stats.occupancy = occ.ratio;
   stats.occupancy_limiter = occ.limiter;
   const int blocks_per_sm = std::max(occ.blocks_per_sm, 1);
@@ -1863,6 +1926,8 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
     stats.ro_misses += wk.stats.ro_misses;
     stats.atomics += wk.stats.atomics;
     stats.spill_accesses += wk.stats.spill_accesses;
+    stats.shared_accesses += wk.stats.shared_accesses;
+    stats.shared_bank_conflicts += wk.stats.shared_bank_conflicts;
     sb_retires += wk.sb_retires;
     if (kprof) kprof->sms.push_back(std::move(wk.prof));
   }
@@ -1907,6 +1972,10 @@ LaunchStats launch(const Kernel& kernel, const regalloc::AllocationResult& alloc
                            static_cast<std::int64_t>(stats.mem_transactions));
     collector->metrics.add("sim.spill_accesses",
                            static_cast<std::int64_t>(stats.spill_accesses));
+    collector->metrics.add("sim.shared_accesses",
+                           static_cast<std::int64_t>(stats.shared_accesses));
+    collector->metrics.add("sim.shared_bank_conflicts",
+                           static_cast<std::int64_t>(stats.shared_bank_conflicts));
     if (parallel) collector->metrics.add("sim.parallel_launches");
     if (overlap_fallback) collector->metrics.add("sim.overlap_fallbacks");
     if (dispatch == SimDispatch::kSuper) {

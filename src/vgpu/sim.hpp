@@ -50,6 +50,12 @@ struct LaunchStats {
   std::uint64_t ro_misses = 0;
   std::uint64_t atomics = 0;
   std::uint64_t spill_accesses = 0;
+  /// Subset of spill_accesses served by shared memory (RegDem-demoted
+  /// slots), and the extra bank-serialized transactions those accesses cost
+  /// (one warp access of an 8-byte slot on 32x4B banks conflicts 2-way and
+  /// counts 1 here).
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_bank_conflicts = 0;
   int regs_per_thread = 0;
   double occupancy = 0.0;
   OccupancyLimiter occupancy_limiter = OccupancyLimiter::kWarps;

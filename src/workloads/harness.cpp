@@ -22,6 +22,7 @@ obs::json::Value KernelMetrics::to_json() const {
   v["name"] = obs::json::Value(name);
   v["regs"] = obs::json::Value(regs);
   v["spill_bytes"] = obs::json::Value(spill_bytes);
+  v["shared_spill_bytes"] = obs::json::Value(shared_spill_bytes);
   v["occupancy"] = obs::json::Value(occupancy);
   v["cycles"] = obs::json::Value(cycles);
   return v;
@@ -34,6 +35,8 @@ obs::json::Value RunResult::to_json() const {
   v["global_loads"] = obs::json::Value(global_loads);
   v["mem_transactions"] = obs::json::Value(mem_transactions);
   v["spill_accesses"] = obs::json::Value(spill_accesses);
+  v["shared_accesses"] = obs::json::Value(shared_accesses);
+  v["shared_bank_conflicts"] = obs::json::Value(shared_bank_conflicts);
   v["max_regs"] = obs::json::Value(max_regs);
   v["min_occupancy"] = obs::json::Value(min_occupancy);
   v["checksum"] = obs::json::Value(checksum);
@@ -84,6 +87,8 @@ RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
       result.global_loads += stats.global_loads;
       result.mem_transactions += stats.mem_transactions;
       result.spill_accesses += stats.spill_accesses;
+      result.shared_accesses += stats.shared_accesses;
+      result.shared_bank_conflicts += stats.shared_bank_conflicts;
       result.max_regs = std::max(result.max_regs, stats.regs_per_thread);
       result.min_occupancy = std::min(result.min_occupancy, stats.occupancy);
 
@@ -91,6 +96,7 @@ RunResult simulate(const Workload& w, const driver::CompilerOptions& opts,
       km.name = ck.name;
       km.regs = ck.alloc.regs_used;
       km.spill_bytes = ck.alloc.spill_bytes;
+      km.shared_spill_bytes = ck.alloc.shared_spill_bytes;
       km.occupancy = stats.occupancy;
       km.cycles += stats.cycles;
     }

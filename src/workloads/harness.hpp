@@ -14,6 +14,7 @@ struct KernelMetrics {
   std::string name;
   int regs = 0;
   int spill_bytes = 0;
+  int shared_spill_bytes = 0;  // RegDem-demoted slots (per thread)
   double occupancy = 0.0;
   std::uint64_t cycles = 0;  // summed over time steps
 
@@ -26,6 +27,8 @@ struct RunResult {
   std::uint64_t global_loads = 0;
   std::uint64_t mem_transactions = 0;
   std::uint64_t spill_accesses = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_bank_conflicts = 0;
   int max_regs = 0;
   double min_occupancy = 1.0;
   double checksum = 0.0;

@@ -89,6 +89,65 @@ TEST(Occupancy, ZeroBlocksWhenARegisterFootprintCannotFit) {
   EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
 }
 
+TEST(Occupancy, SharedMemLimitedWhenBlockFootprintIsLarge) {
+  // 8 regs, 256-thread blocks: warps allow 8 blocks. A 12 KB shared
+  // footprint allows only 49152/12288 = 4 — shared memory binds.
+  Occupancy occ = compute_occupancy(kSpec, 8, 256, 12 * 1024);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMem);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+}
+
+TEST(Occupancy, SharedMemRoundsToAllocationGranularity) {
+  // 6144 B = 24 granules fits 8 blocks exactly; one byte more rounds to 25
+  // granules (6400 B) and drops the count to 7.
+  EXPECT_EQ(compute_occupancy(kSpec, 8, 256, 6144).blocks_per_sm, 8);
+  Occupancy occ = compute_occupancy(kSpec, 8, 256, 6145);
+  EXPECT_EQ(occ.blocks_per_sm, 7);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMem);
+}
+
+TEST(Occupancy, ZeroSharedMemNeverLimits) {
+  // With no shared footprint the result is identical to the 3-arg call.
+  Occupancy with = compute_occupancy(kSpec, 64, 256, 0);
+  Occupancy without = compute_occupancy(kSpec, 64, 256);
+  EXPECT_EQ(with.blocks_per_sm, without.blocks_per_sm);
+  EXPECT_EQ(with.limiter, without.limiter);
+}
+
+TEST(Occupancy, LimiterIsTheTrueMinimumNotTheLastCapChecked) {
+  // 64 regs/256 threads gives 4 blocks by registers; an 8 KB shared
+  // footprint allows 6. Registers are the true minimum and must be
+  // reported even though the shared cap is also below the warp cap.
+  Occupancy occ = compute_occupancy(kSpec, 64, 256, 8 * 1024);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, TiesResolveByFixedPriority) {
+  // 32 regs/256 threads: registers and warps both allow exactly 8 blocks.
+  // The documented priority (registers > warps > threads > shared_mem >
+  // blocks) makes the attribution deterministic: registers win.
+  Occupancy occ = compute_occupancy(kSpec, 32, 256);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+  // A three-way tie that adds shared memory (6 KB -> 8 blocks) still
+  // reports registers.
+  Occupancy three = compute_occupancy(kSpec, 32, 256, 6 * 1024);
+  EXPECT_EQ(three.blocks_per_sm, 8);
+  EXPECT_EQ(three.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, ZeroBlocksBySharedMemIsAttributedToSharedMem) {
+  // A block asking for more shared memory than the SM owns can never
+  // launch; the zero-blocks answer is defined and names shared_mem.
+  Occupancy occ = compute_occupancy(kSpec, 8, 256, kSpec.shared_mem_per_sm + 1);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.warps_per_sm, 0);
+  EXPECT_DOUBLE_EQ(occ.ratio, 0.0);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMem);
+}
+
 TEST(Occupancy, DegenerateInputsAreClamped) {
   // Zero/negative regs and threads clamp to 1 instead of dividing by zero.
   Occupancy occ = compute_occupancy(kSpec, 0, 0);
@@ -114,6 +173,7 @@ TEST(Occupancy, LimiterNamesRoundTrip) {
   EXPECT_STREQ(to_string(OccupancyLimiter::kRegisters), "registers");
   EXPECT_STREQ(to_string(OccupancyLimiter::kBlocks), "blocks");
   EXPECT_STREQ(to_string(OccupancyLimiter::kThreads), "threads");
+  EXPECT_STREQ(to_string(OccupancyLimiter::kSharedMem), "shared_mem");
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 //   P2  honoring small / small+dim never increases the register count;
 //   P3  SAFARA never increases the static global-load count;
 //   P4  the allocator never exceeds a forced register cap;
-//   P5  compilation is deterministic.
+//   P5  compilation is deterministic;
+//   P7  spill-slot layout: every slot naturally aligned, no two vregs'
+//       slots overlap within a backing store, frame sizes cover the slots.
 #include <gtest/gtest.h>
 
 #include "tests_common.hpp"
@@ -235,6 +237,81 @@ INSTANTIATE_TEST_SUITE_P(Sweep, KernelInvariants,
                          [](const ::testing::TestParamInfo<int>& info) {
                            return std::string(kCases[info.param].name);
                          });
+
+// P7: spill-slot layout invariants, for both allocators and both spill
+// backing modes. Under a tight register cap every spilled live range must
+// land on a slot aligned to its type's natural alignment (an f64 slot after
+// an f32 slot must skip to offset 8, not 4), distinct vregs' slots must not
+// overlap within the same backing store (local and, after RegDem, shared
+// frames are checked independently), and the reported frame sizes must cover
+// the highest slot.
+using SpillParam = std::tuple<int, int, int>;
+class SpillLayout : public ::testing::TestWithParam<SpillParam> {};
+
+std::string spill_param_name(const ::testing::TestParamInfo<SpillParam>& info) {
+  const auto [ki, strat, mem] = info.param;
+  return std::string(kCases[ki].name) + (strat == 0 ? "_linear" : "_color") +
+         (mem == 0 ? "_local" : "_auto");
+}
+
+TEST_P(SpillLayout, P7_SlotsAlignedAndDisjoint) {
+  const auto [ki, strat, mem] = GetParam();
+  const KernelCase& kc = kCases[ki];
+  driver::CompilerOptions opts = driver::CompilerOptions::openuh_base();
+  opts.regalloc.max_registers = 16;  // tight enough to force spills
+  opts.regalloc.strategy =
+      strat == 0 ? regalloc::Strategy::kLinear : regalloc::Strategy::kColor;
+  opts.regalloc.spill_mem =
+      mem == 0 ? regalloc::SpillMem::kLocal : regalloc::SpillMem::kAuto;
+  driver::Compiler compiler(opts);
+  auto prog = compiler.compile(kc.source);
+
+  for (const auto& ck : prog.kernels) {
+    // One slot per vreg per store; ranges of the same vreg share it.
+    std::map<std::uint32_t, std::pair<int, bool>> slots;
+    for (const regalloc::LiveRange& r : ck.alloc.ranges) {
+      if (r.spill_slot < 0) continue;
+      auto [it, inserted] =
+          slots.emplace(r.vreg, std::make_pair(r.spill_slot, r.in_shared));
+      if (!inserted) {
+        EXPECT_EQ(it->second.first, r.spill_slot)
+            << kc.name << ": vreg " << r.vreg << " has two slots";
+        EXPECT_EQ(it->second.second, r.in_shared)
+            << kc.name << ": vreg " << r.vreg << " in two stores";
+      }
+    }
+    // Alignment + frame coverage, then pairwise disjointness per store.
+    std::vector<std::tuple<int, int, bool>> extents;  // (begin, end, shared)
+    for (const auto& [vreg, slot] : slots) {
+      const int size = vir::size_of(ck.kernel.vreg_types[vreg]);
+      EXPECT_EQ(slot.first % size, 0)
+          << kc.name << ": vreg " << vreg << " slot " << slot.first
+          << " misaligned for size " << size;
+      const int frame =
+          slot.second ? ck.alloc.shared_spill_bytes : ck.alloc.spill_bytes;
+      EXPECT_LE(slot.first + size, frame)
+          << kc.name << ": vreg " << vreg << " slot exceeds its frame";
+      extents.emplace_back(slot.first, slot.first + size, slot.second);
+    }
+    for (std::size_t a = 0; a < extents.size(); ++a) {
+      for (std::size_t b = a + 1; b < extents.size(); ++b) {
+        const auto& [ab, ae, as] = extents[a];
+        const auto& [bb, be, bs] = extents[b];
+        if (as != bs) continue;  // different backing stores never collide
+        EXPECT_TRUE(ae <= bb || be <= ab)
+            << kc.name << ": slots [" << ab << "," << ae << ") and [" << bb
+            << "," << be << ") overlap in the "
+            << (as ? "shared" : "local") << " frame";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpillLayout,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kCases))),
+                       ::testing::Range(0, 2), ::testing::Range(0, 2)),
+    spill_param_name);
 
 // P6: running a kernel under a forced (spilling) register cap still computes
 // correct results — spills change timing, never values.

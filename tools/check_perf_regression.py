@@ -214,6 +214,17 @@ def write_delta(baseline, current, path):
             "delta_pct": (100.0 * (c - b) / b) if b > 0 else 0.0,
         }
     report["wall_clock"] = wall
+    # The shared-memory spill-traffic aggregate rides along the same way:
+    # sim.shared_bank_conflicts reconstructs the RegDem bank-conflict
+    # trajectory from archived artifacts (0 under --spill-mem local, the
+    # default; informational, not gated).
+    b, _ = total_counter(baseline, "shared_bank_conflicts.")
+    c, _ = total_counter(current, "shared_bank_conflicts.")
+    report["sim.shared_bank_conflicts"] = {
+        "baseline_total": b,
+        "current_total": c,
+        "delta": c - b,
+    }
     for name, cur_row in rows_by_name(current).items():
         base_row = base_rows.get(name, {})
         cells = {}

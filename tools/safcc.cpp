@@ -51,6 +51,7 @@ void usage() {
                "safara|safara_clauses|pgi]\n"
                "             [--opt-level 0|1|2] [--emit-vir] [--dump-vir] [--emit-source]\n"
                "             [--unroll N] [--max-regs N] [--regalloc linear|color]\n"
+               "             [--spill-mem local|shared|auto]\n"
                "             [--verify-clauses] [--trace-out=FILE] [--metrics-out=FILE]\n"
                "             [--time-passes] [--alloc-stats] [--workload NAME] [--sim-profile]\n"
                "             [--sim-profile-out=FILE] [--annotate]\n"
@@ -144,6 +145,7 @@ obs::json::Value build_profile_doc(const driver::CompiledProgram& prog,
       row["first_unit"] = Value(r.first_unit);
       row["units"] = Value(r.units);
       row["spill_slot"] = Value(r.spill_slot);
+      row["spill_mem"] = Value(std::string(r.in_shared ? "shared" : "local"));
       ranges.push_back(std::move(row));
     }
     kj["ranges"] = std::move(ranges);
@@ -273,7 +275,11 @@ void print_annotate(const obs::json::Value& doc, const std::string& source) {
           std::string s = "%r" + std::to_string(r.find("vreg")->as_int());
           const std::string& nm = r.find("name")->as_string();
           if (!nm.empty()) s += " '" + nm + "'";
-          s += " -> [local+" + std::to_string(r.find("spill_slot")->as_int()) + "]";
+          const Value* mem = r.find("spill_mem");
+          const bool shared = mem && mem->as_string() == "shared";
+          s += " -> [";
+          s += shared ? "shared+" : "local+";
+          s += std::to_string(r.find("spill_slot")->as_int()) + "]";
           p.spills.push_back(std::move(s));
         }
       }
@@ -464,6 +470,8 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool have_regalloc = false;
   regalloc::Strategy regalloc_strategy = regalloc::Strategy::kColor;
+  bool have_spill_mem = false;
+  regalloc::SpillMem spill_mem = regalloc::SpillMem::kLocal;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -524,6 +532,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       have_regalloc = true;
+      continue;
+    }
+    if (eat_value("--spill-mem", &value)) {
+      if (!regalloc::parse_spill_mem(value, spill_mem)) {
+        std::fprintf(stderr,
+                     "safcc: --spill-mem expects 'local', 'shared', or 'auto', got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      have_spill_mem = true;
       continue;
     }
     if (eat_value("--opt-level", &value)) {
@@ -593,6 +611,7 @@ int main(int argc, char** argv) {
   }
   if (max_regs > 0) opts.regalloc.max_registers = max_regs;
   if (have_regalloc) opts.regalloc.strategy = regalloc_strategy;
+  if (have_spill_mem) opts.regalloc.spill_mem = spill_mem;
   if (opt_level >= 0) opts.opt_level = opt_level;
   if (verify) opts.verify_clauses = true;
 
