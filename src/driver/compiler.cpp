@@ -67,6 +67,58 @@ std::uint64_t feedback_options_fingerprint(const codegen::CodegenOptions& cg,
 
 }  // namespace
 
+std::uint64_t options_fingerprint(const CompilerOptions& o) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(o.persona));
+  mix((o.enable_safara ? 1u : 0u) | (o.enable_carr_kennedy ? 2u : 0u) |
+      (o.honor_dim ? 4u : 0u) | (o.honor_small ? 8u : 0u) |
+      (o.enable_unroll ? 16u : 0u) | (o.verify_clauses ? 32u : 0u));
+  mix(static_cast<std::uint64_t>(o.opt_level));
+  mix(static_cast<std::uint64_t>(o.safara.max_registers));
+  mix(static_cast<std::uint64_t>(o.safara.max_iterations));
+  mix(o.safara.use_cost_model ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(o.carr_kennedy.register_budget));
+  mix(static_cast<std::uint64_t>(o.carr_kennedy.max_distance));
+  mix(static_cast<std::uint64_t>(o.unroll.factor));
+  mix(static_cast<std::uint64_t>(o.unroll.max_body_statements));
+  mix(static_cast<std::uint64_t>(o.regalloc.max_registers));
+  mix(static_cast<std::uint64_t>(o.regalloc.strategy));
+  mix(static_cast<std::uint64_t>(o.regalloc.spill_mem));
+  const vgpu::DeviceSpec& d = o.device;
+  for (const std::int64_t v :
+       {static_cast<std::int64_t>(d.num_sms), static_cast<std::int64_t>(d.warp_size),
+        static_cast<std::int64_t>(d.max_threads_per_sm),
+        static_cast<std::int64_t>(d.max_warps_per_sm),
+        static_cast<std::int64_t>(d.max_blocks_per_sm),
+        static_cast<std::int64_t>(d.max_threads_per_block), d.registers_per_sm,
+        static_cast<std::int64_t>(d.max_registers_per_thread),
+        static_cast<std::int64_t>(d.reg_granularity),
+        static_cast<std::int64_t>(d.schedulers_per_sm), d.shared_mem_per_sm,
+        static_cast<std::int64_t>(d.shared_mem_banks),
+        static_cast<std::int64_t>(d.shared_bank_bytes),
+        static_cast<std::int64_t>(d.shared_alloc_granularity),
+        static_cast<std::int64_t>(d.ro_cache_bytes),
+        static_cast<std::int64_t>(d.ro_cache_line),
+        static_cast<std::int64_t>(d.ro_cache_ways),
+        static_cast<std::int64_t>(d.memory_segment)}) {
+    mix(static_cast<std::uint64_t>(v));
+  }
+  const vgpu::LatencyModel& l = d.lat;
+  for (const int v : {l.alu, l.imul64, l.int_div, l.sfu, l.global_base,
+                      l.global_per_extra_tx, l.ro_cache_hit, l.ro_cache_miss,
+                      l.local_mem, l.shared_mem, l.shared_conflict, l.atomic,
+                      l.store_issue, l.tx_cycles}) {
+    mix(static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
 int default_opt_level() {
   static const int level = [] {
     const std::optional<long long> v = env_int("SAFARA_OPT_LEVEL");

@@ -1,0 +1,198 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace safara::service {
+
+namespace {
+
+/// Reads exactly `n` bytes unless the stream ends first. Returns the number
+/// of bytes actually read; a syscall failure reports -1 with errno set.
+ssize_t read_full(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, static_cast<char*>(buf) + got, n - got);
+    if (r == 0) break;  // end of stream
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::write(fd, static_cast<const char*>(buf) + put, n - put);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+const char* to_string(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kIoError: return "io-error";
+  }
+  return "?";
+}
+
+FrameResult read_frame(int fd) {
+  FrameResult out;
+  unsigned char prefix[4];
+  const ssize_t got = read_full(fd, prefix, sizeof prefix);
+  if (got < 0) {
+    out.status = FrameStatus::kIoError;
+    out.error = "frame read failed: " + errno_text();
+    return out;
+  }
+  if (got == 0) {
+    out.status = FrameStatus::kEof;
+    out.error = "end of stream";
+    return out;
+  }
+  if (got < static_cast<ssize_t>(sizeof prefix)) {
+    out.status = FrameStatus::kTruncated;
+    out.error = "truncated frame: stream ended after " + std::to_string(got) +
+                " of 4 length-prefix bytes";
+    return out;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    out.status = FrameStatus::kOversized;
+    out.error = "oversized frame: length prefix " + std::to_string(len) +
+                " exceeds the " + std::to_string(kMaxFrameBytes) + "-byte limit";
+    return out;
+  }
+  out.payload.resize(len);
+  if (len > 0) {
+    const ssize_t body = read_full(fd, out.payload.data(), len);
+    if (body < 0) {
+      out.status = FrameStatus::kIoError;
+      out.error = "frame read failed: " + errno_text();
+      out.payload.clear();
+      return out;
+    }
+    if (body < static_cast<ssize_t>(len)) {
+      out.status = FrameStatus::kTruncated;
+      out.error = "truncated frame: got " + std::to_string(body) + " of " +
+                  std::to_string(len) + " payload bytes";
+      out.payload.clear();
+      return out;
+    }
+  }
+  return out;
+}
+
+bool write_frame(int fd, std::string_view payload, std::string* err) {
+  if (payload.size() > kMaxFrameBytes) {
+    if (err) {
+      *err = "refusing to write oversized frame (" + std::to_string(payload.size()) +
+             " bytes)";
+    }
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  if (!write_full(fd, prefix, sizeof prefix) ||
+      !write_full(fd, payload.data(), payload.size())) {
+    if (err) *err = "frame write failed: " + errno_text();
+    return false;
+  }
+  return true;
+}
+
+bool parse_frame_json(std::string_view payload, obs::json::Value& out, std::string* err) {
+  std::string parse_err;
+  if (!obs::json::Value::parse(payload, out, &parse_err)) {
+    if (err) *err = "malformed frame payload: " + parse_err;
+    return false;
+  }
+  if (!out.is_object()) {
+    if (err) *err = "malformed frame payload: expected a JSON object";
+    return false;
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = "socket: " + errno_text();
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous (possibly killed) run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = "bind " + path + ": " + errno_text();
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (err) *err = "listen " + path + ": " + errno_text();
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* err, int recv_timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = "socket: " + errno_text();
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = "connect " + path + ": " + errno_text();
+    ::close(fd);
+    return -1;
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  return fd;
+}
+
+}  // namespace safara::service

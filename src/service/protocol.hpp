@@ -1,0 +1,86 @@
+// The safccd wire protocol: length-prefixed JSON frames over a byte stream.
+//
+// A frame is a 4-byte little-endian payload length followed by that many
+// bytes of UTF-8 JSON (obs::json). The prefix makes message boundaries
+// explicit — a reader never has to scan for delimiters inside payloads — and
+// lets a server reject an absurd length *before* buffering it. Frames travel
+// over any fd-shaped stream: a Unix-domain socket (the daemon), a pipe pair
+// (the protocol tests), or stdin/stdout (`safccd --stdio`).
+//
+// Error taxonomy (tests/test_service.cpp pins it):
+//   * kEof       — the stream ended cleanly *between* frames; a server treats
+//                  this as the client hanging up.
+//   * kTruncated — the stream ended *inside* a frame (partial length prefix
+//                  or fewer payload bytes than the prefix promised). The
+//                  stream is unrecoverable; close it.
+//   * kOversized — the prefix names a payload larger than kMaxFrameBytes.
+//                  Nothing was buffered; the stream cannot be resynchronized
+//                  (the bytes that follow are payload, not a frame) — report
+//                  and close.
+//   * kIoError   — read(2)/write(2) failed (errno preserved in the message).
+// Garbage *inside* a well-framed payload is not a framing error: the frame
+// layer hands the bytes up and parse_frame_json reports the JSON diagnostic,
+// so a malformed request earns an error response, never a crash or a
+// dropped connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace safara::service {
+
+/// Hard ceiling on one frame's payload. Generous for compile requests and
+/// responses (whole-program sources and VIR dumps are kilobytes), small
+/// enough that a corrupt or hostile length prefix cannot make the daemon
+/// buffer gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kEof,        // clean end of stream between frames
+  kTruncated,  // stream ended mid-frame
+  kOversized,  // length prefix exceeds kMaxFrameBytes
+  kIoError,    // read/write syscall failure
+};
+
+const char* to_string(FrameStatus s);
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kOk;
+  std::string payload;  // valid only when status == kOk
+  std::string error;    // human-readable diagnostic otherwise
+
+  bool ok() const { return status == FrameStatus::kOk; }
+};
+
+/// Reads one frame from `fd` (blocking). Retries EINTR; any other failure is
+/// kIoError. A receive timeout installed on the fd (SO_RCVTIMEO) surfaces as
+/// kIoError too, so a hung peer cannot wedge the caller forever.
+FrameResult read_frame(int fd);
+
+/// Writes one frame (prefix + payload) to `fd`. Payloads over kMaxFrameBytes
+/// are refused locally — a writer must never emit what a reader would have
+/// to reject. Returns false with a diagnostic in `*err` on failure.
+bool write_frame(int fd, std::string_view payload, std::string* err = nullptr);
+
+/// Decodes a frame payload as JSON. Returns false with the parser's
+/// diagnostic (byte offset included) when the payload is not valid JSON or
+/// not a JSON object — the two shapes every protocol message shares.
+bool parse_frame_json(std::string_view payload, obs::json::Value& out, std::string* err);
+
+// -- Unix-domain socket plumbing ---------------------------------------------
+
+/// Creates, binds, and listens on a Unix-domain socket at `path` (unlinking
+/// any stale socket file first). Returns the listening fd, or -1 with a
+/// diagnostic in `*err`.
+int listen_unix(const std::string& path, std::string* err);
+
+/// Connects to the daemon socket at `path`. Returns the connected fd, or -1
+/// with a diagnostic in `*err`. `recv_timeout_ms > 0` installs SO_RCVTIMEO
+/// so a dead daemon fails the client instead of hanging it.
+int connect_unix(const std::string& path, std::string* err, int recv_timeout_ms = 0);
+
+}  // namespace safara::service

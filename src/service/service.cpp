@@ -1,0 +1,553 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ast/hash.hpp"
+#include "ast/printer.hpp"
+#include "driver/eval_grid.hpp"
+#include "parse/parser.hpp"
+#include "support/arena.hpp"
+#include "support/string_util.hpp"
+#include "vir/vir.hpp"
+
+namespace safara::service {
+
+namespace {
+
+using obs::json::Value;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+std::int64_t id_of(const Value& v) {
+  const Value* id = v.find("id");
+  return id && id->is_number() ? id->as_int() : 0;
+}
+
+std::string string_field(const Value& v, std::string_view key, std::string fallback) {
+  const Value* f = v.find(key);
+  return f && f->is_string() ? f->as_string() : fallback;
+}
+
+int int_field(const Value& v, std::string_view key, int fallback) {
+  const Value* f = v.find(key);
+  return f && f->is_number() ? static_cast<int>(f->as_int()) : fallback;
+}
+
+bool bool_field(const Value& v, std::string_view key, bool fallback) {
+  const Value* f = v.find(key);
+  return f && f->is_bool() ? f->as_bool() : fallback;
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig c;
+  c.cache_dir = DiskStore::default_root();
+  if (const std::optional<long long> mb = env_int("SAFARA_CACHE_MAX_MB")) {
+    if (*mb > 0 && *mb <= (1ll << 40) / (1 << 20)) {
+      c.cache_max_bytes = static_cast<std::uint64_t>(*mb) << 20;
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring SAFARA_CACHE_MAX_MB=%lld (out of range)\n",
+                   static_cast<long long>(*mb));
+    }
+  }
+  if (const std::optional<long long> n = env_int("SAFARA_SERVICE_THREADS")) {
+    if (*n > 0 && *n <= 1024) {
+      c.threads = static_cast<int>(*n);
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring SAFARA_SERVICE_THREADS=%lld (out of range)\n",
+                   static_cast<long long>(*n));
+    }
+  }
+  return c;
+}
+
+Value CompileRequest::to_json() const {
+  Value v = Value::object();
+  if (!source.empty()) v["source"] = Value(source);
+  if (!fn.empty()) v["fn"] = Value(fn);
+  if (!workload.empty()) v["workload"] = Value(workload);
+  if (simulate) v["simulate"] = Value(true);
+  v["config"] = Value(config);
+  if (opt_level >= 0) v["opt_level"] = Value(opt_level);
+  if (unroll > 0) v["unroll"] = Value(unroll);
+  if (max_regs > 0) v["max_regs"] = Value(max_regs);
+  if (!regalloc.empty()) v["regalloc"] = Value(regalloc);
+  if (!spill_mem.empty()) v["spill_mem"] = Value(spill_mem);
+  if (verify_clauses) v["verify_clauses"] = Value(true);
+  if (dump_vir) v["dump_vir"] = Value(true);
+  if (emit_source) v["emit_source"] = Value(true);
+  if (emit_vir) v["emit_vir"] = Value(true);
+  return v;
+}
+
+bool CompileRequest::from_json(const Value& v, CompileRequest* out, std::string* err) {
+  if (!v.is_object()) {
+    if (err) *err = "compile request must be a JSON object";
+    return false;
+  }
+  CompileRequest r;
+  r.source = string_field(v, "source", "");
+  r.fn = string_field(v, "fn", "");
+  r.workload = string_field(v, "workload", "");
+  r.simulate = bool_field(v, "simulate", false);
+  r.config = string_field(v, "config", "safara_clauses");
+  r.opt_level = int_field(v, "opt_level", -1);
+  r.unroll = int_field(v, "unroll", 0);
+  r.max_regs = int_field(v, "max_regs", 0);
+  r.regalloc = string_field(v, "regalloc", "");
+  r.spill_mem = string_field(v, "spill_mem", "");
+  r.verify_clauses = bool_field(v, "verify_clauses", false);
+  r.dump_vir = bool_field(v, "dump_vir", false);
+  r.emit_source = bool_field(v, "emit_source", false);
+  r.emit_vir = bool_field(v, "emit_vir", false);
+  if (r.source.empty() && r.workload.empty()) {
+    if (err) *err = "compile request needs 'source' or 'workload'";
+    return false;
+  }
+  if (!r.source.empty() && !r.workload.empty()) {
+    if (err) *err = "compile request takes 'source' or 'workload', not both";
+    return false;
+  }
+  if (r.simulate && r.workload.empty()) {
+    if (err) *err = "'simulate' needs a 'workload' (a source file has no dataset)";
+    return false;
+  }
+  *out = std::move(r);
+  return true;
+}
+
+bool apply_request_options(const CompileRequest& req, driver::CompilerOptions* out,
+                           std::string* err) {
+  driver::CompilerOptions opts;
+  if (req.config == "base") opts = driver::CompilerOptions::openuh_base();
+  else if (req.config == "small") opts = driver::CompilerOptions::openuh_small();
+  else if (req.config == "small_dim") opts = driver::CompilerOptions::openuh_small_dim();
+  else if (req.config == "safara") opts = driver::CompilerOptions::openuh_safara();
+  else if (req.config == "safara_clauses") {
+    opts = driver::CompilerOptions::openuh_safara_clauses();
+  } else if (req.config == "pgi") opts = driver::CompilerOptions::pgi_like();
+  else {
+    if (err) *err = "unknown config '" + req.config + "'";
+    return false;
+  }
+  if (req.unroll > 1) {
+    opts.enable_unroll = true;
+    opts.unroll.factor = req.unroll;
+  }
+  if (req.max_regs > 0) opts.regalloc.max_registers = req.max_regs;
+  if (!req.regalloc.empty()) {
+    if (!regalloc::parse_strategy(req.regalloc, opts.regalloc.strategy)) {
+      if (err) *err = "unknown regalloc strategy '" + req.regalloc + "'";
+      return false;
+    }
+  }
+  if (!req.spill_mem.empty()) {
+    if (!regalloc::parse_spill_mem(req.spill_mem, opts.regalloc.spill_mem)) {
+      if (err) *err = "unknown spill-mem mode '" + req.spill_mem + "'";
+      return false;
+    }
+  }
+  if (req.opt_level >= 0) {
+    if (req.opt_level > 2) {
+      if (err) *err = "opt_level must be 0, 1, or 2";
+      return false;
+    }
+    opts.opt_level = req.opt_level;
+  }
+  if (req.verify_clauses) opts.verify_clauses = true;
+  *out = std::move(opts);
+  return true;
+}
+
+std::optional<std::uint64_t> request_cache_key(const CompileRequest& req,
+                                               std::string* err) {
+  driver::CompilerOptions opts;
+  if (!apply_request_options(req, &opts, err)) return std::nullopt;
+
+  std::string source = req.source;
+  std::string fn_name = req.fn;
+  if (!req.workload.empty()) {
+    const workloads::Workload* w = workloads::find_workload(req.workload);
+    if (!w) {
+      if (err) *err = "unknown workload '" + req.workload + "'";
+      return std::nullopt;
+    }
+    source = w->source;
+    fn_name = w->function;
+  }
+
+  // Canonical AST hash of the function the request selects: reformatting the
+  // source still hits, while any syntactic change that affects compilation
+  // misses. The throwaway parse is cheap next to the compile it may save.
+  support::Arena arena;
+  std::uint64_t ast_hash = 0;
+  {
+    DiagnosticEngine diags;
+    support::ArenaScope scope(arena);
+    ast::Program program = parse::parse_source(source, diags);
+    if (!diags.ok()) {
+      if (err) *err = "parse failed";
+      return std::nullopt;
+    }
+    const ast::Function* fn = nullptr;
+    if (fn_name.empty()) {
+      if (program.functions.size() != 1) {
+        if (err) *err = "source has multiple functions; name one";
+        return std::nullopt;
+      }
+      fn = program.functions.front().get();
+    } else {
+      fn = program.find(fn_name);
+      if (!fn) {
+        if (err) *err = "no function named '" + fn_name + "'";
+        return std::nullopt;
+      }
+    }
+    ast_hash = ast::hash(*fn);
+  }
+
+  // Everything else that shapes the response bytes: the option fingerprint,
+  // the config *name* (it is printed), the workload identity (it selects the
+  // dataset), and the output-shape flags.
+  std::string material;
+  material += "safara-service/v1";
+  material += '\0';
+  material += req.config;
+  material += '\0';
+  material += req.workload;
+  material += '\0';
+  material += fn_name;
+  material += '\0';
+  material += static_cast<char>((req.simulate ? 1 : 0) | (req.dump_vir ? 2 : 0) |
+                                (req.emit_source ? 4 : 0) | (req.emit_vir ? 8 : 0));
+  std::uint64_t key = fnv1a64(material);
+  key = fnv1a64(std::string_view(reinterpret_cast<const char*>(&ast_hash), 8), key);
+  const std::uint64_t fp = driver::options_fingerprint(opts);
+  key = fnv1a64(std::string_view(reinterpret_cast<const char*>(&fp), 8), key);
+  return key;
+}
+
+std::string render_report(const driver::CompiledProgram& prog, const std::string& config,
+                          bool ran_workload, const std::string& workload_label,
+                          const workloads::RunResult& run) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "safcc: compiled %zu kernel(s) from '%s' [config %s]\n",
+                prog.kernels.size(), prog.function_name.c_str(), config.c_str());
+  out += buf;
+  for (const driver::CompiledKernel& k : prog.kernels) {
+    out += k.ptxas_info();
+    out += '\n';
+  }
+  if (prog.unroll.loops_unrolled > 0) {
+    std::snprintf(buf, sizeof buf, "unroll: %d loop(s) unrolled\n",
+                  prog.unroll.loops_unrolled);
+    out += buf;
+  }
+  for (const auto& region : prog.safara.regions) {
+    for (const auto& line : region.log) {
+      out += "safara: ";
+      out += line;
+      out += '\n';
+    }
+  }
+  if (prog.fallback) {
+    out += "verify-clauses: fallback kernels compiled (";
+    for (std::size_t i = 0; i < prog.fallback->kernels.size(); ++i) {
+      if (i) out += ", ";
+      std::snprintf(buf, sizeof buf, "%d regs",
+                    prog.fallback->kernels[i].alloc.regs_used);
+      out += buf;
+    }
+    out += ")\n";
+  }
+  if (ran_workload) {
+    std::snprintf(buf, sizeof buf, "\nworkload %s: %llu cycles, checksum %.6g\n",
+                  workload_label.c_str(), static_cast<unsigned long long>(run.cycles),
+                  run.checksum);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_emits(const driver::CompiledProgram& prog, bool emit_source,
+                         bool emit_vir) {
+  std::string out;
+  if (emit_source) {
+    out += "\n---- post-optimization source ----\n";
+    out += ast::to_source(*prog.transformed);
+  }
+  if (emit_vir) {
+    for (const driver::CompiledKernel& k : prog.kernels) {
+      out += "\n---- ";
+      out += k.name;
+      out += " ----\n";
+      out += vir::to_string(k.kernel);
+    }
+  }
+  return out;
+}
+
+CompileOutcome run_compile(const CompileRequest& req, obs::Collector* collector) {
+  CompileOutcome out;
+  driver::CompilerOptions opts;
+  if (!apply_request_options(req, &opts, &out.error)) return out;
+
+  try {
+    driver::CompiledProgram prog;
+    workloads::RunResult run;
+    bool ran_workload = false;
+    std::string label;
+    if (!req.workload.empty()) {
+      const workloads::Workload* w = workloads::find_workload(req.workload);
+      if (!w) {
+        out.error = "unknown workload '" + req.workload + "'";
+        return out;
+      }
+      label = w->name;
+      if (req.simulate) {
+        run = workloads::simulate(*w, opts, opts.device, collector);
+        ran_workload = true;
+      }
+      // Mirror safcc: when the workload already ran under the collector, the
+      // report compile below must not double-report into it.
+      driver::Compiler compiler(opts, ran_workload ? nullptr : collector);
+      prog = compiler.compile(w->source, w->function);
+    } else if (!req.source.empty()) {
+      driver::Compiler compiler(opts, collector);
+      prog = compiler.compile(req.source, req.fn);
+    } else {
+      out.error = "empty request: provide source or workload";
+      return out;
+    }
+
+    if (req.dump_vir) {
+      out.text = driver::dump_vir(prog);
+    } else {
+      out.text = render_report(prog, req.config, ran_workload, label, run) +
+                 render_emits(prog, req.emit_source, req.emit_vir);
+    }
+
+    Value summary = Value::object();
+    summary["function"] = Value(prog.function_name);
+    summary["config"] = Value(req.config);
+    Value kernels = Value::array();
+    for (const driver::CompiledKernel& k : prog.kernels) {
+      Value kj = Value::object();
+      kj["name"] = Value(k.name);
+      kj["regs_used"] = Value(k.alloc.regs_used);
+      kj["spill_bytes"] = Value(k.alloc.spill_bytes);
+      kj["shared_spill_bytes"] = Value(k.alloc.shared_spill_bytes);
+      kernels.push_back(std::move(kj));
+    }
+    summary["kernels"] = std::move(kernels);
+    if (ran_workload) summary["run"] = run.to_json();
+    out.summary = std::move(summary);
+    out.ok = true;
+  } catch (const CompileError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      store_(StoreConfig{config_.cache_dir, config_.cache_max_bytes}) {
+  if (config_.threads > 0) driver::set_grid_threads(config_.threads);
+}
+
+Value Service::error_response(std::int64_t id, const std::string& message) {
+  Value v = Value::object();
+  v["id"] = Value(id);
+  v["ok"] = Value(false);
+  v["error"] = Value(message);
+  return v;
+}
+
+Value Service::handle(const Value& request) {
+  const Value* op = request.find("op");
+  if (op && op->is_string() && op->as_string() == "batch") {
+    return handle_batch(id_of(request), request);
+  }
+  return handle_single(request);
+}
+
+Value Service::handle_single(const Value& request) {
+  const std::int64_t id = id_of(request);
+  const Value* op_v = request.find("op");
+  if (!op_v || !op_v->is_string()) {
+    return error_response(id, "request has no 'op'");
+  }
+  const std::string& op = op_v->as_string();
+  if (op == "ping") {
+    Value v = Value::object();
+    v["id"] = Value(id);
+    v["ok"] = Value(true);
+    v["op"] = Value("ping");
+    v["pid"] = Value(static_cast<std::int64_t>(::getpid()));
+    return v;
+  }
+  if (op == "stats") return handle_stats(id);
+  if (op == "shutdown") {
+    shutdown_ = true;
+    Value v = Value::object();
+    v["id"] = Value(id);
+    v["ok"] = Value(true);
+    v["op"] = Value("shutdown");
+    return v;
+  }
+  if (op == "compile") {
+    const Value* req = request.find("request");
+    if (!req) return error_response(id, "compile request has no 'request' member");
+    return handle_compile(id, *req);
+  }
+  return error_response(id, "unknown op '" + op + "'");
+}
+
+Value Service::handle_compile(std::int64_t id, const Value& request) {
+  const auto start = std::chrono::steady_clock::now();
+  CompileRequest req;
+  std::string err;
+  if (!CompileRequest::from_json(request, &req, &err)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    collector_.metrics.add("service.requests");
+    collector_.metrics.add("service.request_errors");
+    return error_response(id, err);
+  }
+
+  const std::optional<std::uint64_t> key = request_cache_key(req);
+  bool cached = false;
+  CompileOutcome outcome;
+  if (key) {
+    if (std::optional<std::string> payload = store_.get(*key)) {
+      Value doc;
+      if (obs::json::Value::parse(*payload, doc) && doc.is_object() &&
+          doc.contains("text") && doc.contains("summary")) {
+        outcome.ok = true;
+        outcome.text = doc.find("text")->as_string();
+        // summary round-trips through the store byte-exactly (tested): the
+        // cached response is indistinguishable from a fresh one.
+        outcome.summary = *doc.find("summary");
+        cached = true;
+      }
+    }
+  }
+  if (!cached) {
+    outcome = run_compile(req, nullptr);
+    if (outcome.ok && key) {
+      Value doc = Value::object();
+      doc["text"] = Value(outcome.text);
+      doc["summary"] = outcome.summary;
+      store_.put(*key, doc.dump());
+    }
+  }
+  const double elapsed = ms_since(start);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collector_.metrics.add("service.requests");
+    if (cached) collector_.metrics.add("service.cache_hits_disk");
+    else if (outcome.ok) collector_.metrics.add("service.cache_misses_disk");
+    else collector_.metrics.add("service.request_errors");
+    collector_.metrics.add("service.compile_ms",
+                           static_cast<std::int64_t>(elapsed + 0.5));
+  }
+
+  Value v = Value::object();
+  v["id"] = Value(id);
+  v["ok"] = Value(outcome.ok);
+  if (!outcome.ok) {
+    v["error"] = Value(outcome.error);
+    return v;
+  }
+  v["cached"] = Value(cached);
+  v["compile_ms"] = Value(elapsed);
+  v["text"] = Value(outcome.text);
+  v["summary"] = outcome.summary;
+  return v;
+}
+
+Value Service::handle_batch(std::int64_t id, const Value& request) {
+  const Value* reqs = request.find("requests");
+  if (!reqs || !reqs->is_array()) {
+    return error_response(id, "batch has no 'requests' array");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(reqs->size());
+  // Admission policy: bound how much one frame can occupy the daemon.
+  if (n > config_.max_batch) {
+    return error_response(id, "batch of " + std::to_string(n) +
+                                  " requests exceeds the admission limit of " +
+                                  std::to_string(config_.max_batch));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collector_.metrics.add("service.batches");
+    collector_.metrics.set("service.batch_size", static_cast<double>(n));
+  }
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<Value> responses(static_cast<std::size_t>(n));
+  // Cells are index-private; eval_grid pins inner sim parallelism while the
+  // batch fans out, and responses merge back in request order.
+  driver::eval_grid(
+      n,
+      [&](std::int64_t i) {
+        const double queued_ms = ms_since(batch_start);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          collector_.metrics.add("service.queue_ms",
+                                 static_cast<std::int64_t>(queued_ms + 0.5));
+        }
+        const Value& cell = reqs->at(static_cast<std::size_t>(i));
+        const Value* cell_id = cell.find("id");
+        const std::int64_t rid =
+            cell_id && cell_id->is_number() ? cell_id->as_int() : i;
+        responses[static_cast<std::size_t>(i)] = handle_compile(rid, cell);
+      },
+      nullptr);
+  Value v = Value::object();
+  v["id"] = Value(id);
+  v["ok"] = Value(true);
+  Value arr = Value::array();
+  for (Value& r : responses) arr.push_back(std::move(r));
+  v["responses"] = std::move(arr);
+  return v;
+}
+
+Value Service::handle_stats(std::int64_t id) {
+  const StoreStats s = store_.stats();
+  const DiskStore::ScanResult scan = store_.recover();  // idempotent walk
+  Value v = Value::object();
+  v["id"] = Value(id);
+  v["ok"] = Value(true);
+  v["op"] = Value("stats");
+  v["pid"] = Value(static_cast<std::int64_t>(::getpid()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    v["metrics"] = collector_.metrics.to_json();
+  }
+  Value store = Value::object();
+  store["root"] = Value(store_.config().root);
+  store["max_bytes"] = Value(static_cast<std::uint64_t>(store_.config().max_bytes));
+  store["entries"] = Value(static_cast<std::uint64_t>(scan.entries));
+  store["bytes"] = Value(scan.bytes);
+  store["hits"] = Value(s.hits);
+  store["misses"] = Value(s.misses);
+  store["puts"] = Value(s.puts);
+  store["evictions"] = Value(s.evictions);
+  store["corrupt_dropped"] = Value(s.corrupt_dropped);
+  v["store"] = std::move(store);
+  return v;
+}
+
+}  // namespace safara::service

@@ -1,0 +1,150 @@
+// safccd's request handling, shared by the daemon and by `safcc --remote`.
+//
+// The contract that makes the disk cache sound AND the soak test meaningful:
+// a compile request's *rendered output* (the exact bytes safcc prints) and
+// its *summary document* are pure functions of (canonical AST hash, request
+// shape, driver::options_fingerprint). safcc's own plain-mode printer and
+// run_compile() share one renderer (render_report / render_emits below), so
+// "daemon-cached", "daemon-fresh", and "in-process safcc" cannot drift apart
+// without tests/test_service.cpp and tools/service_soak.py failing.
+//
+// Protocol messages (one JSON object per frame; see protocol.hpp):
+//   {"op":"ping","id":N}
+//   {"op":"stats","id":N}
+//   {"op":"shutdown","id":N}
+//   {"op":"compile","id":N,"request":{<CompileRequest fields>}}
+//   {"op":"batch","id":N,"requests":[{<CompileRequest>}, ...]}
+// Responses always carry "id" (echoed) and "ok". Compile responses add
+// "cached", "compile_ms", "text" (the exact safcc stdout bytes), and
+// "summary". Batch responses carry "responses" in request order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "driver/compiler.hpp"
+#include "obs/collector.hpp"
+#include "service/store.hpp"
+#include "workloads/harness.hpp"
+
+namespace safara::service {
+
+/// Daemon configuration. Env knobs are read through the strict
+/// support/string_util helpers (env_int) — a typo'd value warns and falls
+/// back to the default, it never silently selects nonsense.
+struct ServiceConfig {
+  std::string cache_dir;                       // SAFARA_CACHE_DIR
+  std::uint64_t cache_max_bytes = 256ull << 20;  // SAFARA_CACHE_MAX_MB
+  /// Batch-cell parallelism; 0 = leave driver::eval_grid's own default.
+  int threads = 0;                             // SAFARA_SERVICE_THREADS
+  /// Admission bound: batches larger than this are rejected with a
+  /// diagnostic rather than queued (one request must not monopolize the
+  /// daemon for unbounded time).
+  int max_batch = 64;
+
+  static ServiceConfig from_env();
+};
+
+/// One compile(+simulate) job, as carried in the "request" member. Exactly
+/// the flag surface `safcc --remote` forwards.
+struct CompileRequest {
+  std::string source;    // ACC-C program text (exclusive with workload)
+  std::string fn;        // function to compile ("" = the sole function)
+  std::string workload;  // named workload (exclusive with source)
+  bool simulate = false;  // run the workload on the simulator (workload only)
+  std::string config = "safara_clauses";
+  int opt_level = -1;  // -1 = the config's default
+  int unroll = 0;
+  int max_regs = 0;
+  std::string regalloc;   // "", "linear", "color"
+  std::string spill_mem;  // "", "local", "shared", "auto"
+  bool verify_clauses = false;
+  bool dump_vir = false;
+  bool emit_source = false;
+  bool emit_vir = false;
+
+  obs::json::Value to_json() const;
+  static bool from_json(const obs::json::Value& v, CompileRequest* out,
+                        std::string* err);
+};
+
+/// Maps a request onto driver::CompilerOptions (the same mapping safcc's
+/// flag parser applies). Returns false with a diagnostic for an unknown
+/// config / regalloc / spill-mem name or an out-of-range opt level.
+bool apply_request_options(const CompileRequest& req, driver::CompilerOptions* out,
+                           std::string* err);
+
+/// The disk-cache key: canonical AST hash of the requested function (so
+/// formatting-only source changes still hit) x options_fingerprint x every
+/// request field that shapes the rendered output (config name, emit flags,
+/// workload, simulate). nullopt when the source does not parse — failures
+/// are never cached. Completeness is pinned by tests: flipping any of
+/// opt-level / regalloc / spill-mem / max-regs (or any other output-relevant
+/// field) must change the key.
+std::optional<std::uint64_t> request_cache_key(const CompileRequest& req,
+                                               std::string* err = nullptr);
+
+struct CompileOutcome {
+  bool ok = false;
+  std::string error;        // when !ok: the "safcc: ..." message body
+  std::string text;         // exact bytes safcc prints on stdout
+  obs::json::Value summary; // deterministic digest (kernels, regs, run stats)
+};
+
+/// Runs one request in-process: options mapping, compile, optional workload
+/// simulation, and rendering. Deterministic — no wall-clock or host state
+/// leaks into text/summary, which is what makes the outcome cacheable.
+CompileOutcome run_compile(const CompileRequest& req, obs::Collector* collector);
+
+// -- the shared safcc renderer -----------------------------------------------
+
+/// The standard report block: header line, per-kernel ptxas lines, unroll /
+/// safara / verify-clauses notes, and (when a workload ran) the cycles +
+/// checksum line. Byte-identical to what `safcc` prints.
+std::string render_report(const driver::CompiledProgram& prog, const std::string& config,
+                          bool ran_workload, const std::string& workload_label,
+                          const workloads::RunResult& run);
+
+/// The `--emit-source` / `--emit-vir` trailing sections.
+std::string render_emits(const driver::CompiledProgram& prog, bool emit_source,
+                         bool emit_vir);
+
+/// The daemon core, socket-free so tests drive it directly: one handle()
+/// call per decoded frame. Batch cells run on driver::eval_grid under the
+/// configured thread budget; the store and collector are internally
+/// synchronized, so handle() itself may also be called from multiple
+/// threads.
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+
+  /// Dispatches one protocol message and returns the response document.
+  obs::json::Value handle(const obs::json::Value& request);
+
+  /// Builds the error-response document for a payload that never became a
+  /// request (framing intact, JSON garbage): {"ok":false,"error":...}.
+  static obs::json::Value error_response(std::int64_t id, const std::string& message);
+
+  /// True once a {"op":"shutdown"} was handled; the daemon's loop exits.
+  bool shutdown_requested() const { return shutdown_; }
+
+  DiskStore& store() { return store_; }
+  obs::Collector& collector() { return collector_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  obs::json::Value handle_single(const obs::json::Value& request);
+  obs::json::Value handle_compile(std::int64_t id, const obs::json::Value& request);
+  obs::json::Value handle_batch(std::int64_t id, const obs::json::Value& request);
+  obs::json::Value handle_stats(std::int64_t id);
+
+  ServiceConfig config_;
+  DiskStore store_;
+  obs::Collector collector_;
+  std::mutex mu_;  // guards collector_ metrics from concurrent batch cells
+  bool shutdown_ = false;
+};
+
+}  // namespace safara::service

@@ -1,0 +1,361 @@
+#include "service/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace safara::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "safara-cache/v1";
+constexpr std::string_view kEntrySuffix = ".entry";
+constexpr std::string_view kTempPrefix = ".tmp.";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// flock-based advisory lock, released on destruction — and by the kernel if
+/// the process dies first, which is what makes SIGKILL-safe writers possible.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) ::close(fd_);  // closing drops the flock
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Serializes one entry: header line + raw payload.
+std::string encode_entry(std::uint64_t key, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 64);
+  out += kMagic;
+  out += ' ';
+  out += hex16(key);
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += hex16(fnv1a64(payload));
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+/// Validates and decodes an entry file's bytes. Any mismatch (magic, key,
+/// size, checksum) means the entry is torn or foreign and must be dropped.
+bool decode_entry(const std::string& bytes, std::uint64_t expect_key,
+                  std::string* payload) {
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string::npos) return false;
+  std::istringstream header(bytes.substr(0, nl));
+  std::string magic, key_hex, sum_hex;
+  std::uint64_t size = 0;
+  if (!(header >> magic >> key_hex >> size >> sum_hex)) return false;
+  if (magic != kMagic) return false;
+  if (key_hex != hex16(expect_key)) return false;
+  const std::string_view body(bytes.data() + nl + 1, bytes.size() - nl - 1);
+  if (body.size() != size) return false;
+  if (hex16(fnv1a64(body)) != sum_hex) return false;
+  if (payload) payload->assign(body);
+  return true;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return in.good() || in.eof();
+}
+
+/// Parses "<16 hex>.entry" back into a key; nullopt for anything else.
+std::optional<std::uint64_t> key_of_filename(const std::string& name) {
+  if (name.size() != 16 + kEntrySuffix.size()) return std::nullopt;
+  if (name.substr(16) != kEntrySuffix) return std::nullopt;
+  std::uint64_t key = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else return std::nullopt;
+    key = (key << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return key;
+}
+
+struct DiskEntry {
+  fs::path path;
+  std::uint64_t key = 0;
+  std::uint64_t size = 0;
+  fs::file_time_type mtime;
+};
+
+/// Every *.entry file under shards/, unvalidated (callers validate).
+std::vector<DiskEntry> list_entries(const fs::path& shards) {
+  std::vector<DiskEntry> out;
+  std::error_code ec;
+  for (const fs::directory_entry& shard : fs::directory_iterator(shards, ec)) {
+    if (!shard.is_directory()) continue;
+    std::error_code ec2;
+    for (const fs::directory_entry& f : fs::directory_iterator(shard.path(), ec2)) {
+      const std::string name = f.path().filename().string();
+      const std::optional<std::uint64_t> key = key_of_filename(name);
+      if (!key) continue;
+      std::error_code sec;
+      DiskEntry e;
+      e.path = f.path();
+      e.key = *key;
+      e.size = f.file_size(sec);
+      e.mtime = f.last_write_time(sec);
+      if (!sec) out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+DiskStore::DiskStore(StoreConfig config) : config_(std::move(config)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(config_.root) / "shards", ec);
+}
+
+std::string DiskStore::default_root() {
+  if (const char* dir = std::getenv("SAFARA_CACHE_DIR"); dir && *dir) return dir;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg) {
+    return std::string(xdg) + "/safara";
+  }
+  if (const char* home = std::getenv("HOME"); home && *home) {
+    return std::string(home) + "/.cache/safara";
+  }
+  return ".safara-cache";
+}
+
+std::string DiskStore::shard_dir(std::uint64_t key) const {
+  char shard[3];
+  std::snprintf(shard, sizeof shard, "%02llx",
+                static_cast<unsigned long long>(key >> 56));
+  return config_.root + "/shards/" + shard;
+}
+
+std::string DiskStore::entry_path(std::uint64_t key) const {
+  return shard_dir(key) + "/" + hex16(key) + std::string(kEntrySuffix);
+}
+
+std::optional<std::string> DiskStore::get(std::uint64_t key) {
+  const fs::path path = entry_path(key);
+  std::string bytes;
+  if (!read_file(path, &bytes)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string payload;
+  if (!decode_entry(bytes, key, &payload)) {
+    // Torn or corrupt: drop it under the shard lock so a concurrent writer's
+    // fresh replacement (which would validate) is not the thing we unlink.
+    FileLock lock(shard_dir(key) + "/.lock");
+    std::string again;
+    if (read_file(path, &again) && !decode_entry(again, key, nullptr)) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // LRU touch: a hit makes this entry the freshest. Best-effort — a vanished
+  // entry (concurrent eviction) doesn't invalidate the payload already read.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+bool DiskStore::put(std::uint64_t key, std::string_view payload, std::string* err) {
+  const std::string dir = shard_dir(key);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (err) *err = "cannot create shard " + dir + ": " + ec.message();
+    return false;
+  }
+  FileLock lock(dir + "/.lock");
+  if (!lock.held()) {
+    if (err) *err = "cannot lock shard " + dir;
+    return false;
+  }
+  const std::string tmp = dir + "/" + std::string(kTempPrefix) +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(temp_seq_.fetch_add(1) + 1);
+  const std::string encoded = encode_entry(key, payload);
+  {
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      if (err) *err = "cannot create " + tmp + ": " + std::strerror(errno);
+      return false;
+    }
+    std::size_t put_bytes = 0;
+    bool write_ok = true;
+    while (put_bytes < encoded.size()) {
+      const ssize_t w = ::write(fd, encoded.data() + put_bytes, encoded.size() - put_bytes);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        write_ok = false;
+        break;
+      }
+      put_bytes += static_cast<std::size_t>(w);
+    }
+    // fsync before rename: after the rename lands, the entry's *content* is
+    // durable, so a crash can orphan a temp file but never publish a torn
+    // entry under the final name.
+    if (write_ok && ::fsync(fd) != 0) write_ok = false;
+    ::close(fd);
+    if (!write_ok) {
+      if (err) *err = "cannot write " + tmp + ": " + std::strerror(errno);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), entry_path(key).c_str()) != 0) {
+    if (err) *err = "cannot publish " + entry_path(key) + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_bytes > 0) evict_to_fit();
+  return true;
+}
+
+void DiskStore::evict_to_fit() {
+  const fs::path shards = fs::path(config_.root) / "shards";
+  std::error_code ec;
+  // Cheap pre-check without the lock; the locked pass re-lists.
+  std::uint64_t total = 0;
+  for (const DiskEntry& e : list_entries(shards)) total += e.size;
+  if (total <= config_.max_bytes) return;
+
+  FileLock lock(config_.root + "/.lock");
+  if (!lock.held()) return;
+  std::vector<DiskEntry> all = list_entries(shards);
+  total = 0;
+  for (const DiskEntry& e : all) total += e.size;
+  // Oldest first; equal mtimes fall back to the (unique) filename so the
+  // eviction order — and therefore the surviving set — is deterministic.
+  std::sort(all.begin(), all.end(), [](const DiskEntry& a, const DiskEntry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.filename().string() < b.path.filename().string();
+  });
+  for (const DiskEntry& e : all) {
+    if (total <= config_.max_bytes) break;
+    std::error_code rec;
+    if (fs::remove(e.path, rec)) {
+      total -= std::min(total, e.size);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<DiskStore::Entry> DiskStore::entries() {
+  FileLock lock(config_.root + "/.lock");
+  std::vector<Entry> out;
+  for (const DiskEntry& e : list_entries(fs::path(config_.root) / "shards")) {
+    std::string bytes;
+    Entry entry;
+    entry.key = e.key;
+    if (read_file(e.path, &bytes) && decode_entry(bytes, e.key, &entry.payload)) {
+      out.push_back(std::move(entry));
+    } else {
+      std::error_code ec;
+      fs::remove(e.path, ec);
+      corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return out;
+}
+
+DiskStore::ScanResult DiskStore::recover() {
+  FileLock lock(config_.root + "/.lock");
+  ScanResult result;
+  const fs::path shards = fs::path(config_.root) / "shards";
+  std::error_code ec;
+  for (const fs::directory_entry& shard : fs::directory_iterator(shards, ec)) {
+    if (!shard.is_directory()) continue;
+    std::error_code ec2;
+    for (const fs::directory_entry& f : fs::directory_iterator(shard.path(), ec2)) {
+      const std::string name = f.path().filename().string();
+      if (name.rfind(kTempPrefix, 0) == 0) {
+        // A writer died between create and rename. Its flock died with it,
+        // so the file is free to reap.
+        std::error_code rec;
+        if (fs::remove(f.path(), rec)) ++result.removed_temps;
+        continue;
+      }
+      const std::optional<std::uint64_t> key = key_of_filename(name);
+      if (!key) continue;
+      std::string bytes;
+      if (read_file(f.path(), &bytes) && decode_entry(bytes, *key, nullptr)) {
+        ++result.entries;
+        std::error_code sec;
+        result.bytes += f.file_size(sec);
+      } else {
+        std::error_code rec;
+        if (fs::remove(f.path(), rec)) {
+          ++result.removed_corrupt;
+          corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StoreStats DiskStore::stats() const {
+  StoreStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace safara::service

@@ -1,0 +1,124 @@
+// Content-addressed on-disk cache backing safccd's compile results.
+//
+// Layout under one root directory (default ~/.cache/safara, overridable via
+// SAFARA_CACHE_DIR):
+//
+//   <root>/shards/<hh>/<kkkkkkkkkkkkkkkk>.entry   hh = top byte of the key
+//   <root>/shards/<hh>/.lock                      per-shard writer lock
+//   <root>/.lock                                  store-wide lock (eviction,
+//                                                 recovery, integrity scans)
+//
+// Entry files are self-validating: a one-line header carries the key, the
+// payload size, and an FNV-1a checksum, so a torn or bit-rotted entry is
+// *detected on read* and dropped rather than served. Every property the
+// torture and crash-recovery tests assert follows from three rules:
+//
+//   1. Writers never modify an entry in place: they write a `.tmp.<pid>.<n>`
+//      file in the shard, fsync it, and rename(2) it over the final name.
+//      rename is atomic within a filesystem, so readers observe either the
+//      old entry, the new entry, or no entry — never a mixture.
+//   2. Writers serialize per shard via flock(2) on the shard's `.lock` file.
+//      flock is released by the kernel when the holder dies (SIGKILL
+//      included), so a crashed writer can never wedge the store.
+//   3. Whole-store maintenance (LRU eviction, recover()) takes the root
+//      `.lock` exclusively, so two evicting processes don't double-delete.
+//
+// LRU: get() bumps the entry file's mtime; eviction removes
+// oldest-mtime-first (ties broken by filename, so the order is total and
+// deterministic) until the store fits max_bytes again. Eviction cost is one
+// directory walk per put that overflows — fine at cache scale, and puts that
+// stay under the bound never walk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safara::service {
+
+struct StoreConfig {
+  /// Root directory; created (with parents) on first use.
+  std::string root;
+  /// LRU bound on the total bytes of entry files. 0 means unbounded.
+  std::uint64_t max_bytes = 256ull << 20;
+};
+
+/// Monotonic per-instance counters (cross-process totals live in the
+/// filesystem itself; see scan()).
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt_dropped = 0;
+};
+
+class DiskStore {
+ public:
+  explicit DiskStore(StoreConfig config);
+
+  /// Fetches the payload stored for `key`. A present-but-invalid entry
+  /// (torn write, checksum mismatch, wrong key) counts as a miss and is
+  /// unlinked. A hit refreshes the entry's LRU position.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Stores `payload` for `key` (last writer wins), then enforces the byte
+  /// bound. Safe against concurrent writers in other processes.
+  bool put(std::uint64_t key, std::string_view payload, std::string* err = nullptr);
+
+  /// One readable, validated entry.
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string payload;
+  };
+
+  /// Validated scan of every entry (store-wide lock held). Invalid entries
+  /// are dropped, not returned — after entries() returns, everything on disk
+  /// re-validates.
+  std::vector<Entry> entries();
+
+  struct ScanResult {
+    std::size_t entries = 0;            // valid entries on disk
+    std::uint64_t bytes = 0;            // their total file size
+    std::size_t removed_temps = 0;      // orphaned .tmp files reaped
+    std::size_t removed_corrupt = 0;    // torn/invalid entries dropped
+  };
+
+  /// Crash recovery + integrity pass: reaps orphaned temp files (a writer
+  /// died between create and rename) and drops entries that fail
+  /// validation. Idempotent; the daemon runs it at startup.
+  ScanResult recover();
+
+  /// Filesystem path an entry for `key` lives at (tests use this to fake
+  /// crashes and steer LRU mtimes).
+  std::string entry_path(std::uint64_t key) const;
+
+  const StoreConfig& config() const { return config_; }
+  StoreStats stats() const;
+
+  /// SAFARA_CACHE_DIR if set and non-empty, else $XDG_CACHE_HOME/safara,
+  /// else $HOME/.cache/safara, else ./.safara-cache as a last resort.
+  static std::string default_root();
+
+ private:
+  std::string shard_dir(std::uint64_t key) const;
+  /// Deletes oldest entries until total size fits max_bytes (root lock held).
+  void evict_to_fit();
+
+  StoreConfig config_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> corrupt_dropped_{0};
+  std::atomic<std::uint64_t> temp_seq_{0};
+};
+
+/// FNV-1a 64-bit — the store's checksum and the building block callers use
+/// to derive cache keys from request material.
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace safara::service

@@ -1,0 +1,870 @@
+// Tests for the safccd compile service: wire-protocol framing, cache-key
+// completeness, the sharded on-disk store (LRU determinism, corruption
+// handling, crash recovery), the request handler, and the cross-process
+// torture / daemon-crash suites.
+//
+// Multi-process machinery: the torture tests re-exec this binary as worker
+// processes. This file supplies its own main() (the CMake target links
+// GTest::gtest, not gtest_main): when SAFARA_SERVICE_TORTURE_DIR is set, main
+// runs the worker loop instead of the test suite — so the same binary is both
+// the test runner and its own fleet of workers, and the worker runs after all
+// static initialization (it compiles real programs, which needs the full
+// library initialized).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "driver/compiler.hpp"
+#include "fuzz/generator.hpp"
+#include "obs/json.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "service/store.hpp"
+
+namespace safara::test {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::json::Value;
+
+// Short /tmp roots: Unix-socket paths must fit sun_path (~108 bytes), and
+// build trees can be arbitrarily deep.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/safsvcXXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p ? p : "";
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  }
+};
+
+const char* kTinySrc = R"(
+void f(int n, float *x) {
+  #pragma acc parallel loop gang vector
+  for (i = 0; i < n; i++) { x[i] = x[i] + 1.0f; }
+})";
+
+service::CompileRequest tiny_request() {
+  service::CompileRequest req;
+  req.source = kTinySrc;
+  return req;
+}
+
+Value compile_msg(std::int64_t id, const service::CompileRequest& req) {
+  Value msg = Value::object();
+  msg["op"] = Value("compile");
+  msg["id"] = Value(id);
+  msg["request"] = req.to_json();
+  return msg;
+}
+
+// -- torture workers ----------------------------------------------------------
+//
+// The content stored for key K is a pure function of K, so any process can
+// validate any entry it reads and the parent can audit the whole store after
+// the fleet exits: a torn or mixed entry cannot masquerade as valid.
+
+std::string payload_for(std::uint64_t key) {
+  std::string s = "payload-" + std::to_string(key) + ":";
+  for (int i = 0; i < 200; ++i) {
+    s += static_cast<char>('a' + (key + static_cast<std::uint64_t>(i)) % 26);
+  }
+  return s;
+}
+
+// The seed set the service-mode fleet compiles; the parent re-derives each
+// request and revalidates the store against a fresh in-process compile.
+constexpr std::uint64_t kTortureSeeds[] = {11, 22, 33, 44, 55};
+
+service::CompileRequest torture_request(std::uint64_t seed) {
+  service::CompileRequest req;
+  req.source = fuzz::generate_program(seed);
+  return req;
+}
+
+/// Hammers one DiskStore with a deterministic per-worker mix of puts and
+/// validated gets. The byte bound is tiny relative to the traffic, so
+/// workers also race eviction against each other constantly.
+int torture_store_worker(const std::string& dir, int idx) {
+  service::DiskStore store({dir, 16 * 1024});
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(idx + 1);
+  auto next = [&] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint64_t key = next() % 32;
+    if (next() % 2 == 0) {
+      if (!store.put(key, payload_for(key))) return 1;
+    } else if (std::optional<std::string> hit = store.get(key)) {
+      if (*hit != payload_for(key)) return 2;  // torn/mixed entry served
+    }
+  }
+  return 0;
+}
+
+/// Drives a full Service (request parsing, compile, disk cache) against a
+/// shared store; workers cover the same seed set in different orders, so
+/// same-key puts from different processes race continuously.
+int torture_service_worker(const std::string& dir, int idx) {
+  service::ServiceConfig cfg;
+  cfg.cache_dir = dir;
+  cfg.cache_max_bytes = 0;  // unbounded: every seed must survive for the audit
+  service::Service svc(cfg);
+  const std::size_t n = std::size(kTortureSeeds);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seed =
+          kTortureSeeds[(i + static_cast<std::size_t>(idx)) % n];
+      const Value resp =
+          svc.handle(compile_msg(static_cast<std::int64_t>(seed),
+                                 torture_request(seed)));
+      const Value* ok = resp.find("ok");
+      if (!ok || !ok->is_bool() || !ok->as_bool()) return 3;
+    }
+  }
+  return 0;
+}
+
+pid_t spawn_torture_worker(const std::string& dir, const char* mode, int idx) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  ::setenv("SAFARA_SERVICE_TORTURE_DIR", dir.c_str(), 1);
+  ::setenv("SAFARA_SERVICE_TORTURE_MODE", mode, 1);
+  ::setenv("SAFARA_SERVICE_TORTURE_IDX", std::to_string(idx).c_str(), 1);
+  char arg0[] = "test_service";
+  char* const argv[] = {arg0, nullptr};
+  ::execv("/proc/self/exe", argv);
+  std::_Exit(127);
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+// -- protocol framing ---------------------------------------------------------
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(Protocol, FramesRoundTripInOrder) {
+  Pipe p;
+  std::string err;
+  ASSERT_TRUE(service::write_frame(p.fds[1], R"({"op":"ping"})", &err)) << err;
+  ASSERT_TRUE(service::write_frame(p.fds[1], "", &err)) << err;
+  // Stay under the default 64 KB pipe buffer: the writer runs on this
+  // thread, so a frame that fills the pipe would deadlock the test.
+  std::string big(30000, 'x');
+  ASSERT_TRUE(service::write_frame(p.fds[1], big, &err)) << err;
+  p.close_write();
+
+  service::FrameResult f1 = service::read_frame(p.fds[0]);
+  ASSERT_TRUE(f1.ok()) << f1.error;
+  EXPECT_EQ(f1.payload, R"({"op":"ping"})");
+  service::FrameResult f2 = service::read_frame(p.fds[0]);
+  ASSERT_TRUE(f2.ok()) << f2.error;
+  EXPECT_EQ(f2.payload, "");
+  service::FrameResult f3 = service::read_frame(p.fds[0]);
+  ASSERT_TRUE(f3.ok()) << f3.error;
+  EXPECT_EQ(f3.payload, big);
+  EXPECT_EQ(service::read_frame(p.fds[0]).status, service::FrameStatus::kEof);
+}
+
+TEST(Protocol, CleanEofBetweenFrames) {
+  Pipe p;
+  p.close_write();
+  const service::FrameResult f = service::read_frame(p.fds[0]);
+  EXPECT_EQ(f.status, service::FrameStatus::kEof);
+}
+
+TEST(Protocol, TruncatedPrefixIsDiagnosed) {
+  Pipe p;
+  const char two[] = {0x05, 0x00};
+  ASSERT_EQ(::write(p.fds[1], two, 2), 2);
+  p.close_write();
+  const service::FrameResult f = service::read_frame(p.fds[0]);
+  EXPECT_EQ(f.status, service::FrameStatus::kTruncated);
+  EXPECT_FALSE(f.error.empty());
+}
+
+TEST(Protocol, TruncatedPayloadIsDiagnosed) {
+  Pipe p;
+  const unsigned char prefix[] = {10, 0, 0, 0};  // promises 10 bytes
+  ASSERT_EQ(::write(p.fds[1], prefix, 4), 4);
+  ASSERT_EQ(::write(p.fds[1], "abc", 3), 3);
+  p.close_write();
+  const service::FrameResult f = service::read_frame(p.fds[0]);
+  EXPECT_EQ(f.status, service::FrameStatus::kTruncated);
+  EXPECT_NE(f.error.find("10"), std::string::npos) << f.error;
+}
+
+TEST(Protocol, OversizedPrefixRejectedBeforeBuffering) {
+  Pipe p;
+  const std::uint32_t n = service::kMaxFrameBytes + 1;
+  const unsigned char prefix[] = {
+      static_cast<unsigned char>(n & 0xff),
+      static_cast<unsigned char>((n >> 8) & 0xff),
+      static_cast<unsigned char>((n >> 16) & 0xff),
+      static_cast<unsigned char>((n >> 24) & 0xff),
+  };
+  ASSERT_EQ(::write(p.fds[1], prefix, 4), 4);
+  const service::FrameResult f = service::read_frame(p.fds[0]);
+  EXPECT_EQ(f.status, service::FrameStatus::kOversized);
+  EXPECT_FALSE(f.error.empty());
+}
+
+TEST(Protocol, WriterRefusesOversizedPayload) {
+  Pipe p;
+  std::string err;
+  const std::string huge(service::kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(service::write_frame(p.fds[1], huge, &err));
+  EXPECT_FALSE(err.empty());
+  // Nothing was written: the reader still sees a clean EOF.
+  p.close_write();
+  EXPECT_EQ(service::read_frame(p.fds[0]).status, service::FrameStatus::kEof);
+}
+
+TEST(Protocol, GarbageJsonIsNotAFramingError) {
+  Pipe p;
+  std::string err;
+  ASSERT_TRUE(service::write_frame(p.fds[1], "{nope", &err));
+  const service::FrameResult f = service::read_frame(p.fds[0]);
+  ASSERT_TRUE(f.ok());  // the frame layer is satisfied...
+  Value doc;
+  EXPECT_FALSE(service::parse_frame_json(f.payload, doc, &err));
+  EXPECT_FALSE(err.empty());  // ...and the JSON layer carries the diagnostic.
+
+  // Valid JSON that is not an object is rejected too: every protocol
+  // message is an object.
+  EXPECT_FALSE(service::parse_frame_json("42", doc, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// -- cache-key completeness ---------------------------------------------------
+
+std::uint64_t key_of(const service::CompileRequest& req) {
+  std::string err;
+  const std::optional<std::uint64_t> k = service::request_cache_key(req, &err);
+  EXPECT_TRUE(k.has_value()) << err;
+  return k.value_or(0);
+}
+
+TEST(CacheKey, EveryOutputRelevantFieldChangesTheKey) {
+  const std::uint64_t base = key_of(tiny_request());
+
+  auto flipped = [&](auto mutate) {
+    service::CompileRequest req = tiny_request();
+    mutate(req);
+    return key_of(req);
+  };
+  EXPECT_NE(base, flipped([](auto& r) { r.opt_level = 0; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.opt_level = 1; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.regalloc = "linear"; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.spill_mem = "shared"; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.spill_mem = "auto"; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.max_regs = 32; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.config = "base"; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.config = "pgi"; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.unroll = 4; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.verify_clauses = true; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.dump_vir = true; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.emit_source = true; }));
+  EXPECT_NE(base, flipped([](auto& r) { r.emit_vir = true; }));
+
+  // And the distinct option tuples are pairwise distinct, not just distinct
+  // from the default.
+  EXPECT_NE(flipped([](auto& r) { r.opt_level = 0; }),
+            flipped([](auto& r) { r.opt_level = 1; }));
+  EXPECT_NE(flipped([](auto& r) { r.spill_mem = "shared"; }),
+            flipped([](auto& r) { r.spill_mem = "auto"; }));
+}
+
+TEST(CacheKey, FormattingOnlySourceChangeStillHits) {
+  service::CompileRequest spaced = tiny_request();
+  spaced.source = std::string("\n\n") + kTinySrc + "   \n";
+  EXPECT_EQ(key_of(tiny_request()), key_of(spaced));
+
+  // A real syntactic change misses.
+  service::CompileRequest changed = tiny_request();
+  changed.source = R"(
+void f(int n, float *x) {
+  #pragma acc parallel loop gang vector
+  for (i = 0; i < n; i++) { x[i] = x[i] + 2.0f; }
+})";
+  EXPECT_NE(key_of(tiny_request()), key_of(changed));
+}
+
+TEST(CacheKey, WorkloadRequestsKeyOnWorkloadAndSimulate) {
+  service::CompileRequest w;
+  w.workload = "355.seismic";
+  service::CompileRequest ws = w;
+  ws.simulate = true;
+  EXPECT_NE(key_of(w), key_of(ws));
+  EXPECT_NE(key_of(w), key_of(tiny_request()));
+}
+
+TEST(CacheKey, UnparsableSourceHasNoKey) {
+  service::CompileRequest req;
+  req.source = "void f( {";
+  std::string err;
+  EXPECT_FALSE(service::request_cache_key(req, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(CacheKey, OptionsFingerprintCoversAllocatorAndDevice) {
+  driver::CompilerOptions a = driver::CompilerOptions::openuh_safara_clauses();
+  const std::uint64_t base = driver::options_fingerprint(a);
+
+  driver::CompilerOptions b = a;
+  b.regalloc.max_registers = 17;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+  b = a;
+  b.regalloc.strategy = regalloc::Strategy::kLinear;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+  b = a;
+  b.regalloc.spill_mem = regalloc::SpillMem::kShared;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+  b = a;
+  b.opt_level = 0;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+  b = a;
+  b.safara.max_registers -= 1;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+  b = a;
+  b.device.max_registers_per_thread += 1;
+  EXPECT_NE(base, driver::options_fingerprint(b));
+
+  // The memoization toggle is contractually invisible in results, so it is
+  // deliberately NOT part of the fingerprint.
+  b = a;
+  b.safara_feedback_cache = !b.safara_feedback_cache;
+  EXPECT_EQ(base, driver::options_fingerprint(b));
+}
+
+// -- the disk store -----------------------------------------------------------
+
+TEST(DiskStore, PutGetRoundTripAndInstanceStats) {
+  TempDir td;
+  service::DiskStore store({td.path, 0});
+  EXPECT_FALSE(store.get(42).has_value());
+  ASSERT_TRUE(store.put(42, "hello"));
+  const std::optional<std::string> hit = store.get(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "hello");
+  EXPECT_FALSE(store.get(43).has_value());
+  EXPECT_EQ(store.stats().puts, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 2u);
+}
+
+TEST(DiskStore, PersistsAcrossInstances) {
+  TempDir td;
+  {
+    service::DiskStore store({td.path, 0});
+    ASSERT_TRUE(store.put(7, payload_for(7)));
+  }
+  service::DiskStore reopened({td.path, 0});
+  const std::optional<std::string> hit = reopened.get(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload_for(7));
+}
+
+TEST(DiskStore, CorruptEntryIsDetectedAndDropped) {
+  TempDir td;
+  service::DiskStore store({td.path, 0});
+  ASSERT_TRUE(store.put(9, payload_for(9)));
+  const std::string path = store.entry_path(9);
+
+  // Flip one payload byte in place: the checksum must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-1, std::ios::end);
+    f.put('!');
+  }
+  EXPECT_FALSE(store.get(9).has_value());
+  EXPECT_FALSE(fs::exists(path));  // dropped, not served
+  EXPECT_EQ(store.stats().corrupt_dropped, 1u);
+}
+
+TEST(DiskStore, RecoverReapsTempsAndTornEntries) {
+  TempDir td;
+  service::DiskStore store({td.path, 0});
+  ASSERT_TRUE(store.put(1, payload_for(1)));
+  ASSERT_TRUE(store.put(2, payload_for(2)));
+
+  // A writer that died between create and rename...
+  const fs::path shard = fs::path(store.entry_path(1)).parent_path();
+  std::ofstream(shard / ".tmp.99999.0") << "half-written";
+  // ...and a torn entry (valid name, garbage content).
+  std::ofstream(shard / "00000000deadbeef.entry") << "not a header";
+
+  const service::DiskStore::ScanResult scan = store.recover();
+  EXPECT_EQ(scan.removed_temps, 1u);
+  EXPECT_EQ(scan.removed_corrupt, 1u);
+  EXPECT_EQ(scan.entries, 2u);
+  EXPECT_FALSE(fs::exists(shard / ".tmp.99999.0"));
+  EXPECT_FALSE(fs::exists(shard / "00000000deadbeef.entry"));
+  // The valid entries still hit afterwards.
+  EXPECT_TRUE(store.get(1).has_value());
+  EXPECT_TRUE(store.get(2).has_value());
+}
+
+/// Runs one LRU scenario: populate with explicit mtimes, overflow, and
+/// return the sorted surviving key set.
+std::vector<std::uint64_t> lru_scenario(const std::string& root) {
+  // Populate unbounded, then pin each entry's LRU position explicitly (the
+  // test must not depend on filesystem timestamp granularity).
+  service::DiskStore fill({root, 0});
+  const std::vector<std::uint64_t> keys = {10, 11, 12, 13, 14, 15};
+  for (std::uint64_t k : keys) EXPECT_TRUE(fill.put(k, payload_for(k)));
+  const auto now = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    fs::last_write_time(fill.entry_path(keys[i]),
+                        now - std::chrono::hours(24 - static_cast<int>(i)));
+  }
+  // Reopen with a bound that holds ~3 entries and put one more: eviction
+  // must remove oldest-first until the store fits.
+  service::DiskStore bounded({root, 1000});
+  EXPECT_TRUE(bounded.put(99, payload_for(99)));
+  std::vector<std::uint64_t> alive;
+  for (const service::DiskStore::Entry& e : bounded.entries()) alive.push_back(e.key);
+  return alive;
+}
+
+TEST(DiskStore, LruEvictionIsDeterministicOldestFirst) {
+  TempDir a, b;
+  const std::vector<std::uint64_t> alive_a = lru_scenario(a.path);
+  const std::vector<std::uint64_t> alive_b = lru_scenario(b.path);
+
+  // Deterministic: the same scenario in a fresh directory evicts the same
+  // set...
+  EXPECT_EQ(alive_a, alive_b);
+  // ...and it evicts from the old end: the just-written entry survives,
+  // the oldest-mtime entries are gone, and survivors are a suffix of the
+  // recency order 10,11,...,15,99.
+  ASSERT_FALSE(alive_a.empty());
+  EXPECT_LT(alive_a.size(), 7u);
+  std::vector<std::uint64_t> order = {10, 11, 12, 13, 14, 15, 99};
+  std::vector<std::uint64_t> suffix(order.end() - static_cast<long>(alive_a.size()),
+                                    order.end());
+  std::sort(suffix.begin(), suffix.end());
+  std::vector<std::uint64_t> sorted = alive_a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, suffix);
+}
+
+TEST(DiskStore, GetRefreshesLruPosition) {
+  TempDir td;
+  service::DiskStore fill({td.path, 0});
+  ASSERT_TRUE(fill.put(1, payload_for(1)));
+  ASSERT_TRUE(fill.put(2, payload_for(2)));
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(fill.entry_path(1), now - std::chrono::hours(48));
+  fs::last_write_time(fill.entry_path(2), now - std::chrono::hours(24));
+
+  // Touch 1: it becomes the most recent even though it was written first.
+  ASSERT_TRUE(fill.get(1).has_value());
+
+  service::DiskStore bounded({td.path, 700});  // fits ~2 entries
+  ASSERT_TRUE(bounded.put(3, payload_for(3)));
+  std::vector<std::uint64_t> alive;
+  for (const auto& e : bounded.entries()) alive.push_back(e.key);
+  std::sort(alive.begin(), alive.end());
+  EXPECT_EQ(alive, (std::vector<std::uint64_t>{1, 3}));  // 2 was the LRU victim
+}
+
+// -- the request handler ------------------------------------------------------
+
+TEST(Service, MissThenHitIsByteIdentical) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  service::Service svc(cfg);
+
+  const Value r1 = svc.handle(compile_msg(1, tiny_request()));
+  ASSERT_TRUE(r1.find("ok")->as_bool()) << r1.dump();
+  EXPECT_FALSE(r1.find("cached")->as_bool());
+
+  const Value r2 = svc.handle(compile_msg(2, tiny_request()));
+  ASSERT_TRUE(r2.find("ok")->as_bool());
+  EXPECT_TRUE(r2.find("cached")->as_bool());
+  EXPECT_EQ(r2.find("id")->as_int(), 2);
+
+  // The cache must be invisible in the payload: text and summary match to
+  // the byte.
+  EXPECT_EQ(r1.find("text")->as_string(), r2.find("text")->as_string());
+  EXPECT_EQ(r1.find("summary")->dump(), r2.find("summary")->dump());
+
+  // And both match a fresh in-process compile through the shared renderer.
+  const service::CompileOutcome fresh = service::run_compile(tiny_request(), nullptr);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_EQ(r1.find("text")->as_string(), fresh.text);
+
+  EXPECT_EQ(svc.collector().metrics.counter("service.requests"), 2);
+  EXPECT_EQ(svc.collector().metrics.counter("service.cache_misses_disk"), 1);
+  EXPECT_EQ(svc.collector().metrics.counter("service.cache_hits_disk"), 1);
+}
+
+TEST(Service, BatchRunsAllAndPreservesOrder) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  service::Service svc(cfg);
+
+  Value msg = Value::object();
+  msg["op"] = Value("batch");
+  msg["id"] = Value(5);
+  Value reqs = Value::array();
+  service::CompileRequest a = tiny_request();
+  service::CompileRequest b = tiny_request();
+  b.config = "base";
+  service::CompileRequest c = tiny_request();
+  c.emit_vir = true;
+  for (const auto& r : {a, b, c}) reqs.push_back(r.to_json());
+  msg["requests"] = std::move(reqs);
+
+  const Value resp = svc.handle(msg);
+  ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+  const Value* rs = resp.find("responses");
+  ASSERT_NE(rs, nullptr);
+  ASSERT_EQ(rs->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rs->at(i).find("ok")->as_bool()) << rs->at(i).dump();
+    EXPECT_EQ(rs->at(i).find("id")->as_int(), static_cast<std::int64_t>(i));
+  }
+  // Each response matches its own request's fresh compile, in order.
+  EXPECT_EQ(rs->at(0).find("text")->as_string(),
+            service::run_compile(a, nullptr).text);
+  EXPECT_EQ(rs->at(1).find("text")->as_string(),
+            service::run_compile(b, nullptr).text);
+  EXPECT_EQ(rs->at(2).find("text")->as_string(),
+            service::run_compile(c, nullptr).text);
+  EXPECT_EQ(svc.collector().metrics.counter("service.batches"), 1);
+  EXPECT_EQ(svc.collector().metrics.gauge("service.batch_size"), 3.0);
+}
+
+TEST(Service, OverAdmissionBatchIsRejectedWithDiagnostic) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  cfg.max_batch = 2;
+  service::Service svc(cfg);
+
+  Value msg = Value::object();
+  msg["op"] = Value("batch");
+  msg["id"] = Value(9);
+  Value reqs = Value::array();
+  for (int i = 0; i < 3; ++i) reqs.push_back(tiny_request().to_json());
+  msg["requests"] = std::move(reqs);
+
+  const Value resp = svc.handle(msg);
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_NE(resp.find("error")->as_string().find("admission"), std::string::npos);
+  EXPECT_EQ(resp.find("id")->as_int(), 9);
+}
+
+TEST(Service, FailedCompilesAreReportedAndNeverCached) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  service::Service svc(cfg);
+
+  service::CompileRequest bad;
+  bad.source = "void f( {";
+  const Value r1 = svc.handle(compile_msg(1, bad));
+  EXPECT_FALSE(r1.find("ok")->as_bool());
+  EXPECT_FALSE(r1.find("error")->as_string().empty());
+  EXPECT_TRUE(svc.store().entries().empty());
+
+  service::CompileRequest unknown;
+  unknown.workload = "no-such-workload";
+  const Value r2 = svc.handle(compile_msg(2, unknown));
+  EXPECT_FALSE(r2.find("ok")->as_bool());
+  EXPECT_NE(r2.find("error")->as_string().find("no-such-workload"),
+            std::string::npos);
+  EXPECT_TRUE(svc.store().entries().empty());
+  EXPECT_EQ(svc.collector().metrics.counter("service.request_errors"), 2);
+}
+
+TEST(Service, PingStatsAndShutdown) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  service::Service svc(cfg);
+
+  Value ping = Value::object();
+  ping["op"] = Value("ping");
+  ping["id"] = Value(3);
+  const Value pong = svc.handle(ping);
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+  EXPECT_EQ(pong.find("pid")->as_int(), static_cast<std::int64_t>(::getpid()));
+
+  ASSERT_TRUE(svc.handle(compile_msg(4, tiny_request())).find("ok")->as_bool());
+  Value stats = Value::object();
+  stats["op"] = Value("stats");
+  const Value st = svc.handle(stats);
+  ASSERT_TRUE(st.find("ok")->as_bool());
+  const Value* counters = st.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("service.requests")->as_int(), 1);
+  EXPECT_EQ(st.find("store")->find("entries")->as_int(), 1);
+
+  EXPECT_FALSE(svc.shutdown_requested());
+  Value down = Value::object();
+  down["op"] = Value("shutdown");
+  EXPECT_TRUE(svc.handle(down).find("ok")->as_bool());
+  EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(Service, MalformedRequestsEarnDiagnosticsNotCrashes) {
+  TempDir td;
+  service::ServiceConfig cfg;
+  cfg.cache_dir = td.path;
+  service::Service svc(cfg);
+
+  Value no_op = Value::object();
+  EXPECT_FALSE(svc.handle(no_op).find("ok")->as_bool());
+
+  Value unknown = Value::object();
+  unknown["op"] = Value("frobnicate");
+  const Value r = svc.handle(unknown);
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("frobnicate"), std::string::npos);
+
+  Value empty_compile = Value::object();
+  empty_compile["op"] = Value("compile");
+  empty_compile["request"] = Value::object();
+  EXPECT_FALSE(svc.handle(empty_compile).find("ok")->as_bool());
+
+  // source and workload are mutually exclusive; simulate needs a workload.
+  service::CompileRequest both = tiny_request();
+  both.workload = "355.seismic";
+  EXPECT_FALSE(svc.handle(compile_msg(1, both)).find("ok")->as_bool());
+  service::CompileRequest sim = tiny_request();
+  sim.simulate = true;
+  EXPECT_FALSE(svc.handle(compile_msg(2, sim)).find("ok")->as_bool());
+}
+
+// -- cross-process torture ----------------------------------------------------
+
+TEST(ServiceTorture, ConcurrentStoreWritersKeepEveryEntryValid) {
+  TempDir td;
+  std::vector<pid_t> fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.push_back(spawn_torture_worker(td.path, "store", i));
+  }
+  for (pid_t pid : fleet) EXPECT_EQ(wait_exit_code(pid), 0);
+
+  // Full-store integrity audit: no torn entries, no orphaned temps, and
+  // every surviving entry carries exactly the content its key demands.
+  service::DiskStore store({td.path, 0});
+  const service::DiskStore::ScanResult scan = store.recover();
+  EXPECT_EQ(scan.removed_corrupt, 0u);
+  EXPECT_EQ(scan.removed_temps, 0u);
+  const std::vector<service::DiskStore::Entry> entries = store.entries();
+  EXPECT_FALSE(entries.empty());
+  for (const service::DiskStore::Entry& e : entries) {
+    EXPECT_EQ(e.payload, payload_for(e.key)) << "torn entry for key " << e.key;
+  }
+}
+
+TEST(ServiceTorture, ConcurrentServicesAgreeWithFreshCompiles) {
+  TempDir td;
+  std::vector<pid_t> fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.push_back(spawn_torture_worker(td.path, "service", i));
+  }
+  for (pid_t pid : fleet) EXPECT_EQ(wait_exit_code(pid), 0);
+
+  // Every cached outcome must re-validate against a fresh in-process
+  // compile of the request that produced it — racing writers may only ever
+  // have stored identical bytes.
+  service::DiskStore store({td.path, 0});
+  EXPECT_EQ(store.recover().removed_corrupt, 0u);
+  std::size_t audited = 0;
+  for (std::uint64_t seed : kTortureSeeds) {
+    const service::CompileRequest req = torture_request(seed);
+    const std::optional<std::uint64_t> key = service::request_cache_key(req);
+    ASSERT_TRUE(key.has_value());
+    const std::optional<std::string> payload = store.get(*key);
+    ASSERT_TRUE(payload.has_value()) << "seed " << seed << " never cached";
+    Value doc;
+    ASSERT_TRUE(Value::parse(*payload, doc));
+    const service::CompileOutcome fresh = service::run_compile(req, nullptr);
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(doc.find("text")->as_string(), fresh.text) << "seed " << seed;
+    ++audited;
+  }
+  EXPECT_EQ(audited, std::size(kTortureSeeds));
+}
+
+// -- daemon crash recovery ----------------------------------------------------
+
+#ifdef SAFARA_SAFCCD_PATH
+
+pid_t spawn_daemon(const std::string& socket_path, const std::string& cache_dir) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::string sock_arg = "--socket=" + socket_path;
+  std::string cache_arg = "--cache-dir=" + cache_dir;
+  char* const argv[] = {const_cast<char*>("safccd"), sock_arg.data(),
+                        cache_arg.data(), nullptr};
+  ::execv(SAFARA_SAFCCD_PATH, argv);
+  std::_Exit(127);
+}
+
+int connect_retry(const std::string& socket_path) {
+  std::string err;
+  for (int i = 0; i < 200; ++i) {
+    const int fd = service::connect_unix(socket_path, &err, 60000);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ADD_FAILURE() << "cannot connect to " << socket_path << ": " << err;
+  return -1;
+}
+
+Value rpc(int fd, const Value& msg) {
+  std::string err;
+  EXPECT_TRUE(service::write_frame(fd, msg.dump(), &err)) << err;
+  const service::FrameResult f = service::read_frame(fd);
+  EXPECT_TRUE(f.ok()) << f.error;
+  Value doc;
+  EXPECT_TRUE(service::parse_frame_json(f.payload, doc, &err)) << err;
+  return doc;
+}
+
+bool any_temp_files(const std::string& root) {
+  if (!fs::exists(root)) return false;
+  for (const auto& ent : fs::recursive_directory_iterator(root)) {
+    if (ent.path().filename().string().rfind(".tmp.", 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(CrashRecovery, SigkilledDaemonRestartsHealedAndStillHits) {
+  TempDir td;
+  const std::string sock = td.path + "/s";
+  const std::string cache = td.path + "/cache";
+
+  // First life: populate the cache.
+  const pid_t pid1 = spawn_daemon(sock, cache);
+  int fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  const Value r1 = rpc(fd, compile_msg(1, tiny_request()));
+  ASSERT_TRUE(r1.find("ok")->as_bool()) << r1.dump();
+  EXPECT_FALSE(r1.find("cached")->as_bool());
+
+  // Fire a batch and SIGKILL the daemon mid-flight, without reading the
+  // response: whatever it was doing, the store must survive.
+  Value batch = Value::object();
+  batch["op"] = Value("batch");
+  batch["id"] = Value(2);
+  Value reqs = Value::array();
+  for (std::uint64_t seed : kTortureSeeds) {
+    reqs.push_back(torture_request(seed).to_json());
+  }
+  batch["requests"] = std::move(reqs);
+  std::string err;
+  ASSERT_TRUE(service::write_frame(fd, batch.dump(), &err)) << err;
+  ::kill(pid1, SIGKILL);
+  int status = 0;
+  ::waitpid(pid1, &status, 0);
+  ::close(fd);
+
+  // Fake additional crash debris the recovery pass must reap.
+  const fs::path shard = fs::path(cache) / "shards" / "ab";
+  fs::create_directories(shard);
+  std::ofstream(shard / ".tmp.4242.7") << "dead writer";
+  std::ofstream(shard / "ab00000000000001.entry") << "torn";
+
+  // Second life: the startup recovery must heal the store, and the entry
+  // cached before the crash must still hit.
+  const pid_t pid2 = spawn_daemon(sock, cache);
+  fd = connect_retry(sock);
+  ASSERT_GE(fd, 0);
+  const Value r2 = rpc(fd, compile_msg(3, tiny_request()));
+  ASSERT_TRUE(r2.find("ok")->as_bool()) << r2.dump();
+  EXPECT_TRUE(r2.find("cached")->as_bool());
+  EXPECT_EQ(r2.find("text")->as_string(), r1.find("text")->as_string());
+
+  Value stats = Value::object();
+  stats["op"] = Value("stats");
+  const Value st = rpc(fd, stats);
+  ASSERT_TRUE(st.find("ok")->as_bool());
+  EXPECT_GE(st.find("metrics")->find("counters")->find("service.cache_hits_disk")
+                ->as_int(),
+            1);
+
+  Value down = Value::object();
+  down["op"] = Value("shutdown");
+  EXPECT_TRUE(rpc(fd, down).find("ok")->as_bool());
+  ::close(fd);
+  ::waitpid(pid2, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+
+  // The recovery pass (plus normal operation) left no temp debris behind.
+  EXPECT_FALSE(any_temp_files(cache));
+  EXPECT_FALSE(fs::exists(shard / ".tmp.4242.7"));
+  EXPECT_FALSE(fs::exists(shard / "ab00000000000001.entry"));
+}
+
+#endif  // SAFARA_SAFCCD_PATH
+
+}  // namespace
+}  // namespace safara::test
+
+int main(int argc, char** argv) {
+  // Worker re-entry: the torture tests re-exec this binary with these
+  // variables set; run the requested worker loop instead of the suite.
+  if (const char* dir = std::getenv("SAFARA_SERVICE_TORTURE_DIR")) {
+    const char* mode = std::getenv("SAFARA_SERVICE_TORTURE_MODE");
+    const char* idx = std::getenv("SAFARA_SERVICE_TORTURE_IDX");
+    const int i = idx ? std::atoi(idx) : 0;
+    return mode && std::string(mode) == "service"
+               ? safara::test::torture_service_worker(dir, i)
+               : safara::test::torture_store_worker(dir, i);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

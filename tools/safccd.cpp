@@ -1,0 +1,206 @@
+// safccd: the persistent SAFARA compile service.
+//
+//   safccd --socket /run/user/.../safcc.sock      # serve a Unix socket
+//   safccd --stdio                                # serve stdin/stdout once
+//   safccd --socket S --cache-dir D --cache-max-mb 64 --threads 4
+//
+// One length-prefixed JSON frame per request (src/service/protocol.hpp);
+// the request vocabulary and response shapes live in src/service/service.hpp.
+// Batched compiles fan out over the shared thread pool; results are cached in
+// the sharded on-disk store (docs/SERVICE.md has the full contract).
+//
+// Connection handling is deliberately serial: one frame loop at a time, with
+// parallelism *inside* a batch rather than across clients — the pool is not
+// reentrant, and a compile service's unit of concurrency is the batch.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "support/string_util.hpp"
+
+using namespace safara;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: safccd (--socket PATH | --stdio)\n"
+               "              [--cache-dir DIR] [--cache-max-mb N] [--threads N]\n"
+               "              [--once]\n"
+               "\n"
+               "Environment: SAFARA_CACHE_DIR, SAFARA_CACHE_MAX_MB,\n"
+               "SAFARA_SERVICE_THREADS (explicit flags win over the environment).\n");
+}
+
+int parse_int_flag(const char* flag, const std::string& value) {
+  const std::optional<long long> v = parse_int_strict(value);
+  if (!v || *v <= 0 || *v > (1 << 30)) {
+    std::fprintf(stderr, "safccd: %s expects a positive integer, got '%s'\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(*v);
+}
+
+/// Serves one connected stream until EOF, a fatal framing error, or a
+/// shutdown request. Returns true when the daemon should keep accepting.
+bool serve_stream(service::Service& svc, int in_fd, int out_fd) {
+  while (!g_stop) {
+    service::FrameResult frame = service::read_frame(in_fd);
+    if (frame.status == service::FrameStatus::kEof) return true;
+    if (frame.status == service::FrameStatus::kOversized) {
+      // The stream cannot be resynchronized, but the client deserves to know
+      // why it is about to lose the connection.
+      std::string err;
+      service::write_frame(
+          out_fd, service::Service::error_response(0, frame.error).dump(), &err);
+      std::fprintf(stderr, "safccd: %s\n", frame.error.c_str());
+      return true;
+    }
+    if (!frame.ok()) {
+      std::fprintf(stderr, "safccd: %s\n", frame.error.c_str());
+      return true;
+    }
+
+    obs::json::Value request;
+    obs::json::Value response;
+    std::string err;
+    if (!service::parse_frame_json(frame.payload, request, &err)) {
+      // Well-framed garbage: answer with a diagnostic and keep the stream.
+      response = service::Service::error_response(0, err);
+    } else {
+      response = svc.handle(request);
+    }
+    if (!service::write_frame(out_fd, response.dump(), &err)) {
+      std::fprintf(stderr, "safccd: %s\n", err.c_str());
+      return true;
+    }
+    if (svc.shutdown_requested()) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool stdio = false;
+  bool once = false;
+  service::ServiceConfig config = service::ServiceConfig::from_env();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "safccd: missing value for '%s'\n", arg.c_str());
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto eat_value = [&](std::string_view flag, std::string* out) -> bool {
+      if (arg == flag) {
+        *out = next();
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+          arg[flag.size()] == '=') {
+        *out = arg.substr(flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (eat_value("--socket", &socket_path)) continue;
+    if (eat_value("--cache-dir", &config.cache_dir)) continue;
+    if (eat_value("--cache-max-mb", &value)) {
+      config.cache_max_bytes =
+          static_cast<std::uint64_t>(parse_int_flag("--cache-max-mb", value)) << 20;
+      continue;
+    }
+    if (eat_value("--threads", &value)) {
+      config.threads = parse_int_flag("--threads", value);
+      continue;
+    }
+    if (arg == "--stdio") stdio = true;
+    else if (arg == "--once") once = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "safccd: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (stdio == !socket_path.empty()) {
+    std::fprintf(stderr, "safccd: pick exactly one of --socket PATH or --stdio\n");
+    usage();
+    return 2;
+  }
+
+  // A client that disappears mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  // SIGTERM/SIGINT interrupt the blocking accept/read (no SA_RESTART) so the
+  // loop notices g_stop promptly.
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  service::Service svc(config);
+  // Crash recovery before the first request: reap temp files a dead writer
+  // left behind and drop entries that no longer validate.
+  const service::DiskStore::ScanResult scan = svc.store().recover();
+  std::fprintf(stderr,
+               "safccd: store %s: %zu entr%s (%llu bytes), reaped %zu temp(s), "
+               "dropped %zu corrupt\n",
+               svc.store().config().root.c_str(), scan.entries,
+               scan.entries == 1 ? "y" : "ies",
+               static_cast<unsigned long long>(scan.bytes), scan.removed_temps,
+               scan.removed_corrupt);
+
+  if (stdio) {
+    serve_stream(svc, STDIN_FILENO, STDOUT_FILENO);
+    return 0;
+  }
+
+  std::string err;
+  const int listen_fd = service::listen_unix(socket_path, &err);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "safccd: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "safccd: listening on %s\n", socket_path.c_str());
+
+  bool keep_going = true;
+  while (keep_going && !g_stop) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "safccd: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    keep_going = serve_stream(svc, client, client);
+    ::close(client);
+    if (once) break;
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  std::fprintf(stderr, "safccd: shutting down\n");
+  return 0;
+}

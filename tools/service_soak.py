@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Soak / differential / demo driver for the safccd compile service.
+
+Two modes, both built on the same byte-identity contract (docs/SERVICE.md):
+`safcc`, `safcc --remote` (fresh), and `safcc --remote` (disk-cached) must
+produce byte-identical stdout for the same request.
+
+  soak: replay `--count` fuzz-generated programs (safcc-fuzz --emit-seed)
+        through in-process safcc AND twice through `safcc --remote`; every
+        byte and exit code must match, the second remote pass must be served
+        from the disk cache, and the raw-protocol summaries must round-trip
+        identically.
+
+  demo: the CI end-to-end proof. For each workload, run compile+simulate
+        once in-process (the reference bytes), then twice through the
+        daemon: the cold pass populates the cache, the warm pass must hit
+        it (service.cache_hits_disk > 0), return byte-identical text /
+        checksums / register counts, and report an aggregate compile_ms at
+        least 25% below the cold pass.
+
+Exits non-zero on the first violated invariant.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+
+class Rpc:
+    """One length-prefixed-JSON connection to a safccd socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(300)
+        self.sock.connect(path)
+
+    def call(self, msg):
+        payload = json.dumps(msg).encode()
+        self.sock.sendall(struct.pack("<I", len(payload)) + payload)
+        header = self._recv_exact(4)
+        (n,) = struct.unpack("<I", header)
+        return json.loads(self._recv_exact(n))
+
+    def _recv_exact(self, n):
+        buf = b""
+        while len(buf) < n:
+            chunk = self.sock.recv(n - len(buf))
+            if not chunk:
+                raise RuntimeError("daemon hung up mid-frame")
+            buf += chunk
+        return buf
+
+    def close(self):
+        self.sock.close()
+
+
+def fail(msg):
+    print(f"service-soak: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_daemon(safccd, sock_path, cache_dir):
+    proc = subprocess.Popen(
+        [safccd, "--socket", sock_path, "--cache-dir", cache_dir],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            try:
+                Rpc(sock_path).close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            fail(f"safccd exited early with {proc.returncode}")
+        time.sleep(0.025)
+    proc.kill()
+    fail("safccd never came up")
+
+
+def stop_daemon(proc, sock_path):
+    try:
+        rpc = Rpc(sock_path)
+        rpc.call({"op": "shutdown", "id": 0})
+        rpc.close()
+        proc.wait(timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=10)
+
+
+def run_safcc(argv):
+    p = subprocess.run(argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    return p.returncode, p.stdout
+
+
+def counters(sock_path):
+    rpc = Rpc(sock_path)
+    stats = rpc.call({"op": "stats", "id": 0})
+    rpc.close()
+    if not stats.get("ok"):
+        fail(f"stats op failed: {stats}")
+    return stats["metrics"]["counters"]
+
+
+def mode_soak(args, sock_path, tmp):
+    total_hits_expected = 0
+    for seed in range(1, args.count + 1):
+        p = subprocess.run(
+            [args.safcc_fuzz, "--emit-seed", str(seed)],
+            stdout=subprocess.PIPE,
+            check=True,
+        )
+        src_path = os.path.join(tmp, f"seed{seed}.acc")
+        with open(src_path, "wb") as f:
+            f.write(p.stdout)
+
+        code_local, out_local = run_safcc([args.safcc, src_path])
+        code_r1, out_r1 = run_safcc([args.safcc, src_path, f"--remote={sock_path}"])
+        code_r2, out_r2 = run_safcc([args.safcc, src_path, f"--remote={sock_path}"])
+        if (code_local, code_r1, code_r2) != (0, 0, 0):
+            fail(
+                f"seed {seed}: exit codes local={code_local} "
+                f"remote={code_r1}/{code_r2}"
+            )
+        if out_local != out_r1 or out_r1 != out_r2:
+            fail(f"seed {seed}: local and remote stdout diverge")
+
+        # Raw-protocol differential: the cached response document must be
+        # indistinguishable from the fresh one (text AND summary).
+        request = {"source": p.stdout.decode()}
+        rpc = Rpc(sock_path)
+        fresh = rpc.call({"op": "compile", "id": 1, "request": request})
+        cached = rpc.call({"op": "compile", "id": 2, "request": request})
+        rpc.close()
+        if not (fresh.get("ok") and cached.get("ok")):
+            fail(f"seed {seed}: raw compile failed: {fresh} / {cached}")
+        if not cached.get("cached"):
+            fail(f"seed {seed}: second raw compile was not served from disk")
+        if fresh["text"] != cached["text"] or fresh["summary"] != cached["summary"]:
+            fail(f"seed {seed}: cached response diverges from fresh response")
+        if fresh["text"].encode() != out_local:
+            fail(f"seed {seed}: daemon text diverges from in-process safcc")
+        total_hits_expected += 1
+
+    got = counters(sock_path).get("service.cache_hits_disk", 0)
+    if got < total_hits_expected:
+        fail(f"expected >= {total_hits_expected} disk hits, daemon reports {got}")
+    print(
+        f"service-soak: soak OK: {args.count} seeds, byte-identical across "
+        f"local/remote/cached, {got} disk hits"
+    )
+
+
+def mode_demo(args, sock_path, tmp):
+    workloads = [w for w in args.workloads.split(",") if w]
+    cold_ms = 0.0
+    warm_ms = 0.0
+    for w in workloads:
+        ref_code, ref_out = run_safcc([args.safcc, "--workload", w, "--simulate"])
+        if ref_code != 0:
+            fail(f"{w}: in-process reference failed ({ref_code})")
+
+        request = {"workload": w, "simulate": True}
+        rpc = Rpc(sock_path)
+        cold = rpc.call({"op": "compile", "id": 1, "request": request})
+        warm = rpc.call({"op": "compile", "id": 2, "request": request})
+        rpc.close()
+        if not (cold.get("ok") and warm.get("ok")):
+            fail(f"{w}: daemon compile failed: {cold} / {warm}")
+        if cold.get("cached"):
+            fail(f"{w}: cold pass unexpectedly hit the cache")
+        if not warm.get("cached"):
+            fail(f"{w}: warm pass missed the cache")
+        # Byte-identity: checksum lines, register counts, everything.
+        if cold["text"] != warm["text"] or cold["text"].encode() != ref_out:
+            fail(f"{w}: cold/warm/in-process outputs diverge")
+        if cold["summary"] != warm["summary"]:
+            fail(f"{w}: cold/warm summaries diverge")
+
+        # And through the CLI client, for the full end-to-end path.
+        cli_code, cli_out = run_safcc(
+            [args.safcc, "--workload", w, "--simulate", f"--remote={sock_path}"]
+        )
+        if cli_code != 0 or cli_out != ref_out:
+            fail(f"{w}: `safcc --remote` output diverges from in-process safcc")
+
+        cold_ms += cold["compile_ms"]
+        warm_ms += warm["compile_ms"]
+        regs = [k["regs_used"] for k in cold["summary"]["kernels"]]
+        run = cold["summary"].get("run", {})
+        print(
+            f"service-soak: {w}: cold {cold['compile_ms']:.1f} ms, "
+            f"warm {warm['compile_ms']:.1f} ms (cached), regs {regs}, "
+            f"cycles {run.get('cycles')}, checksum {run.get('checksum')}"
+        )
+
+    hits = counters(sock_path).get("service.cache_hits_disk", 0)
+    if hits <= 0:
+        fail("daemon reports no disk cache hits after the warm pass")
+    if warm_ms > 0.75 * cold_ms:
+        fail(
+            f"warm pass not >=25% faster: cold {cold_ms:.1f} ms vs "
+            f"warm {warm_ms:.1f} ms"
+        )
+    print(
+        f"service-soak: demo OK: {len(workloads)} workload(s), "
+        f"cold {cold_ms:.1f} ms -> warm {warm_ms:.1f} ms "
+        f"({100.0 * (1.0 - warm_ms / cold_ms):.0f}% faster), {hits} disk hits"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--safcc", required=True)
+    ap.add_argument("--safccd", required=True)
+    ap.add_argument("--safcc-fuzz", dest="safcc_fuzz")
+    ap.add_argument("--mode", choices=["soak", "demo"], default="soak")
+    ap.add_argument("--count", type=int, default=10)
+    ap.add_argument(
+        "--workloads",
+        default=(
+            "303.ostencil,304.olbm,314.omriq,350.md,352.ep,"
+            "353.clvrleaf,354.cg,355.seismic,356.sp,363.swim"
+        ),
+        help="comma-separated workload names for --mode demo (default: the "
+        "paper's Figure 11 suite)",
+    )
+    args = ap.parse_args()
+    if args.mode == "soak" and not args.safcc_fuzz:
+        ap.error("--mode soak needs --safcc-fuzz")
+
+    tmp = tempfile.mkdtemp(prefix="safsoak", dir="/tmp")  # short sun_path
+    sock_path = os.path.join(tmp, "s")
+    cache_dir = os.path.join(tmp, "cache")
+    proc = start_daemon(args.safccd, sock_path, cache_dir)
+    try:
+        if args.mode == "soak":
+            mode_soak(args, sock_path, tmp)
+        else:
+            mode_demo(args, sock_path, tmp)
+    finally:
+        stop_daemon(proc, sock_path)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
